@@ -1,0 +1,103 @@
+"""Figure 8: distributed MNIST training latency across modes and workers.
+
+Paper (§5.4): batch size 100, learning rate 0.0005, up to 3 workers.
+Full-featured secureTF (HW + shields) is ~14× slower than native
+TensorFlow (EPC-bound training); scaling with workers is near-linear
+(1.96× at 2, 2.57× at 3).  The paper's SIM-mode gap (2.3×/6×) was a
+SCONE scheduler bug, fixed upstream per §5.4 — this reproduction models
+the fixed behaviour, so SIM tracks native.
+"""
+
+import pytest
+
+from harness import PAPER, fmt_s, print_table, record, run_once
+
+from repro.core.platform import PlatformConfig, SecureTFPlatform
+from repro.core.training import TrainingJob, TrainingJobConfig
+from repro.data import synthetic_mnist
+from repro.enclave.sgx import SgxMode
+
+BATCHES = 12
+BATCH_SIZE = 100
+LEARNING_RATE = 0.0005  # the paper's setting
+
+
+def _run(mode, network_shield, workers, batches):
+    platform = SecureTFPlatform(PlatformConfig(n_nodes=3, seed=80))
+    job = TrainingJob(
+        platform,
+        TrainingJobConfig(
+            session="fig8",
+            n_workers=workers,
+            mode=mode,
+            network_shield=network_shield,
+            learning_rate=LEARNING_RATE,
+        ),
+    )
+    job.start()
+    result = job.train(batches)
+    job.stop()
+    return result.wall_clock
+
+
+def _collect():
+    train, _ = synthetic_mnist(n_train=BATCHES * BATCH_SIZE, n_test=10, seed=10)
+    batches = list(train.batches(BATCH_SIZE))
+    modes = {
+        "native": lambda w: _run(SgxMode.NATIVE, False, w, batches),
+        "sim": lambda w: _run(SgxMode.SIM, False, w, batches),
+        "sim+netshield": lambda w: _run(SgxMode.SIM, True, w, batches),
+        "hw (full secureTF)": lambda w: _run(SgxMode.HW, True, w, batches),
+    }
+    return {
+        name: {workers: fn(workers) for workers in (1, 2, 3)}
+        for name, fn in modes.items()
+    }
+
+
+def test_fig8_distributed_training(benchmark):
+    results = run_once(benchmark, _collect)
+
+    rows = [
+        [name] + [fmt_s(results[name][w]) for w in (1, 2, 3)]
+        for name in results
+    ]
+    hw = results["hw (full secureTF)"]
+    native = results["native"]
+    ratio = hw[1] / native[1]
+    speedup2 = hw[1] / hw[2]
+    speedup3 = hw[1] / hw[3]
+    print_table(
+        f"Fig. 8 — distributed MNIST training ({BATCHES} batches of "
+        f"{BATCH_SIZE}, lr {LEARNING_RATE})",
+        ("system", "1 worker", "2 workers", "3 workers"),
+        rows,
+        notes=[
+            f"HW/native = {ratio:.1f}x (paper: ~{PAPER['fig8_hw_over_native']:.0f}x)",
+            f"HW speedups: {speedup2:.2f}x @2 workers "
+            f"(paper {PAPER['fig8_speedup_2_workers']:.2f}), "
+            f"{speedup3:.2f}x @3 (paper {PAPER['fig8_speedup_3_workers']:.2f})",
+            "paper's SIM slowdowns (2.3x/6x) were a since-fixed SCONE "
+            "scheduler bug (§5.4); this models the fixed runtime",
+        ],
+    )
+    record(
+        benchmark,
+        hw_over_native=ratio,
+        speedup_2=speedup2,
+        speedup_3=speedup3,
+    )
+
+    # Shapes from the paper.
+    assert 8 < ratio < 25                  # ~14x
+    assert 1.7 < speedup2 < 2.2            # ~1.96x
+    assert 2.3 < speedup3 < 3.2            # ~2.57x
+    # The network shield costs something, but far less than SGX does.
+    assert (
+        results["sim"][1]
+        < results["sim+netshield"][1]
+        < results["hw (full secureTF)"][1]
+    )
+    # Every mode benefits from more workers.
+    for name in results:
+        assert results[name][1] > results[name][2] > results[name][3]

@@ -1,0 +1,10 @@
+"""Benchmark fixtures: make the local harness importable.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` — the ``-s`` lets
+each benchmark's figure table print to the terminal.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

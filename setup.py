@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` requires wheel for PEP 660
+editable builds; this shim lets `python setup.py develop` work offline.
+"""
+from setuptools import setup
+
+setup()

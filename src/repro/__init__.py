@@ -1,0 +1,18 @@
+"""secureTF reproduction — a secure TensorFlow framework on simulated SGX.
+
+Reproduces "secureTF: A Secure TensorFlow Framework" (Quoc et al.,
+Middleware 2020).  See DESIGN.md for the system inventory and the
+substitution map (what ran on real SGX hardware in the paper vs what is
+mechanistically simulated here), and EXPERIMENTS.md for paper-vs-measured
+results for every figure.
+
+Start with ``examples/quickstart.py`` for the end-to-end flow:
+deploy a platform, attest CAS, upload an encrypted model, and serve
+classifications from an attested enclave over TLS.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,29 @@
+"""Simulation substrate: virtual time, deterministic randomness, tracing.
+
+Everything in this reproduction that *computes* is real (crypto, numerics,
+serialization), but *time and hardware* are simulated.  This package holds
+the shared machinery: a :class:`~repro._sim.clock.SimClock` that components
+charge costs to, unit helpers, and an event tracer used by benchmarks to
+produce per-phase breakdowns (e.g. Figure 4's attestation breakdown).
+"""
+
+from repro._sim.clock import SimClock, global_clock, reset_global_clock
+from repro._sim.rng import DeterministicRng
+from repro._sim.trace import EventTrace, TraceEvent
+from repro._sim.units import GiB, KiB, MiB, Mbps, Gbps, microseconds, milliseconds
+
+__all__ = [
+    "SimClock",
+    "global_clock",
+    "reset_global_clock",
+    "DeterministicRng",
+    "EventTrace",
+    "TraceEvent",
+    "KiB",
+    "MiB",
+    "GiB",
+    "Mbps",
+    "Gbps",
+    "microseconds",
+    "milliseconds",
+]

@@ -1,0 +1,75 @@
+"""Event tracing for benchmark breakdowns.
+
+Figure 4 of the paper reports a *breakdown* of attestation latency
+(quote generation, verification, key transfer).  Components emit named
+:class:`TraceEvent` spans into an :class:`EventTrace`; benchmarks sum the
+spans per phase to print the same breakdown rows.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro._sim.clock import SimClock
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A completed named span of simulated time."""
+
+    name: str
+    start: float
+    end: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class EventTrace:
+    """An append-only log of :class:`TraceEvent` spans."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._events: List[TraceEvent] = []
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[None]:
+        """Record a span covering the simulated time spent in the block."""
+        start = self._clock.now
+        try:
+            yield
+        finally:
+            self._events.append(
+                TraceEvent(name=name, start=start, end=self._clock.now, attrs=attrs)
+            )
+
+    def record(self, name: str, duration: float, **attrs: object) -> None:
+        """Record a span of known ``duration`` ending now (already charged)."""
+        end = self._clock.now
+        self._events.append(
+            TraceEvent(name=name, start=end - duration, end=end, attrs=attrs)
+        )
+
+    def total(self, name: Optional[str] = None) -> float:
+        """Total duration of all events, or of events with a given name."""
+        return sum(
+            e.duration for e in self._events if name is None or e.name == name
+        )
+
+    def breakdown(self) -> Dict[str, float]:
+        """Map of event name to summed duration, in insertion order."""
+        out: Dict[str, float] = {}
+        for event in self._events:
+            out[event.name] = out.get(event.name, 0.0) + event.duration
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()

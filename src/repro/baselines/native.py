@@ -1,0 +1,69 @@
+"""Native (non-enclave) inference runners: glibc and musl baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.node import Node
+from repro.enclave.sgx import SgxMode
+from repro.errors import ConfigurationError
+from repro.runtime.libc import GLIBC, MUSL, LibcFlavor
+from repro.runtime.scone import RuntimeConfig, SconeRuntime
+from repro.tensor.engine import EngineProfile, LITE_PROFILE
+from repro.tensor.lite import Interpreter, LiteModel
+
+
+@dataclass
+class NativeRunner:
+    """A classification process outside any enclave."""
+
+    runtime: SconeRuntime
+    interpreter: Interpreter
+    node: Node
+
+    def classify(self, image: np.ndarray) -> int:
+        return self.interpreter.classify(
+            image[None] if image.ndim == 3 else image
+        )
+
+    def measure_latency(self, images: np.ndarray, runs: int) -> float:
+        """Mean simulated latency per classification over ``runs``."""
+        before = self.node.clock.now
+        for index in range(runs):
+            self.classify(images[index % len(images)])
+        return (self.node.clock.now - before) / runs
+
+
+def make_native_runner(
+    node: Node,
+    model: LiteModel,
+    libc: LibcFlavor = GLIBC,
+    engine: EngineProfile = LITE_PROFILE,
+    threads: int = 1,
+    name: Optional[str] = None,
+) -> NativeRunner:
+    """Build a native TensorFlow Lite process on ``node``."""
+    if libc not in (GLIBC, MUSL):
+        raise ConfigurationError(
+            f"native baselines run stock libcs, not {libc.name!r}"
+        )
+    runtime = SconeRuntime(
+        RuntimeConfig(
+            name=name or f"native-{libc.name}",
+            mode=SgxMode.NATIVE,
+            libc=libc,
+            binary_size=engine.binary_size,
+            heap_size=32 * 1024 * 1024,
+            fs_shield_enabled=False,
+        ),
+        node.vfs,
+        node.cost_model,
+        node.clock,
+        rng=node.rng.child(f"native-{libc.name}"),
+    )
+    interpreter = Interpreter(model, runtime=runtime, threads=threads)
+    interpreter.allocate_tensors()
+    return NativeRunner(runtime=runtime, interpreter=interpreter, node=node)

@@ -1,0 +1,92 @@
+"""Slalom-style GPU outsourcing (paper §7.4 and related work).
+
+Slalom (Tramèr & Boneh, ICLR'19) splits DNN inference between an SGX
+enclave and an untrusted GPU: linear operations (matmul, conv) run on
+the GPU, non-linear ones (ReLU etc.) inside the enclave, with Freivalds
+checks verifying the GPU's results.  The paper positions secureTF
+against it (§8) and discusses GPU support as future work with an
+explicitly weakened threat model (§7.4): GPU-resident weights and layer
+activations are *integrity-protected but no longer confidential*.
+
+This runner wires the execution engine's GPU profile onto an otherwise
+standard HW-mode Lite deployment so the trade-off is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.node import Node
+from repro.enclave.sgx import SgxMode
+from repro.runtime.scone import RuntimeConfig, SconeRuntime
+from repro.tensor.engine import (
+    DEFAULT_GPU_PROFILE,
+    EngineProfile,
+    GpuProfile,
+    LITE_PROFILE,
+)
+from repro.tensor.lite import Interpreter, LiteModel
+
+
+@dataclass
+class SlalomRunner:
+    """HW-mode inference with linear ops offloaded to an untrusted GPU."""
+
+    runtime: SconeRuntime
+    interpreter: Interpreter
+    node: Node
+    gpu: GpuProfile
+
+    #: What the weakened threat model gives up (paper §7.4): the GPU
+    #: sees linear-layer weights and activations in plaintext.
+    CONFIDENTIALITY_CAVEAT = (
+        "linear-layer weights and activations are visible to the GPU: "
+        "confidentiality is not preserved for offloaded computation, "
+        "only integrity (Freivalds verification)"
+    )
+
+    def classify(self, image: np.ndarray) -> int:
+        return self.interpreter.classify(
+            image[None] if image.ndim == 3 else image
+        )
+
+    def measure_latency(self, images: np.ndarray, runs: int) -> float:
+        before = self.node.clock.now
+        for index in range(runs):
+            self.classify(images[index % len(images)])
+        return (self.node.clock.now - before) / runs
+
+
+def make_slalom_runner(
+    node: Node,
+    model: LiteModel,
+    engine: EngineProfile = LITE_PROFILE,
+    gpu: GpuProfile = DEFAULT_GPU_PROFILE,
+    threads: int = 1,
+    name: Optional[str] = None,
+) -> SlalomRunner:
+    """Build an enclave+GPU split deployment on ``node``."""
+    runtime = SconeRuntime(
+        RuntimeConfig(
+            name=name or "slalom-tflite",
+            mode=SgxMode.HW,
+            binary_size=engine.binary_size,
+            heap_size=32 * 1024 * 1024,
+            fs_shield_enabled=False,
+        ),
+        node.vfs,
+        node.cost_model,
+        node.clock,
+        cpu=node.cpu,
+        rng=node.rng.child("slalom"),
+    )
+    interpreter = Interpreter(model, runtime=runtime, threads=threads)
+    interpreter.allocate_tensors()
+    # Attach the GPU to the interpreter's engine.
+    interpreter.engine.gpu_profile = gpu
+    return SlalomRunner(
+        runtime=runtime, interpreter=interpreter, node=node, gpu=gpu
+    )

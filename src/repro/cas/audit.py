@@ -1,0 +1,133 @@
+"""The freshness audit service: distributed rollback protection.
+
+The file-system shield detects *tampering* by itself (AEAD), but an
+attacker who snapshots an encrypted file and later restores it replays
+perfectly valid ciphertext.  The paper's answer (§3.3.2) is an auditing
+service inside CAS that tracks every protected file's latest committed
+version; enclaves verify against it on read.
+
+The log is a hash chain: every commit links to the previous record's
+digest, so even an attacker who somehow rewrote an entry would break
+every subsequent link — tests assert this tamper evidence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto import encoding
+from repro.errors import FreshnessError
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One committed file version in the hash-chained log."""
+
+    sequence: int
+    owner: str
+    path: str
+    version: int
+    digest: bytes
+    previous: bytes  # digest of the previous record
+
+    def record_digest(self) -> bytes:
+        return hashlib.sha256(
+            encoding.encode(
+                {
+                    "sequence": self.sequence,
+                    "owner": self.owner,
+                    "path": self.path,
+                    "version": self.version,
+                    "digest": self.digest,
+                    "previous": self.previous,
+                }
+            )
+        ).digest()
+
+
+class FreshnessAuditService:
+    """Tracks latest committed versions; append-only hash-chained log."""
+
+    def __init__(self) -> None:
+        self._log: List[AuditRecord] = []
+        self._latest: Dict[Tuple[str, str], AuditRecord] = {}
+        self._head = b"\x00" * 32
+
+    # ------------------------------------------------------------------
+
+    def commit(self, owner: str, path: str, version: int, digest: bytes) -> AuditRecord:
+        """Record a new file version; versions must be strictly monotonic."""
+        key = (owner, path)
+        current = self._latest.get(key)
+        if current is not None and version <= current.version:
+            raise FreshnessError(
+                f"non-monotonic commit for {owner}:{path}: version {version} "
+                f"after {current.version}"
+            )
+        record = AuditRecord(
+            sequence=len(self._log),
+            owner=owner,
+            path=path,
+            version=version,
+            digest=digest,
+            previous=self._head,
+        )
+        self._log.append(record)
+        self._latest[key] = record
+        self._head = record.record_digest()
+        return record
+
+    def verify(self, owner: str, path: str, version: int, digest: bytes) -> None:
+        """Check that (version, digest) is the latest committed state."""
+        record = self._latest.get((owner, path))
+        if record is None:
+            raise FreshnessError(f"no committed state for {owner}:{path}")
+        if version != record.version or digest != record.digest:
+            raise FreshnessError(
+                f"stale state for {owner}:{path}: presented version {version}, "
+                f"latest committed {record.version} (rollback attack?)"
+            )
+
+    def latest(self, owner: str, path: str) -> Optional[AuditRecord]:
+        return self._latest.get((owner, path))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def log(self) -> List[AuditRecord]:
+        return list(self._log)
+
+    def verify_chain(self) -> None:
+        """Walk the whole log checking every hash link."""
+        head = b"\x00" * 32
+        for index, record in enumerate(self._log):
+            if record.previous != head:
+                raise FreshnessError(
+                    f"audit log chain broken at sequence {index}"
+                )
+            if record.sequence != index:
+                raise FreshnessError(
+                    f"audit log sequence gap at {index} (found {record.sequence})"
+                )
+            head = record.record_digest()
+
+
+class ScopedFreshnessTracker:
+    """Adapter binding one owner to the audit service.
+
+    Implements the file-system shield's ``FreshnessTracker`` protocol, so
+    a shield constructed with this object gets CAS-backed, restart-proof
+    rollback protection.
+    """
+
+    def __init__(self, service: FreshnessAuditService, owner: str) -> None:
+        self._service = service
+        self._owner = owner
+
+    def commit(self, path: str, version: int, digest: bytes) -> None:
+        self._service.commit(self._owner, path, version, digest)
+
+    def verify(self, path: str, version: int, digest: bytes) -> None:
+        self._service.verify(self._owner, path, version, digest)

@@ -1,0 +1,162 @@
+"""Client side of CAS provisioning — direct and over the network.
+
+The joining enclave's half of the protocol described in
+:mod:`repro.cas.service`: generate the quote-bound X25519 key, attest,
+send the quote, unseal the bundle.  ``CasClient`` talks to a co-located
+service object (CAS on the same node / in-process tests);
+``RemoteCasClient`` goes through the simulated network, charging LAN
+latency — the realistic Fig. 4 configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro._sim.trace import EventTrace
+from repro.cas.keys import ProvisionedIdentity
+from repro.cas.service import CasService, ProvisionBundle, derive_provision_key
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cluster.rpc import RpcClient, RpcServer
+from repro.crypto import encoding
+from repro.crypto.x25519 import X25519PrivateKey, X25519PublicKey
+from repro.enclave.attestation import Quote
+from repro.errors import AttestationError
+from repro.runtime.scone import SconeRuntime
+
+
+def _request_bundle(
+    runtime: SconeRuntime,
+    session: str,
+    send_quote,
+    trace: Optional[EventTrace] = None,
+) -> ProvisionedIdentity:
+    """Common flow: keygen -> quote -> send -> unseal."""
+    exchange_key = X25519PrivateKey.generate(
+        runtime.rng.child("cas-exchange").random_bytes(32)
+    )
+    public = exchange_key.public_key().public_bytes()
+
+    if trace is not None:
+        with trace.span("quote.generation"):
+            quote = runtime.attest(report_data=public)
+    else:
+        quote = runtime.attest(report_data=public)
+
+    bundle = send_quote(session, quote)
+
+    shared = exchange_key.exchange(X25519PublicKey(bundle.ephemeral_public))
+    transcript = quote.report.measurement + public
+    opener = derive_provision_key(shared, transcript)
+    identity = ProvisionedIdentity.from_bytes(
+        opener.open(bundle.sealed_identity)
+    )
+    if identity.session != session:
+        raise AttestationError(
+            f"CAS provisioned session {identity.session!r}, requested {session!r}"
+        )
+    return identity
+
+
+class CasClient:
+    """Provisioning against a co-located :class:`CasService`."""
+
+    def __init__(self, service: CasService, trace: Optional[EventTrace] = None) -> None:
+        self._service = service
+        self._trace = trace
+
+    def provision(self, runtime: SconeRuntime, session: str) -> ProvisionedIdentity:
+        return _request_bundle(
+            runtime, session, self._service.provision, trace=self._trace
+        )
+
+
+class RemoteCasClient:
+    """Provisioning over the simulated LAN (charges network latency)."""
+
+    def __init__(
+        self,
+        network: Network,
+        node: Node,
+        cas_address: str,
+        trace: Optional[EventTrace] = None,
+    ) -> None:
+        self._network = network
+        self._node = node
+        self._cas_address = cas_address
+        self._trace = trace
+
+    def provision(self, runtime: SconeRuntime, session: str) -> ProvisionedIdentity:
+        client = RpcClient(
+            self._network, f"cas-client@{self._node.node_id}", self._node
+        )
+
+        def send(sess: str, quote: Quote) -> ProvisionBundle:
+            payload = encoding.encode({"session": sess, "quote": quote.to_bytes()})
+            if self._trace is not None:
+                with self._trace.span("key.transfer"):
+                    raw = client.call(self._cas_address, "provision", payload)
+            else:
+                raw = client.call(self._cas_address, "provision", payload)
+            return ProvisionBundle.from_bytes(raw)
+
+        return _request_bundle(runtime, session, send, trace=self._trace)
+
+
+def serve_cas(network: Network, service: CasService, address: str = "cas") -> RpcServer:
+    """Expose a CAS service on the network (provision + audit methods)."""
+    server = RpcServer(network, address, service.node)
+
+    def handle_provision(payload: bytes, peer) -> bytes:
+        body = encoding.decode(payload)
+        quote = Quote.from_bytes(body["quote"])
+        return service.provision(body["session"], quote).to_bytes()
+
+    def handle_audit_commit(payload: bytes, peer) -> bytes:
+        body = encoding.decode(payload)
+        service.audit.commit(
+            body["owner"], body["path"], body["version"], body["digest"]
+        )
+        return b"ok"
+
+    def handle_audit_verify(payload: bytes, peer) -> bytes:
+        body = encoding.decode(payload)
+        service.audit.verify(
+            body["owner"], body["path"], body["version"], body["digest"]
+        )
+        return b"ok"
+
+    server.register("provision", handle_provision)
+    server.register("audit_commit", handle_audit_commit)
+    server.register("audit_verify", handle_audit_verify)
+    server.start()
+    return server
+
+
+class RemoteFreshnessTracker:
+    """FreshnessTracker backed by CAS's audit service over the network."""
+
+    def __init__(
+        self, network: Network, node: Node, owner: str, cas_address: str = "cas"
+    ) -> None:
+        self._client = RpcClient(network, f"audit-{owner}@{node.node_id}", node)
+        self._owner = owner
+        self._cas_address = cas_address
+
+    def commit(self, path: str, version: int, digest: bytes) -> None:
+        self._client.call(
+            self._cas_address,
+            "audit_commit",
+            encoding.encode(
+                {"owner": self._owner, "path": path, "version": version, "digest": digest}
+            ),
+        )
+
+    def verify(self, path: str, version: int, digest: bytes) -> None:
+        self._client.call(
+            self._cas_address,
+            "audit_verify",
+            encoding.encode(
+                {"owner": self._owner, "path": path, "version": version, "digest": digest}
+            ),
+        )

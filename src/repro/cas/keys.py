@@ -1,0 +1,92 @@
+"""Key management: session keys and in-enclave TLS identity generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro._sim.rng import DeterministicRng
+from repro.crypto import encoding
+from repro.crypto.certs import Certificate, CertificateAuthority
+from repro.crypto.ed25519 import Ed25519PrivateKey
+from repro.crypto.tls import TlsIdentity
+from repro.crypto.x25519 import X25519PrivateKey
+from repro.errors import IntegrityError
+
+
+@dataclass
+class ProvisionedIdentity:
+    """Everything CAS hands an attested enclave to join a session."""
+
+    session: str
+    fs_key: bytes
+    tls_signing_key: bytes
+    tls_certificate: bytes
+    trusted_root: bytes
+    secrets: Dict[str, bytes] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        return encoding.encode(
+            {
+                "session": self.session,
+                "fs_key": self.fs_key,
+                "tls_signing_key": self.tls_signing_key,
+                "tls_certificate": self.tls_certificate,
+                "trusted_root": self.trusted_root,
+                "secrets": dict(self.secrets),
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProvisionedIdentity":
+        payload = encoding.decode(data)
+        try:
+            return cls(
+                session=payload["session"],
+                fs_key=payload["fs_key"],
+                tls_signing_key=payload["tls_signing_key"],
+                tls_certificate=payload["tls_certificate"],
+                trusted_root=payload["trusted_root"],
+                secrets=dict(payload["secrets"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise IntegrityError("malformed provisioned identity") from exc
+
+    def tls_identity(self) -> TlsIdentity:
+        """Materialize the TLS identity (key + certificate)."""
+        return TlsIdentity(
+            signing_key=Ed25519PrivateKey(self.tls_signing_key),
+            certificate=Certificate.from_bytes(self.tls_certificate),
+        )
+
+
+class KeyManager:
+    """Generates keys and certificates inside the CAS enclave.
+
+    TLS keys are generated here and shipped sealed to attested enclaves,
+    so no human ever handles them (§7.3).
+    """
+
+    def __init__(self, rng: DeterministicRng, ca_name: str = "cas-root") -> None:
+        self._rng = rng
+        self.ca = CertificateAuthority(
+            ca_name, Ed25519PrivateKey.generate(rng.random_bytes(32))
+        )
+
+    def new_symmetric_key(self) -> bytes:
+        return self._rng.random_bytes(32)
+
+    def new_tls_identity(self, subject: str, now: float) -> "tuple[bytes, bytes]":
+        """Returns (signing key bytes, serialized certificate)."""
+        signing_key = Ed25519PrivateKey.generate(self._rng.random_bytes(32))
+        exchange_key = X25519PrivateKey.generate(self._rng.random_bytes(32))
+        certificate = self.ca.issue(
+            subject=subject,
+            ed25519_public=signing_key.public_key().public_bytes(),
+            x25519_public=exchange_key.public_key().public_bytes(),
+            now=now,
+        )
+        return signing_key.private_bytes(), certificate.to_bytes()
+
+    def trusted_root_bytes(self) -> bytes:
+        return self.ca.public_key().public_bytes()

@@ -1,0 +1,83 @@
+"""Attestation policies: who may receive which secrets.
+
+A :class:`Policy` is registered by the data owner (after *they* attest
+CAS) and names the enclave measurements allowed into a session, the
+secrets those enclaves receive, and whether debug (simulation-mode)
+quotes are acceptable.  The measurement is the whole trust statement —
+one flipped byte of code or configuration changes MRENCLAVE and the
+policy no longer matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.enclave.attestation import Report
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class Policy:
+    """One session policy."""
+
+    session: str
+    allowed_measurements: List[bytes]
+    secret_names: List[str] = field(default_factory=list)
+    accept_debug: bool = False
+    max_members: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.allowed_measurements:
+            raise PolicyError(
+                f"policy {self.session!r} allows no measurements"
+            )
+
+
+class PolicyEngine:
+    """Registry + evaluation of session policies."""
+
+    def __init__(self) -> None:
+        self._policies: Dict[str, Policy] = {}
+        self._members: Dict[str, int] = {}
+
+    def register(self, policy: Policy) -> None:
+        if policy.session in self._policies:
+            raise PolicyError(f"session {policy.session!r} already registered")
+        self._policies[policy.session] = policy
+        self._members[policy.session] = 0
+
+    def get(self, session: str) -> Policy:
+        if session not in self._policies:
+            raise PolicyError(f"unknown session {session!r}")
+        return self._policies[session]
+
+    def sessions(self) -> List[str]:
+        return sorted(self._policies)
+
+    def evaluate(self, session: str, report: Report) -> Policy:
+        """Admit a verified report into a session, or raise PolicyError."""
+        policy = self.get(session)
+        if report.measurement not in policy.allowed_measurements:
+            raise PolicyError(
+                f"measurement {report.measurement.hex()[:16]}… is not "
+                f"allowed into session {session!r}"
+            )
+        if report.debug and not policy.accept_debug:
+            raise PolicyError(
+                f"session {session!r} requires hardware-mode enclaves "
+                f"(debug quote rejected)"
+            )
+        if (
+            policy.max_members is not None
+            and self._members[session] >= policy.max_members
+        ):
+            raise PolicyError(
+                f"session {session!r} is full "
+                f"({policy.max_members} members)"
+            )
+        self._members[session] += 1
+        return policy
+
+    def members(self, session: str) -> int:
+        return self._members.get(session, 0)

@@ -1,0 +1,109 @@
+"""The encrypted embedded secrets database (paper: SQLite-in-enclave).
+
+CAS stores keys, certificates, and policies in an embedded database that
+is itself encrypted and runs inside the CAS enclave (§4.3).  Persistence
+goes to untrusted storage, so the database defends itself:
+
+- the whole store is sealed with an AEAD key derived from the enclave's
+  sealing identity (confidentiality + integrity), and
+- the store's version is bound to a **hardware monotonic counter**, so
+  replaying an old (validly sealed) database snapshot — the rollback
+  attack on CAS itself — is detected at load time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.crypto import encoding
+from repro.errors import FreshnessError, IntegrityError, SecurityError
+
+SealFn = Callable[[bytes], bytes]
+UnsealFn = Callable[[bytes], bytes]
+
+
+class HardwareCounter:
+    """A monotonic counter the adversary cannot roll back.
+
+    Stands in for TPM NV counters / SGX monotonic counters: state lives
+    "in hardware", outside the VFS an attacker can rewrite.
+    """
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def increment(self) -> int:
+        self._value += 1
+        return self._value
+
+
+class SecretsDatabase:
+    """An in-enclave key-value store with sealed, rollback-proof persistence."""
+
+    def __init__(
+        self,
+        seal: SealFn,
+        unseal: UnsealFn,
+        counter: HardwareCounter,
+    ) -> None:
+        self._seal = seal
+        self._unseal = unseal
+        self._counter = counter
+        self._records: Dict[str, bytes] = {}
+        self._version = 0
+
+    # -- in-memory operations -------------------------------------------
+
+    def put(self, key: str, value: bytes) -> None:
+        self._records[key] = value
+
+    def get(self, key: str) -> bytes:
+        if key not in self._records:
+            raise KeyError(f"no secret stored under {key!r}")
+        return self._records[key]
+
+    def contains(self, key: str) -> bool:
+        return key in self._records
+
+    def delete(self, key: str) -> None:
+        if key not in self._records:
+            raise KeyError(f"no secret stored under {key!r}")
+        del self._records[key]
+
+    def keys(self, prefix: str = "") -> List[str]:
+        return sorted(k for k in self._records if k.startswith(prefix))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- persistence ------------------------------------------------------
+
+    def export_sealed(self) -> bytes:
+        """Seal the store for untrusted persistence; bumps the counter."""
+        self._version = self._counter.increment()
+        payload = encoding.encode(
+            {"version": self._version, "records": dict(self._records)}
+        )
+        return self._seal(payload)
+
+    def load_sealed(self, blob: bytes) -> int:
+        """Load a sealed snapshot; rejects tampering and rollback."""
+        try:
+            payload = encoding.decode(self._unseal(blob))
+        except (IntegrityError, SecurityError) as exc:
+            raise IntegrityError("secrets database failed unsealing") from exc
+        if not isinstance(payload, dict) or "version" not in payload:
+            raise IntegrityError("secrets database snapshot malformed")
+        version = payload["version"]
+        if version != self._counter.value:
+            raise FreshnessError(
+                f"secrets database rollback detected: snapshot version "
+                f"{version}, hardware counter {self._counter.value}"
+            )
+        self._records = dict(payload["records"])
+        self._version = version
+        return len(self._records)

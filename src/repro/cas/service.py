@@ -1,0 +1,206 @@
+"""The CAS service: attest, evaluate policy, provision — inside an enclave.
+
+Provisioning protocol (real cryptography end to end):
+
+1. The joining enclave generates an X25519 keypair and binds the public
+   key into its quote's report data (so possession of the private key is
+   tied to the attested code identity).
+2. CAS verifies the quote offline against the provisioning root
+   (<1 ms — the whole Fig. 4 point), evaluates the session policy, and
+   assembles the member's bundle: session fs-shield key, a TLS identity
+   generated in-enclave, the trust root, and the session's secrets.
+3. CAS performs ECDH against the quote-bound key with a fresh ephemeral
+   key and returns the bundle sealed under the derived AEAD key — only
+   the attested enclave can open it.
+
+CAS state (policies, session keys, secrets) lives in the encrypted
+embedded database, persisted sealed + rollback-protected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro._sim.trace import EventTrace
+from repro.cas.audit import FreshnessAuditService
+from repro.cas.keys import KeyManager, ProvisionedIdentity
+from repro.cas.policy import Policy, PolicyEngine
+from repro.cas.secrets_db import HardwareCounter, SecretsDatabase
+from repro.cluster.node import Node
+from repro.crypto import encoding
+from repro.crypto.aead import AeadKey
+from repro.crypto.kdf import hkdf
+from repro.crypto.x25519 import X25519PrivateKey, X25519PublicKey
+from repro.enclave.attestation import AttestationVerifier, Quote
+from repro.enclave.sgx import SgxMode
+from repro.errors import AttestationError, PolicyError
+from repro.runtime.scone import RuntimeConfig, SconeRuntime
+
+
+@dataclass(frozen=True)
+class ProvisionBundle:
+    """The sealed response to a provisioning request."""
+
+    ephemeral_public: bytes
+    sealed_identity: bytes
+
+    def to_bytes(self) -> bytes:
+        return encoding.encode(
+            {
+                "ephemeral_public": self.ephemeral_public,
+                "sealed_identity": self.sealed_identity,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProvisionBundle":
+        payload = encoding.decode(data)
+        return cls(
+            ephemeral_public=payload["ephemeral_public"],
+            sealed_identity=payload["sealed_identity"],
+        )
+
+
+def derive_provision_key(shared_secret: bytes, transcript: bytes) -> AeadKey:
+    """HKDF the ECDH output into the bundle-sealing key."""
+    key = hkdf(
+        salt=b"securetf-cas-provision",
+        ikm=shared_secret,
+        info=transcript,
+        length=32,
+    )
+    return AeadKey("chacha20-poly1305", key)
+
+
+class CasService:
+    """A CAS instance running in its own enclave on one node."""
+
+    def __init__(
+        self,
+        node: Node,
+        provisioning_root,
+        mode: SgxMode = SgxMode.HW,
+        trace: Optional[EventTrace] = None,
+    ) -> None:
+        self.node = node
+        self._trace = trace
+        rng = node.rng.child("cas")
+        # CAS has zero behaviour-controlling configuration (§4.3): the
+        # enclave image is just the CAS binary.
+        self._runtime = SconeRuntime(
+            RuntimeConfig(
+                name="cas",
+                mode=mode,
+                binary_size=6 * 1024 * 1024,  # slim Rust service binary
+                heap_size=64 * 1024 * 1024,
+                fs_shield_enabled=False,
+            ),
+            node.vfs,
+            node.cost_model,
+            node.clock,
+            cpu=node.cpu,
+            rng=rng,
+        )
+        enclave = self._runtime.enclave
+        assert enclave is not None
+        self._enclave = enclave
+        self._counter = HardwareCounter()
+        self.db = SecretsDatabase(
+            seal=enclave.seal, unseal=enclave.unseal, counter=self._counter
+        )
+        self.policies = PolicyEngine()
+        self.audit = FreshnessAuditService()
+        self.keys = KeyManager(rng.child("keys"))
+        self._verifier = AttestationVerifier(provisioning_root)
+        self._rng = rng.child("provision")
+        self._member_counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def attest(self, report_data: bytes = b"") -> Quote:
+        """A quote over the CAS enclave itself (users verify CAS first)."""
+        return self._enclave.get_quote(report_data)
+
+    @property
+    def measurement(self) -> bytes:
+        return self._enclave.measurement
+
+    def trusted_root_bytes(self) -> bytes:
+        return self.keys.trusted_root_bytes()
+
+    # ------------------------------------------------------------------
+
+    def register_policy(
+        self, policy: Policy, secrets: Optional[Dict[str, bytes]] = None
+    ) -> None:
+        """Register a session policy and its secrets (data-owner action)."""
+        self.policies.register(policy)
+        for name, value in (secrets or {}).items():
+            self.db.put(f"secret/{policy.session}/{name}", value)
+        self.db.put(f"fs_key/{policy.session}", self.keys.new_symmetric_key())
+        self.db.export_sealed()  # persist the new state
+
+    def owner_fs_key(self, session: str) -> bytes:
+        """The session's fs-shield key, released to the *data owner*.
+
+        In production this flows over the owner's attested TLS session to
+        CAS (the owner trusts CAS after attesting it); the simulation
+        returns it directly.  Owners need it to encrypt models/code they
+        upload for the session's enclaves.
+        """
+        self.policies.get(session)  # raises PolicyError if unknown
+        return self.db.get(f"fs_key/{session}")
+
+    def provision(self, session: str, quote: Quote) -> ProvisionBundle:
+        """Verify, admit, and provision one enclave into a session."""
+        policy = self.policies.get(session)
+        with self._span("cas.verification"):
+            self.node.clock.advance(self.node.cost_model.quote_verification_cost)
+            report = self._verifier.verify(quote, accept_debug=policy.accept_debug)
+        self.policies.evaluate(session, report)
+
+        if len(report.report_data) != 32:
+            raise AttestationError(
+                "provisioning requires a 32-byte X25519 key in report data"
+            )
+
+        with self._span("cas.provisioning"):
+            self.node.clock.advance(self.node.cost_model.secret_provisioning_cost)
+            member_index = self._member_counters.get(session, 0)
+            self._member_counters[session] = member_index + 1
+            subject = f"{session}/{report.attributes.get('name', 'member')}-{member_index}"
+
+            signing_key, certificate = self.keys.new_tls_identity(
+                subject, now=self.node.clock.now
+            )
+            secrets = {
+                name.rsplit("/", 1)[1]: self.db.get(name)
+                for name in self.db.keys(f"secret/{session}/")
+            }
+            identity = ProvisionedIdentity(
+                session=session,
+                fs_key=self.db.get(f"fs_key/{session}"),
+                tls_signing_key=signing_key,
+                tls_certificate=certificate,
+                trusted_root=self.keys.trusted_root_bytes(),
+                secrets=secrets,
+            )
+
+            ephemeral = X25519PrivateKey.generate(self._rng.random_bytes(32))
+            shared = ephemeral.exchange(X25519PublicKey(report.report_data))
+            transcript = report.measurement + report.report_data
+            sealer = derive_provision_key(shared, transcript)
+            return ProvisionBundle(
+                ephemeral_public=ephemeral.public_key().public_bytes(),
+                sealed_identity=sealer.seal(identity.to_bytes()),
+            )
+
+    # ------------------------------------------------------------------
+
+    def _span(self, name: str):
+        if self._trace is not None:
+            return self._trace.span(name)
+        import contextlib
+
+        return contextlib.nullcontext()

@@ -1,0 +1,50 @@
+"""Simulated cluster: nodes, network, containers, orchestration, PS/workers.
+
+Models the paper's deployment substrate (§5.1): three SGX servers on a
+1 Gb/s switched LAN, Docker containers, elastic scaling, and the
+parameter-server architecture of distributed TensorFlow (§3.3, Fig. 2).
+
+Timing is a discrete-event style simulation with **one clock per node**:
+an RPC advances the callee to the request's arrival time, runs the
+handler on the callee's clock (so a busy parameter server naturally
+serializes its callers), and advances the caller to the response's
+arrival.  Barriers take the max across clocks — which is exactly how
+synchronous data-parallel training behaves on real clusters.
+
+The network carries opaque bytes and exposes a Dolev-Yao adversary hook
+(drop/tamper/replay); every protected channel in the test suite must
+detect its interference.
+"""
+
+from repro.cluster.network import Network, NetworkStats
+from repro.cluster.node import Node, make_cluster
+from repro.cluster.container import Container, ContainerState
+from repro.cluster.rpc import RpcClient, RpcServer, SecureRpcClient, SecureRpcServer
+from repro.cluster.orchestrator import Orchestrator, ContainerSpec
+from repro.cluster.parameter_server import (
+    AsyncTrainer,
+    ParameterServer,
+    ShardedParameterService,
+    SyncTrainer,
+)
+from repro.cluster.worker import TrainingWorker
+
+__all__ = [
+    "Network",
+    "NetworkStats",
+    "Node",
+    "make_cluster",
+    "Container",
+    "ContainerState",
+    "RpcClient",
+    "RpcServer",
+    "SecureRpcClient",
+    "SecureRpcServer",
+    "Orchestrator",
+    "ContainerSpec",
+    "ParameterServer",
+    "ShardedParameterService",
+    "SyncTrainer",
+    "AsyncTrainer",
+    "TrainingWorker",
+]

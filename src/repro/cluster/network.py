@@ -1,0 +1,135 @@
+"""The simulated LAN: latency, bandwidth, and a Dolev-Yao adversary.
+
+Endpoints are named addresses backed by synchronous request handlers.
+``Network.call`` implements RPC timing across per-node clocks:
+
+    arrival   = max(caller.now + rtt/2 + req_size/bw, callee.now)
+    callee.advance_to(arrival); response = handler(request)
+    caller.advance_to(callee.now + rtt/2 + resp_size/bw)
+
+so a saturated callee delays its callers, and parallel callers of
+different nodes overlap — no threads required.
+
+The adversary hook sees (and may mutate, drop, or replay) every payload:
+the paper's threat model (§2.3) is an attacker who controls the network,
+and the test suite uses this hook to mount those attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+from repro._sim.clock import SimClock
+from repro.enclave.cost_model import CostModel
+from repro.errors import RpcError
+
+#: handler(request_bytes) -> response_bytes
+Handler = Callable[[bytes], bytes]
+
+#: adversary(src, dst, payload) -> payload or None (None = drop)
+Adversary = Callable[[str, str, bytes], Optional[bytes]]
+
+
+@dataclass
+class NetworkStats:
+    messages: int = 0
+    bytes_transferred: int = 0
+    dropped: int = 0
+    tampered_detected: int = 0
+
+
+@dataclass
+class _Endpoint:
+    address: str
+    clock: SimClock
+    handler: Handler
+
+
+class Network:
+    """A switched LAN connecting named endpoints."""
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self._model = cost_model
+        self._endpoints: Dict[str, _Endpoint] = {}
+        self._partitioned: Set[str] = set()
+        self.adversary: Optional[Adversary] = None
+        self.stats = NetworkStats()
+
+    def register(self, address: str, clock: SimClock, handler: Handler) -> None:
+        """Bind ``handler`` (running on ``clock``) to ``address``."""
+        if address in self._endpoints:
+            raise RpcError(f"address {address!r} is already registered")
+        self._endpoints[address] = _Endpoint(address, clock, handler)
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+
+    def is_registered(self, address: str) -> bool:
+        return address in self._endpoints
+
+    # -- fault injection -------------------------------------------------
+
+    def partition(self, address: str) -> None:
+        """Make an endpoint unreachable (node failure / network split)."""
+        self._partitioned.add(address)
+
+    def heal(self, address: str) -> None:
+        self._partitioned.discard(address)
+
+    # -- transfer --------------------------------------------------------
+
+    def _transfer_time(self, n_bytes: int) -> float:
+        return self._model.lan_rtt / 2 + n_bytes / self._model.lan_bandwidth
+
+    def call(
+        self,
+        src: str,
+        src_clock: SimClock,
+        dst: str,
+        request: bytes,
+        declared_request: Optional[int] = None,
+        declared_response: Optional[int] = None,
+    ) -> bytes:
+        """Synchronous RPC from ``src`` to ``dst``; returns the response."""
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None or dst in self._partitioned or src in self._partitioned:
+            raise RpcError(f"endpoint {dst!r} is unreachable from {src!r}")
+
+        request_size = declared_request if declared_request is not None else len(request)
+        self.stats.messages += 1
+        self.stats.bytes_transferred += request_size
+
+        if self.adversary is not None:
+            mutated = self.adversary(src, dst, request)
+            if mutated is None:
+                self.stats.dropped += 1
+                raise RpcError(f"request from {src!r} to {dst!r} was lost")
+            request = mutated
+
+        arrival = src_clock.now + self._transfer_time(request_size)
+        endpoint.clock.advance_to(arrival)
+        response = endpoint.handler(request)
+
+        response_size = (
+            declared_response if declared_response is not None else len(response)
+        )
+        self.stats.messages += 1
+        self.stats.bytes_transferred += response_size
+
+        if self.adversary is not None:
+            mutated = self.adversary(dst, src, response)
+            if mutated is None:
+                self.stats.dropped += 1
+                raise RpcError(f"response from {dst!r} to {src!r} was lost")
+            response = mutated
+
+        src_clock.advance_to(endpoint.clock.now + self._transfer_time(response_size))
+        return response
+
+    def barrier(self, clocks) -> float:
+        """Advance all ``clocks`` to the max (synchronous round barrier)."""
+        latest = max(clock.now for clock in clocks)
+        for clock in clocks:
+            clock.advance_to(latest)
+        return latest

@@ -1,0 +1,67 @@
+"""A physical node: CPU (with SGX + EPC), its own clock, OS storage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro._sim.clock import SimClock
+from repro._sim.rng import DeterministicRng
+from repro.enclave.attestation import ProvisioningAuthority
+from repro.enclave.cost_model import CostModel
+from repro.enclave.sgx import SgxCpu
+from repro.runtime.vfs import VirtualFileSystem
+
+
+@dataclass
+class Node:
+    """One server of the simulated cluster (paper: Xeon E3-1280 v6)."""
+
+    node_id: str
+    cpu: SgxCpu
+    clock: SimClock
+    vfs: VirtualFileSystem
+    cost_model: CostModel
+    rng: DeterministicRng
+
+    @property
+    def cores(self) -> int:
+        return self.cost_model.cores_per_node
+
+    def __repr__(self) -> str:
+        return f"Node({self.node_id!r}, t={self.clock.now:.3f}s)"
+
+
+def make_cluster(
+    n_nodes: int,
+    cost_model: CostModel,
+    provisioning: ProvisioningAuthority,
+    seed: int = 0,
+    epc_policy: str = "random",
+) -> List[Node]:
+    """Build ``n_nodes`` homogeneous nodes, each with its own clock/EPC."""
+    root = DeterministicRng(seed, label="cluster")
+    nodes = []
+    for index in range(n_nodes):
+        node_id = f"node-{index}"
+        clock = SimClock()
+        rng = root.child(node_id)
+        cpu = SgxCpu(
+            f"cpu-{index}",
+            cost_model,
+            clock,
+            provisioning,
+            rng.child("cpu"),
+            epc_policy=epc_policy,
+        )
+        nodes.append(
+            Node(
+                node_id=node_id,
+                cpu=cpu,
+                clock=clock,
+                vfs=VirtualFileSystem(),
+                cost_model=cost_model,
+                rng=rng,
+            )
+        )
+    return nodes

@@ -1,0 +1,112 @@
+"""Elastic, fault-tolerant container orchestration (paper challenge ❹).
+
+Public clouds spawn and kill service containers as load changes; every
+new secureTF container must be attested and provisioned before it may
+join.  The orchestrator handles the mechanical part — placement,
+lifecycle, failure handling — and exposes an ``on_start`` hook where the
+secureTF platform layer attaches attestation + secret provisioning
+(:mod:`repro.core.platform`), keeping the layering of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.container import Container, ContainerState
+from repro.cluster.node import Node
+from repro.errors import ClusterError
+from repro.runtime.scone import RuntimeConfig
+
+#: Builds the runtime config for replica ``index`` placed on ``node``.
+ConfigFactory = Callable[[Node, int], RuntimeConfig]
+
+#: Called after a container starts (attestation/provisioning hook).
+StartHook = Callable[[Container], None]
+
+
+@dataclass
+class ContainerSpec:
+    """A scalable service: a name prefix plus a per-replica config."""
+
+    name: str
+    config_factory: ConfigFactory
+
+
+class Orchestrator:
+    """Places containers on nodes round-robin; supports elastic scaling."""
+
+    def __init__(self, nodes: List[Node]) -> None:
+        if not nodes:
+            raise ClusterError("orchestrator needs at least one node")
+        self._nodes = list(nodes)
+        self._next_placement = 0
+        self._replicas: Dict[str, List[Container]] = {}
+        self.on_start: List[StartHook] = []
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes)
+
+    def replicas(self, spec_name: str) -> List[Container]:
+        """Running replicas of a service."""
+        return [
+            c for c in self._replicas.get(spec_name, []) if c.running
+        ]
+
+    def all_containers(self) -> List[Container]:
+        return [c for group in self._replicas.values() for c in group]
+
+    # ------------------------------------------------------------------
+
+    def _place(self, node: Optional[Node]) -> Node:
+        if node is not None:
+            return node
+        chosen = self._nodes[self._next_placement % len(self._nodes)]
+        self._next_placement += 1
+        return chosen
+
+    def launch(self, spec: ContainerSpec, node: Optional[Node] = None) -> Container:
+        """Start one replica (attestation hooks run before it is visible)."""
+        group = self._replicas.setdefault(spec.name, [])
+        index = len(group)
+        target = self._place(node)
+        container = Container(
+            f"{spec.name}-{index}", target, spec.config_factory(target, index)
+        )
+        container.start()
+        for hook in self.on_start:
+            hook(container)
+        group.append(container)
+        return container
+
+    def scale_to(self, spec: ContainerSpec, replicas: int) -> List[Container]:
+        """Elastic scaling: launch or stop replicas to reach ``replicas``."""
+        if replicas < 0:
+            raise ClusterError(f"cannot scale to {replicas} replicas")
+        current = self.replicas(spec.name)
+        while len(current) < replicas:
+            self.launch(spec)
+            current = self.replicas(spec.name)
+        while len(current) > replicas:
+            current[-1].stop()
+            current = self.replicas(spec.name)
+        return current
+
+    def fail_container(self, container: Container) -> None:
+        """Inject a crash."""
+        container.fail()
+
+    def recover(self, spec: ContainerSpec) -> List[Container]:
+        """Replace every failed replica with a fresh attested container."""
+        replaced = []
+        for container in list(self._replicas.get(spec.name, [])):
+            if container.state is ContainerState.FAILED:
+                self._replicas[spec.name].remove(container)
+                replaced.append(self.launch(spec, node=container.node))
+        return replaced
+
+    def stop_all(self) -> None:
+        for container in self.all_containers():
+            if container.running:
+                container.stop()

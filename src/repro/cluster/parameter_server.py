@@ -1,0 +1,400 @@
+"""Parameter server + synchronous data-parallel training (Fig. 2, §5.4).
+
+The distributed TensorFlow architecture the paper preserves: parameter
+servers hold the model, workers pull weights, compute gradients on their
+data shard, and push updates.  Both endpoints can run behind the network
+shield (secure mode) or in cleartext (the "without network shield" and
+native baselines of Fig. 8).
+
+Synchronous rounds with per-node clocks: each worker's pull→compute→push
+advances its own clock, the PS clock serializes the applies, and a
+barrier ends the round — so adding workers shortens the round wall-clock
+exactly as real synchronous data-parallelism does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cluster.rpc import (
+    RpcClient,
+    RpcServer,
+    SecureConnection,
+    SecureRpcClient,
+    SecureRpcServer,
+)
+from repro.cluster.worker import TrainingWorker
+from repro.crypto import encoding
+from repro.errors import ClusterError, PolicyError
+from repro.runtime.net_shield import NetworkShield
+from repro.tensor.arrays import decode_array_dict, encode_array_dict
+
+
+class ParameterServer:
+    """Holds master weights; applies pushed gradients with SGD."""
+
+    def __init__(
+        self,
+        node: Node,
+        address: str,
+        network: Network,
+        learning_rate: float,
+        shield: Optional[NetworkShield] = None,
+        allowed_peers: Optional[List[str]] = None,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ClusterError(f"learning rate must be positive: {learning_rate}")
+        self.node = node
+        self.address = address
+        self.learning_rate = learning_rate
+        self._weights: Dict[str, np.ndarray] = {}
+        self._version = 0
+        self._allowed = allowed_peers
+        self.updates_applied = 0
+
+        if shield is not None:
+            self._server: RpcServer = SecureRpcServer(
+                network, address, node, shield, require_client_cert=True
+            )
+        else:
+            self._server = RpcServer(network, address, node)
+        self._server.register("pull", self._handle_pull)
+        self._server.register("push", self._handle_push)
+        self._server.start()
+
+    # ------------------------------------------------------------------
+
+    def initialize(self, weights: Dict[str, np.ndarray]) -> None:
+        self._weights = {k: np.array(v, dtype=np.float32) for k, v in weights.items()}
+        self._version = 1
+
+    @property
+    def weights(self) -> Dict[str, np.ndarray]:
+        return dict(self._weights)
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def _check_peer(self, peer: Optional[str]) -> None:
+        if self._allowed is not None:
+            if peer is None or peer not in self._allowed:
+                raise PolicyError(
+                    f"peer {peer!r} is not an authorized training worker"
+                )
+
+    def _handle_pull(self, payload: bytes, peer: Optional[str]) -> bytes:
+        self._check_peer(peer)
+        if not self._weights:
+            raise ClusterError("parameter server has no initialized weights")
+        return encoding.encode(
+            {"version": self._version, "weights": encode_array_dict(self._weights)}
+        )
+
+    def _handle_push(self, payload: bytes, peer: Optional[str]) -> bytes:
+        self._check_peer(peer)
+        body = encoding.decode(payload)
+        gradients = decode_array_dict(body["gradients"])
+        # Apply SGD on the PS node's clock (this is real PS work).
+        flops = 0
+        for name, grad in gradients.items():
+            if name not in self._weights:
+                raise ClusterError(f"gradient for unknown weight {name!r}")
+            if grad.shape != self._weights[name].shape:
+                raise ClusterError(
+                    f"gradient shape {grad.shape} mismatches weight "
+                    f"{self._weights[name].shape} for {name!r}"
+                )
+            self._weights[name] = (
+                self._weights[name] - self.learning_rate * grad
+            ).astype(np.float32)
+            flops += 2 * grad.size
+        declared_flops = body.get("declared_flops", flops)
+        self.node.clock.advance(
+            declared_flops / self.node.cost_model.flops_per_second_full_tf
+        )
+        self._version += 1
+        self.updates_applied += 1
+        return encoding.encode({"version": self._version})
+
+    def stop(self) -> None:
+        self._server.stop()
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a synchronous training run."""
+
+    steps: int
+    final_loss: float
+    wall_clock: float
+    per_worker_time: Dict[str, float]
+
+
+class SyncTrainer:
+    """Drives synchronous data-parallel rounds over PS + workers."""
+
+    def __init__(
+        self,
+        network: Network,
+        ps: ParameterServer,
+        workers: List[TrainingWorker],
+    ) -> None:
+        if not workers:
+            raise ClusterError("training needs at least one worker")
+        self._network = network
+        self._ps = ps
+        self._workers = workers
+        self._connections: Dict[str, Union[SecureConnection, RpcClient]] = {}
+
+    def _connection(self, worker: TrainingWorker):
+        """A (possibly shielded) session from a worker to the PS."""
+        if worker.name in self._connections:
+            return self._connections[worker.name]
+        if worker.shield is not None:
+            client = SecureRpcClient(
+                self._network, worker.address, worker.node, worker.shield
+            )
+            # The PS certificate subject is CAS-assigned
+            # ("session/name-index"); authenticity comes from the trusted
+            # root, so no exact-name pinning here.
+            conn: Union[SecureConnection, RpcClient] = client.connect(
+                self._ps.address, expected_server=None
+            )
+        else:
+            conn = _PlainConnection(
+                RpcClient(self._network, worker.address, worker.node),
+                self._ps.address,
+            )
+        self._connections[worker.name] = conn
+        return conn
+
+    def train(self, batches: List, steps: Optional[int] = None) -> TrainingResult:
+        """Run synchronous rounds until batches (or ``steps``) run out.
+
+        Batches are dealt round-robin to workers; each round processes
+        ``len(workers)`` batches in parallel.
+        """
+        total_steps = min(steps, len(batches)) if steps is not None else len(batches)
+        clocks = [w.node.clock for w in self._workers] + [self._ps.node.clock]
+        start = max(clock.now for clock in clocks)
+        losses: List[float] = []
+
+        declared = self._workers[0].declared_model_bytes
+
+        index = 0
+        while index < total_steps:
+            round_workers = []
+            for worker in self._workers:
+                if index >= total_steps:
+                    break
+                round_workers.append((worker, batches[index]))
+                index += 1
+
+            # Phase 1: every worker pulls the current weights.  Pulls are
+            # grouped before any compute so that the (cheap) PS handler
+            # work does not artificially serialize the round — on a real
+            # cluster the pulls overlap the same way.
+            for worker, _ in round_workers:
+                conn = self._connection(worker)
+                pulled = encoding.decode(
+                    conn.call("pull", b"", declared_response=declared)
+                )
+                worker.load_weights(decode_array_dict(pulled["weights"]))
+
+            # Phase 2: gradient computation, in parallel across nodes
+            # (each worker advances only its own node's clock).
+            round_grads = []
+            for worker, (images, labels) in round_workers:
+                gradients, loss = worker.compute_gradients(images, labels)
+                losses.append(loss)
+                round_grads.append((worker, gradients))
+
+            # Phase 3: pushes; the PS serializes the applies.
+            for worker, gradients in round_grads:
+                conn = self._connection(worker)
+                push_payload = encoding.encode(
+                    {
+                        "gradients": encode_array_dict(gradients),
+                        "declared_flops": 2 * declared // 4,
+                    }
+                )
+                conn.call("push", push_payload, declared_request=declared)
+            self._network.barrier(clocks)
+
+        wall = max(clock.now for clock in clocks) - start
+        return TrainingResult(
+            steps=total_steps,
+            final_loss=float(np.mean(losses[-len(self._workers):])) if losses else float("nan"),
+            wall_clock=wall,
+            per_worker_time={w.name: w.node.clock.now for w in self._workers},
+        )
+
+
+class ShardedParameterService:
+    """Weights partitioned across several parameter servers (Fig. 2).
+
+    Distributed TensorFlow shards variables across PS tasks so no single
+    server's memory or network link bottlenecks the model.  Variables
+    are assigned round-robin by sorted name; pulls/pushes fan out to the
+    owning shard.
+    """
+
+    def __init__(self, shards: List[ParameterServer]) -> None:
+        if not shards:
+            raise ClusterError("sharded service needs at least one PS")
+        self._shards = shards
+        self._assignment: Dict[str, ParameterServer] = {}
+
+    @property
+    def shards(self) -> List[ParameterServer]:
+        return list(self._shards)
+
+    def initialize(self, weights: Dict[str, np.ndarray]) -> None:
+        partitions: List[Dict[str, np.ndarray]] = [
+            {} for _ in self._shards
+        ]
+        for index, name in enumerate(sorted(weights)):
+            shard = self._shards[index % len(self._shards)]
+            self._assignment[name] = shard
+            partitions[index % len(self._shards)][name] = weights[name]
+        for shard, partition in zip(self._shards, partitions):
+            shard.initialize(partition)
+
+    def shard_of(self, name: str) -> ParameterServer:
+        if name not in self._assignment:
+            raise ClusterError(f"no shard owns weight {name!r}")
+        return self._assignment[name]
+
+    @property
+    def weights(self) -> Dict[str, np.ndarray]:
+        merged: Dict[str, np.ndarray] = {}
+        for shard in self._shards:
+            merged.update(shard.weights)
+        return merged
+
+    def partition_gradients(
+        self, gradients: Dict[str, np.ndarray]
+    ) -> Dict[str, Dict[str, np.ndarray]]:
+        """Group a gradient dict by owning shard address."""
+        grouped: Dict[str, Dict[str, np.ndarray]] = {}
+        for name, grad in gradients.items():
+            address = self.shard_of(name).address
+            grouped.setdefault(address, {})[name] = grad
+        return grouped
+
+    def stop(self) -> None:
+        for shard in self._shards:
+            shard.stop()
+
+
+class AsyncTrainer:
+    """Asynchronous (Hogwild-style) PS training: no round barrier.
+
+    Each worker loops pull → compute → push at its own pace; the PS
+    applies updates as they arrive, so fast workers are never blocked by
+    stragglers, at the cost of gradient staleness.  This is distributed
+    TensorFlow's between-graph asynchronous mode, included here to show
+    the stateful-computing substrate supports both disciplines.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        ps: ParameterServer,
+        workers: List[TrainingWorker],
+    ) -> None:
+        if not workers:
+            raise ClusterError("training needs at least one worker")
+        self._sync = SyncTrainer(network, ps, workers)
+        self._network = network
+        self._ps = ps
+        self._workers = workers
+
+    def train(self, batches: List, steps: Optional[int] = None) -> TrainingResult:
+        """Run until batches (or ``steps``) are exhausted, no barriers.
+
+        Implementation note: with one clock per node, events must be
+        processed in rough timestamp order or the (sequential) Python
+        loop serializes concurrent workers through the PS clock.  Each
+        cycle therefore issues all pulls, then all computes, then all
+        pushes — the same interleaving SyncTrainer uses — but *without*
+        the end-of-round barrier: a fast worker's clock runs ahead and it
+        simply trains on staler weights, which is async semantics.
+        """
+        total = min(steps, len(batches)) if steps is not None else len(batches)
+        declared = self._workers[0].declared_model_bytes
+        clocks = [w.node.clock for w in self._workers] + [self._ps.node.clock]
+        start = max(clock.now for clock in clocks)
+        losses: List[float] = []
+
+        index = 0
+        while index < total:
+            cycle = []
+            for worker in self._workers:
+                if index >= total:
+                    break
+                cycle.append((worker, batches[index]))
+                index += 1
+            for worker, _ in cycle:
+                conn = self._sync._connection(worker)
+                pulled = encoding.decode(
+                    conn.call("pull", b"", declared_response=declared)
+                )
+                worker.load_weights(decode_array_dict(pulled["weights"]))
+            grads = []
+            for worker, (images, labels) in cycle:
+                gradients, loss = worker.compute_gradients(images, labels)
+                losses.append(loss)
+                grads.append((worker, gradients))
+            for worker, gradients in grads:
+                conn = self._sync._connection(worker)
+                conn.call(
+                    "push",
+                    encoding.encode(
+                        {
+                            "gradients": encode_array_dict(gradients),
+                            "declared_flops": 2 * declared // 4,
+                        }
+                    ),
+                    declared_request=declared,
+                )
+            # No barrier: clocks drift apart exactly as async training's do.
+
+        wall = max(clock.now for clock in clocks) - start
+        return TrainingResult(
+            steps=total,
+            final_loss=float(np.mean(losses[-len(self._workers):]))
+            if losses
+            else float("nan"),
+            wall_clock=wall,
+            per_worker_time={w.name: w.node.clock.now for w in self._workers},
+        )
+
+
+class _PlainConnection:
+    """Adapter giving RpcClient the SecureConnection.call signature."""
+
+    def __init__(self, client: RpcClient, dst: str) -> None:
+        self._client = client
+        self._dst = dst
+
+    def call(
+        self,
+        method: str,
+        payload: bytes,
+        declared_request: Optional[int] = None,
+        declared_response: Optional[int] = None,
+    ) -> bytes:
+        return self._client.call(
+            self._dst,
+            method,
+            payload,
+            declared_request=declared_request,
+            declared_response=declared_response,
+        )

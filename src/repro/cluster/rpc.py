@@ -1,0 +1,296 @@
+"""RPC over the simulated network — plain and network-shield-protected.
+
+Plain RPC (:class:`RpcServer`/:class:`RpcClient`) is what *native*
+TensorFlow uses: canonical-encoded envelopes in cleartext, readable and
+forgeable by the Dolev-Yao adversary.  Secure RPC layers the network
+shield's TLS session over the same transport: a two-step handshake
+(carried as plain RPCs, as TLS handshakes are), then AEAD-protected
+records per call.  The paper's Fig. 8 contrast "with/without network
+shield" is exactly the choice between these two stacks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.crypto import encoding
+from repro.crypto.tls import RecordLayer
+from repro.errors import IntegrityError, ReproError, RpcError
+from repro.runtime.net_shield import (
+    NetworkShield,
+    ServerHandshake,
+    charge_record_crypto,
+)
+
+#: method handler: fn(payload_bytes, peer_subject) -> response_bytes
+MethodHandler = Callable[[bytes, Optional[str]], bytes]
+
+
+def _envelope(kind: str, **fields: object) -> bytes:
+    return encoding.encode({"kind": kind, **fields})
+
+
+def _open_envelope(data: bytes, expected: Optional[str] = None) -> dict:
+    try:
+        msg = encoding.decode(data)
+    except IntegrityError as exc:
+        raise RpcError("malformed RPC envelope") from exc
+    if not isinstance(msg, dict) or "kind" not in msg:
+        raise RpcError("RPC envelope missing kind")
+    if msg["kind"] == "error":
+        raise RpcError(f"remote error: {msg.get('message', 'unknown')}")
+    if expected is not None and msg["kind"] != expected:
+        raise RpcError(f"expected {expected!r} envelope, got {msg['kind']!r}")
+    return msg
+
+
+class RpcServer:
+    """Cleartext RPC endpoint."""
+
+    def __init__(self, network: Network, address: str, node: Node) -> None:
+        self._network = network
+        self.address = address
+        self._node = node
+        self._methods: Dict[str, MethodHandler] = {}
+        self._started = False
+
+    def register(self, method: str, handler: MethodHandler) -> None:
+        self._methods[method] = handler
+
+    def start(self) -> None:
+        if self._started:
+            raise RpcError(f"server {self.address!r} already started")
+        self._network.register(self.address, self._node.clock, self._handle)
+        self._started = True
+
+    def stop(self) -> None:
+        if self._started:
+            self._network.unregister(self.address)
+            self._started = False
+
+    def _dispatch(self, method: str, payload: bytes, peer: Optional[str]) -> bytes:
+        handler = self._methods.get(method)
+        if handler is None:
+            raise RpcError(f"unknown method {method!r} at {self.address!r}")
+        return handler(payload, peer)
+
+    def _handle(self, request: bytes) -> bytes:
+        try:
+            msg = _open_envelope(request, "call")
+            response = self._dispatch(msg["method"], msg["payload"], None)
+            return _envelope("reply", payload=response)
+        except (ReproError, KeyError) as exc:
+            return _envelope("error", message=f"{type(exc).__name__}: {exc}")
+
+
+class RpcClient:
+    """Cleartext RPC caller."""
+
+    def __init__(self, network: Network, address: str, node: Node) -> None:
+        self._network = network
+        self.address = address
+        self._node = node
+
+    def call(
+        self,
+        dst: str,
+        method: str,
+        payload: bytes,
+        declared_request: Optional[int] = None,
+        declared_response: Optional[int] = None,
+    ) -> bytes:
+        request = _envelope("call", method=method, payload=payload)
+        raw = self._network.call(
+            self.address,
+            self._node.clock,
+            dst,
+            request,
+            declared_request=declared_request,
+            declared_response=declared_response,
+        )
+        return _open_envelope(raw, "reply")["payload"]
+
+
+class SecureRpcServer(RpcServer):
+    """RPC endpoint behind the network shield (TLS sessions per client)."""
+
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        node: Node,
+        shield: NetworkShield,
+        require_client_cert: bool = True,
+    ) -> None:
+        super().__init__(network, address, node)
+        self._shield = shield
+        self._require_client_cert = require_client_cert
+        self._pending: Dict[int, ServerHandshake] = {}
+        self._sessions: Dict[int, Tuple[RecordLayer, Optional[str]]] = {}
+        self._conn_ids = itertools.count(1)
+
+    def _handle(self, request: bytes) -> bytes:
+        try:
+            msg = _open_envelope(request)
+            kind = msg["kind"]
+            if kind == "hs1":
+                handshake = self._shield.server_handshake(
+                    require_client_cert=self._require_client_cert,
+                    now=self._node.clock.now,
+                )
+                conn = next(self._conn_ids)
+                flight = handshake.respond(msg["hello"])
+                self._pending[conn] = handshake
+                return _envelope("hs1_reply", conn=conn, flight=flight)
+            if kind == "hs2":
+                conn = msg["conn"]
+                handshake = self._pending.pop(conn, None)
+                if handshake is None:
+                    raise RpcError(f"no pending handshake for connection {conn}")
+                handshake.complete(msg["client_flight"])
+                self._shield.charge_handshake()
+                self._sessions[conn] = (
+                    handshake.record_layer,
+                    handshake.peer_subject,
+                )
+                return _envelope("hs2_reply", conn=conn)
+            if kind == "secure_call":
+                conn = msg["conn"]
+                session = self._sessions.get(conn)
+                if session is None:
+                    raise RpcError(f"unknown secure connection {conn}")
+                records, peer = session
+                declared = msg.get("declared_request")
+                inner_raw = records.unprotect(msg["record"])
+                charge_record_crypto(
+                    self._node.cost_model,
+                    self._node.clock,
+                    self._shield.stats,
+                    declared if declared is not None else len(inner_raw),
+                )
+                inner = _open_envelope(inner_raw, "call")
+                response = self._dispatch(inner["method"], inner["payload"], peer)
+                reply = _envelope("reply", payload=response)
+                declared_resp = msg.get("declared_response")
+                charge_record_crypto(
+                    self._node.cost_model,
+                    self._node.clock,
+                    self._shield.stats,
+                    declared_resp if declared_resp is not None else len(reply),
+                )
+                return _envelope("secure_reply", record=records.protect(reply))
+            raise RpcError(f"unexpected envelope kind {kind!r}")
+        except (ReproError, KeyError) as exc:
+            return _envelope("error", message=f"{type(exc).__name__}: {exc}")
+
+
+class SecureConnection:
+    """One established TLS session from a client to a secure server."""
+
+    def __init__(
+        self,
+        client: "SecureRpcClient",
+        dst: str,
+        conn: int,
+        records: RecordLayer,
+        peer_subject: Optional[str],
+    ) -> None:
+        self._client = client
+        self._dst = dst
+        self._conn = conn
+        self._records = records
+        self.peer_subject = peer_subject
+
+    def call(
+        self,
+        method: str,
+        payload: bytes,
+        declared_request: Optional[int] = None,
+        declared_response: Optional[int] = None,
+    ) -> bytes:
+        client = self._client
+        inner = _envelope("call", method=method, payload=payload)
+        charge_record_crypto(
+            client._node.cost_model,
+            client._node.clock,
+            client._shield.stats,
+            declared_request if declared_request is not None else len(inner),
+        )
+        request = _envelope(
+            "secure_call",
+            conn=self._conn,
+            record=self._records.protect(inner),
+            declared_request=declared_request,
+            declared_response=declared_response,
+        )
+        raw = client._network.call(
+            client.address,
+            client._node.clock,
+            self._dst,
+            request,
+            declared_request=declared_request,
+            declared_response=declared_response,
+        )
+        msg = _open_envelope(raw, "secure_reply")
+        try:
+            reply_raw = self._records.unprotect(msg["record"])
+        except IntegrityError:
+            client._network.stats.tampered_detected += 1
+            raise
+        charge_record_crypto(
+            client._node.cost_model,
+            client._node.clock,
+            client._shield.stats,
+            declared_response if declared_response is not None else len(reply_raw),
+        )
+        return _open_envelope(reply_raw, "reply")["payload"]
+
+
+class SecureRpcClient(RpcClient):
+    """RPC caller that establishes network-shield TLS sessions."""
+
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        node: Node,
+        shield: NetworkShield,
+    ) -> None:
+        super().__init__(network, address, node)
+        self._shield = shield
+
+    def connect(
+        self,
+        dst: str,
+        expected_server: Optional[str] = None,
+        mutual: bool = True,
+    ) -> SecureConnection:
+        """Run the TLS handshake with ``dst`` and return the session."""
+        handshake = self._shield.client_handshake(
+            expected_server=expected_server,
+            mutual=mutual,
+            now=self._node.clock.now,
+        )
+        raw = self._network.call(
+            self.address, self._node.clock, dst, _envelope("hs1", hello=handshake.hello())
+        )
+        msg = _open_envelope(raw, "hs1_reply")
+        client_flight = handshake.finish(msg["flight"])
+        raw = self._network.call(
+            self.address,
+            self._node.clock,
+            dst,
+            _envelope("hs2", conn=msg["conn"], client_flight=client_flight),
+        )
+        _open_envelope(raw, "hs2_reply")
+        self._shield.charge_handshake()
+        return SecureConnection(
+            self,
+            dst,
+            msg["conn"],
+            handshake.record_layer,
+            handshake.peer_subject,
+        )

@@ -1,0 +1,45 @@
+"""secureTF: the paper's end-to-end system, assembled.
+
+This is the public API a user of the platform touches (Fig. 1/2):
+
+- :class:`~repro.core.platform.SecureTFPlatform` — deploy a cluster with
+  CAS, attest CAS, register session policies.
+- :class:`~repro.core.inference.InferenceService` — the secure
+  classification service of §4.2: encrypted model + code on disk,
+  attested enclave, TLS-only request path.
+- :class:`~repro.core.training.TrainingJob` — distributed secure
+  training (§3.3.4/§5.4): parameter server + workers in enclaves with
+  shielded channels.
+- :class:`~repro.core.federated.FederatedLearning` — the §6.2 medical
+  use case: hospitals train locally, the global aggregation runs in an
+  attested enclave.
+
+Everything below this layer (enclaves, shields, CAS, cluster, the
+TensorFlow stand-in) is importable independently; this package only
+composes it the way the paper deploys it.
+"""
+
+from repro.core.platform import SecureTFPlatform, PlatformConfig
+from repro.core.inference import InferenceService, deploy_encrypted_model
+from repro.core.training import TrainingJob, TrainingJobConfig
+from repro.core.federated import FederatedLearning, Hospital
+from repro.core.data_protection import (
+    deploy_encrypted_dataset,
+    load_encrypted_dataset,
+)
+from repro.core.monitoring import PlatformMetrics, collect_metrics
+
+__all__ = [
+    "SecureTFPlatform",
+    "PlatformConfig",
+    "InferenceService",
+    "deploy_encrypted_model",
+    "TrainingJob",
+    "TrainingJobConfig",
+    "FederatedLearning",
+    "Hospital",
+    "deploy_encrypted_dataset",
+    "load_encrypted_dataset",
+    "PlatformMetrics",
+    "collect_metrics",
+]

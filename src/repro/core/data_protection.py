@@ -1,0 +1,95 @@
+"""Encrypted dataset deployment: the training-input path of §4.1.
+
+"The user must also provide the inputs for training, such as a set of
+annotated images.  secureTF protects the input data and code by
+activating the file system shield."  These helpers implement that flow:
+the data owner uploads a dataset shard encrypted under the session key;
+a provisioned worker reads it back through its shield inside the
+enclave.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cas.audit import ScopedFreshnessTracker
+from repro.cluster.node import Node
+from repro.core.platform import SecureTFPlatform
+from repro.crypto import encoding
+from repro.data.loaders import Dataset
+from repro.enclave.sgx import SgxMode
+from repro.errors import IntegrityError
+from repro.runtime.fs_shield import FileSystemShield, PathRule, ShieldPolicy
+from repro.runtime.scone import SconeRuntime
+from repro.runtime.syscall import SyscallInterface
+from repro.tensor.arrays import decode_array, encode_array
+
+DATASET_PATH_PREFIX = "/secure/datasets/"
+
+
+def serialize_dataset(dataset: Dataset) -> bytes:
+    """Canonical serialization of a dataset shard."""
+    return encoding.encode(
+        {
+            "name": dataset.name,
+            "num_classes": dataset.num_classes,
+            "images": encode_array(dataset.images),
+            "labels": encode_array(dataset.labels),
+        }
+    )
+
+
+def deserialize_dataset(blob: bytes) -> Dataset:
+    payload = encoding.decode(blob)
+    try:
+        return Dataset(
+            images=decode_array(payload["images"]),
+            labels=decode_array(payload["labels"]),
+            num_classes=payload["num_classes"],
+            name=payload["name"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise IntegrityError("malformed dataset blob") from exc
+
+
+def deploy_encrypted_dataset(
+    platform: SecureTFPlatform,
+    session: str,
+    node: Node,
+    dataset: Dataset,
+    path: Optional[str] = None,
+) -> str:
+    """Owner-side upload of a training shard, encrypted + audited."""
+    path = path or f"{DATASET_PATH_PREFIX}{dataset.name}.shard"
+    owner_syscalls = SyscallInterface(
+        node.vfs, platform.cost_model, node.clock, mode=SgxMode.NATIVE
+    )
+    shield = FileSystemShield(
+        owner_syscalls,
+        platform.cas.owner_fs_key(session),
+        [PathRule(DATASET_PATH_PREFIX, ShieldPolicy.ENCRYPT)],
+        platform.cost_model,
+        node.clock,
+        freshness=ScopedFreshnessTracker(
+            platform.cas.audit, f"{session}@{node.node_id}"
+        ),
+    )
+    shield.write_file(path, serialize_dataset(dataset))
+    return path
+
+
+def load_encrypted_dataset(runtime: SconeRuntime, path: str) -> Dataset:
+    """Worker-side: decrypt + verify a shard inside the enclave.
+
+    The runtime's fs shield must already be armed (CAS-provisioned) and
+    the path covered by an ENCRYPT rule; otherwise the read fails — the
+    worker can never silently train on unauthenticated data.
+    """
+    return deserialize_dataset(runtime.read_protected(path))
+
+
+def dataset_rules() -> "list[PathRule]":
+    """The shield rule set protecting dataset shards."""
+    return [PathRule(DATASET_PATH_PREFIX, ShieldPolicy.ENCRYPT)]

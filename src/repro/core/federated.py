@@ -1,0 +1,264 @@
+"""Secure federated learning — the medical use case of §6.2 (Fig. 10).
+
+Hospitals train locally on their private data (their own machines, which
+they trust) and share only model parameters.  Because local models still
+leak (§6.2 cites model-inversion and GAN attacks), the *global
+aggregation* runs inside an attested secureTF enclave: hospitals verify
+the aggregator's quote before submitting, and all parameter exchange
+rides network-shield TLS.
+
+Aggregation is FedAvg: the global model is the example-count-weighted
+mean of the submitted local models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+import repro.tensor as tf
+from repro.cluster.container import Container
+from repro.cluster.node import Node
+from repro.cluster.rpc import SecureRpcClient, SecureRpcServer
+from repro.core.platform import SecureTFPlatform
+from repro.core.training import training_runtime_config
+from repro.crypto import encoding
+from repro.crypto.certs import Certificate
+from repro.crypto.ed25519 import Ed25519PrivateKey, Ed25519PublicKey
+from repro.crypto.tls import TlsIdentity
+from repro.data.loaders import Dataset
+from repro.enclave.attestation import AttestationVerifier
+from repro.enclave.sgx import SgxMode
+from repro.errors import AttestationError, ConfigurationError
+from repro.tensor.arrays import decode_array_dict, encode_array_dict
+from repro.tensor.variables import GLOBAL_VARIABLES
+
+
+class Hospital:
+    """A data owner doing local training on its own trusted hardware."""
+
+    def __init__(
+        self,
+        name: str,
+        node: Node,
+        dataset: Dataset,
+        model_name: str = "mnist_cnn",
+        learning_rate: float = 0.05,
+        batch_size: int = 50,
+        seed: int = 0,
+    ) -> None:
+        from repro.models import build_model
+
+        self.name = name
+        self.node = node
+        self.dataset = dataset
+        self.batch_size = batch_size
+        built = build_model(model_name, seed=seed)
+        self._built = built
+        with built.graph.as_default():
+            self._labels = tf.placeholder(
+                "float32", (None, dataset.num_classes), name=f"{name}/labels"
+            )
+            self._loss = tf.losses.softmax_cross_entropy(self._labels, built.logits)
+            self._train_op = tf.optimizers.GradientDescent(learning_rate).minimize(
+                self._loss
+            )
+        self._variables = [
+            v for v in built.graph.get_collection(GLOBAL_VARIABLES) if v.trainable
+        ]
+        self._session = tf.Session(graph=built.graph)
+        self.identity: Optional[TlsIdentity] = None
+
+    def weights(self) -> Dict[str, np.ndarray]:
+        return {v.name: v.value for v in self._variables}
+
+    def load_weights(self, weights: Dict[str, np.ndarray]) -> None:
+        for var in self._variables:
+            var.load(weights[var.name])
+
+    def local_train(self, steps: int, round_seed: int = 0) -> float:
+        """Run ``steps`` local SGD steps; returns the last batch loss."""
+        loss = float("nan")
+        batches = self.dataset.batches(self.batch_size, shuffle_seed=round_seed)
+        for _, (images, labels) in zip(range(steps), batches):
+            loss = self._session.run(
+                [self._loss, self._train_op],
+                {self._built.input: images, self._labels: labels},
+            )[0]
+        return float(loss)
+
+    def evaluate_accuracy(self, test: Dataset, n: int = 500) -> float:
+        images = test.images[:n]
+        labels = test.labels[:n]
+        logits = self._session.run(
+            self._built.logits, {self._built.input: images}
+        )
+        return float((np.argmax(logits, axis=1) == labels).mean())
+
+
+class FederatedLearning:
+    """The attested global-aggregation enclave plus its hospital clients."""
+
+    def __init__(
+        self,
+        platform: SecureTFPlatform,
+        session: str,
+        hospitals: List[Hospital],
+        aggregator_node: Optional[Node] = None,
+        mode: SgxMode = SgxMode.HW,
+    ) -> None:
+        if len(hospitals) < 2:
+            raise ConfigurationError("federated learning needs >= 2 parties")
+        self.platform = platform
+        self.session = session
+        self.hospitals = hospitals
+        self.mode = mode
+        self.node = aggregator_node or platform.nodes[0]
+        self._container: Optional[Container] = None
+        self._server: Optional[SecureRpcServer] = None
+        self._global: Dict[str, np.ndarray] = {}
+        self._pending: List = []
+        self.rounds_completed = 0
+        self.address = f"fl-aggregator-{session}"
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch + attest the aggregator; issue hospital identities."""
+        config = training_runtime_config(
+            f"fl-{self.session}", self.mode
+        )
+        self.platform.register_session(
+            self.session, [config], accept_debug=self.mode is not SgxMode.HW
+        )
+        self._container = Container(self.address, self.node, config)
+        runtime = self._container.start()
+        identity = self.platform.provision_runtime(runtime, self.node, self.session)
+        shield = runtime.make_net_shield(
+            identity.tls_identity(), [Ed25519PublicKey(identity.trusted_root)]
+        )
+        self._server = SecureRpcServer(
+            self.platform.network, self.address, self.node, shield,
+            require_client_cert=True,
+        )
+        self._server.register("pull_global", self._handle_pull)
+        self._server.register("submit", self._handle_submit)
+        self._server.start()
+        self._runtime = runtime
+
+        # Hospitals verify the aggregator's quote before trusting it.
+        verifier = AttestationVerifier(self.platform.provisioning.public_key())
+        quote = runtime.attest()
+        report = verifier.verify(quote, accept_debug=self.mode is not SgxMode.HW)
+        expected = runtime.measurement
+        if report.measurement != expected:
+            raise AttestationError("aggregator quote does not match its image")
+
+        # CAS issues each hospital a client TLS identity (data owners are
+        # authenticated parties of the session).
+        for hospital in self.hospitals:
+            key_bytes, cert_bytes = self.platform.cas.keys.new_tls_identity(
+                f"{self.session}/hospital/{hospital.name}",
+                now=hospital.node.clock.now,
+            )
+            hospital.identity = TlsIdentity(
+                signing_key=Ed25519PrivateKey(key_bytes),
+                certificate=Certificate.from_bytes(cert_bytes),
+            )
+
+        self._global = self.hospitals[0].weights()
+
+    # ------------------------------------------------------------------
+
+    def _handle_pull(self, payload: bytes, peer) -> bytes:
+        self._check_peer(peer)
+        return encode_array_dict(self._global)
+
+    def _handle_submit(self, payload: bytes, peer) -> bytes:
+        self._check_peer(peer)
+        body = encoding.decode(payload)
+        weights = decode_array_dict(body["weights"])
+        self._pending.append((weights, body["n_examples"]))
+        if len(self._pending) == len(self.hospitals):
+            self._aggregate()
+        return b"ok"
+
+    def _check_peer(self, peer) -> None:
+        if peer is None or not peer.startswith(f"{self.session}/hospital/"):
+            raise AttestationError(
+                f"peer {peer!r} is not an authenticated hospital of "
+                f"session {self.session!r}"
+            )
+
+    def _aggregate(self) -> None:
+        """FedAvg over the pending submissions (inside the enclave)."""
+        total = sum(n for _, n in self._pending)
+        merged: Dict[str, np.ndarray] = {}
+        for name in self._global:
+            merged[name] = sum(
+                weights[name] * (n / total) for weights, n in self._pending
+            ).astype(np.float32)
+        # Charge the aggregation compute on the enclave's clock.
+        flops = 3 * sum(a.size for a in merged.values()) * len(self._pending)
+        self.node.clock.advance(
+            flops / self.node.cost_model.flops_per_second_full_tf
+        )
+        self._global = merged
+        self._pending = []
+        self.rounds_completed += 1
+
+    # ------------------------------------------------------------------
+
+    def run_round(self, local_steps: int = 5, round_seed: int = 0) -> float:
+        """One federated round; returns the mean local loss."""
+        if self._server is None:
+            raise ConfigurationError("start() the federation first")
+        losses = []
+        for hospital in self.hospitals:
+            assert hospital.identity is not None
+            client = SecureRpcClient(
+                self.platform.network,
+                f"{hospital.name}@{hospital.node.node_id}-r{self.rounds_completed}-{round_seed}",
+                hospital.node,
+                shield=_hospital_shield(self.platform, hospital),
+            )
+            conn = client.connect(self.address, expected_server=None)
+            global_weights = decode_array_dict(conn.call("pull_global", b""))
+            hospital.load_weights(global_weights)
+            losses.append(hospital.local_train(local_steps, round_seed=round_seed))
+            conn.call(
+                "submit",
+                encoding.encode(
+                    {
+                        "weights": encode_array_dict(hospital.weights()),
+                        "n_examples": len(hospital.dataset),
+                    }
+                ),
+            )
+        self.platform.network.barrier(
+            [h.node.clock for h in self.hospitals] + [self.node.clock]
+        )
+        return float(np.mean(losses))
+
+    def global_weights(self) -> Dict[str, np.ndarray]:
+        return dict(self._global)
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.stop()
+        if self._container is not None and self._container.running:
+            self._container.stop()
+
+
+def _hospital_shield(platform: SecureTFPlatform, hospital: Hospital):
+    from repro.runtime.net_shield import NetworkShield
+
+    return NetworkShield(
+        hospital.identity,
+        [platform.cas.keys.ca.public_key()],
+        platform.cost_model,
+        hospital.node.clock,
+        hospital.node.rng.child(f"fl-{hospital.name}"),
+    )

@@ -1,0 +1,125 @@
+"""Platform assembly: cluster + CAS + orchestrator + user trust bootstrap.
+
+The deployment story of Fig. 1: the user first attests the CAS instance
+running in the untrusted cloud, then registers session policies and
+secrets with it; afterwards, services launched on the cluster attest to
+CAS and receive their keys without any user involvement — which is what
+makes elastic scaling practical (challenge ❹).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._sim.rng import DeterministicRng
+from repro._sim.trace import EventTrace
+from repro.cas import CasService, Policy
+from repro.cas.client import RemoteCasClient, serve_cas
+from repro.cluster import Network, Node, Orchestrator, make_cluster
+from repro.enclave.attestation import AttestationVerifier, ProvisioningAuthority, Report
+from repro.enclave.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.enclave.sgx import SgxMode
+from repro.errors import AttestationError, ConfigurationError
+from repro.runtime.scone import RuntimeConfig, SconeRuntime, expected_measurement
+
+
+@dataclass
+class PlatformConfig:
+    """Deployment parameters (defaults mirror the paper's cluster §5.1)."""
+
+    n_nodes: int = 3
+    cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    seed: int = 0
+    cas_node: int = 0
+    cas_mode: SgxMode = SgxMode.HW
+    epc_policy: str = "random"
+
+
+class SecureTFPlatform:
+    """A deployed secureTF cluster."""
+
+    def __init__(self, config: Optional[PlatformConfig] = None) -> None:
+        self.config = config or PlatformConfig()
+        if self.config.n_nodes < 1:
+            raise ConfigurationError("platform needs at least one node")
+        self.rng = DeterministicRng(self.config.seed, label="platform")
+        self.provisioning = ProvisioningAuthority(self.rng.child("intel"))
+        self.nodes: List[Node] = make_cluster(
+            self.config.n_nodes,
+            self.config.cost_model,
+            self.provisioning,
+            seed=self.config.seed,
+            epc_policy=self.config.epc_policy,
+        )
+        self.network = Network(self.config.cost_model)
+        self.cas = CasService(
+            self.nodes[self.config.cas_node],
+            self.provisioning.public_key(),
+            mode=self.config.cas_mode,
+        )
+        self.cas_server = serve_cas(self.network, self.cas, address="cas")
+        self.orchestrator = Orchestrator(self.nodes)
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self.config.cost_model
+
+    # ------------------------------------------------------------------
+    # User trust bootstrap
+    # ------------------------------------------------------------------
+
+    def user_attest_cas(self) -> Report:
+        """The user's first step: verify CAS itself runs the expected code
+        inside a genuine enclave (Fig. 1, step 1)."""
+        quote = self.cas.attest()
+        verifier = AttestationVerifier(self.provisioning.public_key())
+        report = verifier.verify(
+            quote, accept_debug=self.config.cas_mode is not SgxMode.HW
+        )
+        if report.attributes.get("name") != "cas":
+            raise AttestationError(
+                f"expected the CAS enclave, got {report.attributes.get('name')!r}"
+            )
+        return report
+
+    def register_session(
+        self,
+        session: str,
+        configs: List[RuntimeConfig],
+        secrets: Optional[Dict[str, bytes]] = None,
+        accept_debug: bool = False,
+        max_members: Optional[int] = None,
+    ) -> Policy:
+        """Register a policy admitting containers built from ``configs``."""
+        measurements = [expected_measurement(c) for c in configs]
+        policy = Policy(
+            session=session,
+            allowed_measurements=measurements,
+            secret_names=sorted(secrets or {}),
+            accept_debug=accept_debug,
+            max_members=max_members,
+        )
+        self.cas.register_policy(policy, secrets=secrets)
+        return policy
+
+    def cas_client(
+        self, node: Node, trace: Optional[EventTrace] = None
+    ) -> RemoteCasClient:
+        return RemoteCasClient(self.network, node, "cas", trace=trace)
+
+    def provision_runtime(self, runtime: SconeRuntime, node: Node, session: str):
+        """Attest a running container to CAS and install its secrets."""
+        return self.cas_client(node).provision(runtime, session)
+
+    def node(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def barrier(self) -> float:
+        """Synchronize all node clocks (end-of-experiment readout)."""
+        return self.network.barrier([n.clock for n in self.nodes])
+
+    @property
+    def time(self) -> float:
+        """Max simulated time across the cluster."""
+        return max(n.clock.now for n in self.nodes)

@@ -1,0 +1,51 @@
+"""From-scratch cryptographic substrate for the secureTF reproduction.
+
+The paper's shields (file-system, network) and CAS all rest on standard
+primitives: AEAD encryption, key derivation, Diffie-Hellman key exchange,
+signatures, and certificates.  No third-party crypto package is available
+offline, so this package implements them directly:
+
+- :mod:`repro.crypto.aes` — AES-128/192/256 block cipher (table based).
+- :mod:`repro.crypto.gcm` — AES-GCM authenticated encryption.
+- :mod:`repro.crypto.chacha` — ChaCha20-Poly1305 AEAD (numpy-vectorized;
+  the default cipher for the shields because it is fast in pure Python).
+- :mod:`repro.crypto.kdf` — HMAC, HKDF-Extract/Expand (RFC 5869).
+- :mod:`repro.crypto.x25519` — Curve25519 ECDH (RFC 7748).
+- :mod:`repro.crypto.ed25519` — Ed25519 signatures (RFC 8032).
+- :mod:`repro.crypto.certs` — minimal certificates and chain validation.
+- :mod:`repro.crypto.tls` — a TLS-1.3-shaped secure channel (ECDHE
+  handshake, HKDF key schedule, AEAD record layer with replay protection).
+
+These are real implementations operating on real bytes — tests verify
+them against RFC test vectors — but they are **not constant-time** and
+must never be used outside this simulation.
+"""
+
+from repro.crypto.aead import Aead, AeadKey, get_aead
+from repro.crypto.aes import AES
+from repro.crypto.chacha import ChaCha20Poly1305
+from repro.crypto.gcm import AesGcm
+from repro.crypto.kdf import hkdf_expand, hkdf_extract, hkdf_expand_label, hmac_sha256
+from repro.crypto.x25519 import X25519PrivateKey, X25519PublicKey, x25519
+from repro.crypto.ed25519 import Ed25519PrivateKey, Ed25519PublicKey
+from repro.crypto.certs import Certificate, CertificateAuthority
+
+__all__ = [
+    "AES",
+    "AesGcm",
+    "ChaCha20Poly1305",
+    "Aead",
+    "AeadKey",
+    "get_aead",
+    "hmac_sha256",
+    "hkdf_extract",
+    "hkdf_expand",
+    "hkdf_expand_label",
+    "x25519",
+    "X25519PrivateKey",
+    "X25519PublicKey",
+    "Ed25519PrivateKey",
+    "Ed25519PublicKey",
+    "Certificate",
+    "CertificateAuthority",
+]

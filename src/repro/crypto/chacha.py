@@ -1,0 +1,163 @@
+"""ChaCha20-Poly1305 AEAD (RFC 8439), numpy-vectorized.
+
+This is the workhorse cipher of the file-system and network shields: the
+ChaCha20 keystream for all blocks of a message is generated in one
+vectorized pass over a ``uint32`` matrix, which makes pure-Python bulk
+encryption practical (tens of MB/s).  Poly1305 runs over 16-byte chunks
+with Python big integers.
+
+Verified against the RFC 8439 test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import IntegrityError
+
+_CONSTANTS = np.array(
+    [0x61707865, 0x3320646E, 0x79622D32, 0x6B206574], dtype=np.uint32
+)
+
+
+def _rotl(x: np.ndarray, n: int) -> np.ndarray:
+    return (x << np.uint32(n)) | (x >> np.uint32(32 - n))
+
+
+def _quarter_round(state: np.ndarray, a: int, b: int, c: int, d: int) -> None:
+    """One ChaCha quarter round applied across all blocks at once.
+
+    ``state`` has shape (16, n_blocks); rows are the ChaCha state words.
+    """
+    state[a] += state[b]
+    state[d] = _rotl(state[d] ^ state[a], 16)
+    state[c] += state[d]
+    state[b] = _rotl(state[b] ^ state[c], 12)
+    state[a] += state[b]
+    state[d] = _rotl(state[d] ^ state[a], 8)
+    state[c] += state[d]
+    state[b] = _rotl(state[b] ^ state[c], 7)
+
+
+def chacha20_keystream(key: bytes, nonce: bytes, counter: int, n_bytes: int) -> bytes:
+    """Generate ``n_bytes`` of ChaCha20 keystream starting at ``counter``."""
+    if len(key) != 32:
+        raise ValueError(f"ChaCha20 key must be 32 bytes, got {len(key)}")
+    if len(nonce) != 12:
+        raise ValueError(f"ChaCha20 nonce must be 12 bytes, got {len(nonce)}")
+    if n_bytes == 0:
+        return b""
+    n_blocks = -(-n_bytes // 64)
+    key_words = np.frombuffer(key, dtype="<u4").astype(np.uint32)
+    nonce_words = np.frombuffer(nonce, dtype="<u4").astype(np.uint32)
+
+    state = np.empty((16, n_blocks), dtype=np.uint32)
+    state[0:4] = _CONSTANTS[:, None]
+    state[4:12] = key_words[:, None]
+    state[12] = (np.arange(n_blocks, dtype=np.uint64) + np.uint64(counter)).astype(
+        np.uint32
+    )
+    state[13:16] = nonce_words[:, None]
+
+    working = state.copy()
+    with np.errstate(over="ignore"):
+        for _ in range(10):
+            # Column rounds.
+            _quarter_round(working, 0, 4, 8, 12)
+            _quarter_round(working, 1, 5, 9, 13)
+            _quarter_round(working, 2, 6, 10, 14)
+            _quarter_round(working, 3, 7, 11, 15)
+            # Diagonal rounds.
+            _quarter_round(working, 0, 5, 10, 15)
+            _quarter_round(working, 1, 6, 11, 12)
+            _quarter_round(working, 2, 7, 8, 13)
+            _quarter_round(working, 3, 4, 9, 14)
+        working += state
+    # Serialize: per block, 16 little-endian words.
+    stream = working.T.astype("<u4").tobytes()
+    return stream[:n_bytes]
+
+
+def chacha20_xor(key: bytes, nonce: bytes, counter: int, data: bytes) -> bytes:
+    """XOR ``data`` with the ChaCha20 keystream (encrypts and decrypts)."""
+    stream = chacha20_keystream(key, nonce, counter, len(data))
+    a = np.frombuffer(data, dtype=np.uint8)
+    b = np.frombuffer(stream, dtype=np.uint8)
+    return (a ^ b).tobytes()
+
+
+_P1305 = (1 << 130) - 5
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Poly1305 one-time authenticator (RFC 8439 §2.5)."""
+    if len(key) != 32:
+        raise ValueError(f"Poly1305 key must be 32 bytes, got {len(key)}")
+    r = int.from_bytes(key[:16], "little") & 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+    s = int.from_bytes(key[16:], "little")
+    acc = 0
+    for offset in range(0, len(message), 16):
+        chunk = message[offset: offset + 16]
+        n = int.from_bytes(chunk + b"\x01", "little")
+        acc = ((acc + n) * r) % _P1305
+    acc = (acc + s) & ((1 << 128) - 1)
+    return acc.to_bytes(16, "little")
+
+
+def _pad16(data: bytes) -> bytes:
+    if len(data) % 16 == 0:
+        return b""
+    return b"\x00" * (16 - len(data) % 16)
+
+
+class ChaCha20Poly1305:
+    """RFC 8439 AEAD construction."""
+
+    NONCE_SIZE = 12
+    TAG_SIZE = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 32:
+            raise ValueError(f"key must be 32 bytes, got {len(key)}")
+        self._key = key
+
+    def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        otk = chacha20_keystream(self._key, nonce, 0, 32)
+        mac_data = (
+            aad
+            + _pad16(aad)
+            + ciphertext
+            + _pad16(ciphertext)
+            + struct.pack("<QQ", len(aad), len(ciphertext))
+        )
+        return poly1305_mac(otk, mac_data)
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Return ciphertext || tag."""
+        if len(nonce) != self.NONCE_SIZE:
+            raise ValueError(f"nonce must be 12 bytes, got {len(nonce)}")
+        ciphertext = chacha20_xor(self._key, nonce, 1, plaintext)
+        return ciphertext + self._tag(nonce, aad, ciphertext)
+
+    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+        """Verify and decrypt; raises IntegrityError on tampering."""
+        if len(nonce) != self.NONCE_SIZE:
+            raise ValueError(f"nonce must be 12 bytes, got {len(nonce)}")
+        if len(data) < self.TAG_SIZE:
+            raise IntegrityError("ciphertext shorter than the Poly1305 tag")
+        ciphertext, tag = data[: -self.TAG_SIZE], data[-self.TAG_SIZE:]
+        expected = self._tag(nonce, aad, ciphertext)
+        if not _ct_eq(expected, tag):
+            raise IntegrityError("Poly1305 tag verification failed")
+        return chacha20_xor(self._key, nonce, 1, ciphertext)
+
+
+def _ct_eq(a: bytes, b: bytes) -> bool:
+    if len(a) != len(b):
+        return False
+    result = 0
+    for x, y in zip(a, b):
+        result |= x ^ y
+    return result == 0

@@ -1,0 +1,88 @@
+"""AES-GCM authenticated encryption (NIST SP 800-38D).
+
+GHASH is implemented over GF(2^128) with Python integers; this is fine
+for the small payloads AES-GCM protects here (handshake messages, secret
+records).  Bulk data goes through :class:`repro.crypto.chacha.ChaCha20Poly1305`
+instead, which is vectorized.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+from repro.errors import IntegrityError
+
+_R = 0xE1000000000000000000000000000000
+
+
+def _gf_mult(x: int, y: int) -> int:
+    """Multiplication in GF(2^128) with the GCM reduction polynomial."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+class AesGcm:
+    """AES-GCM with 12-byte nonces and 16-byte tags."""
+
+    NONCE_SIZE = 12
+    TAG_SIZE = 16
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES(key)
+        self._h = int.from_bytes(self._aes.encrypt_block(b"\x00" * 16), "big")
+
+    def _ghash(self, aad: bytes, ciphertext: bytes) -> int:
+        y = 0
+        for data in (aad, ciphertext):
+            for offset in range(0, len(data), 16):
+                block = data[offset: offset + 16].ljust(16, b"\x00")
+                y = _gf_mult(y ^ int.from_bytes(block, "big"), self._h)
+        lengths = (len(aad) * 8).to_bytes(8, "big") + (
+            len(ciphertext) * 8
+        ).to_bytes(8, "big")
+        return _gf_mult(y ^ int.from_bytes(lengths, "big"), self._h)
+
+    def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        j0 = nonce + b"\x00\x00\x00\x01"
+        s = self._ghash(aad, ciphertext)
+        ek_j0 = int.from_bytes(self._aes.encrypt_block(j0), "big")
+        return ((s ^ ek_j0) & ((1 << 128) - 1)).to_bytes(16, "big")
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Return ciphertext || tag."""
+        if len(nonce) != self.NONCE_SIZE:
+            raise ValueError(f"GCM nonce must be 12 bytes, got {len(nonce)}")
+        ciphertext = self._aes.encrypt_ctr(nonce, plaintext, initial_counter=2)
+        return ciphertext + self._tag(nonce, aad, ciphertext)
+
+    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+        """Verify the tag and return the plaintext.
+
+        Raises :class:`~repro.errors.IntegrityError` on any mismatch —
+        tampering with nonce, ciphertext, tag, or AAD must all be caught.
+        """
+        if len(nonce) != self.NONCE_SIZE:
+            raise ValueError(f"GCM nonce must be 12 bytes, got {len(nonce)}")
+        if len(data) < self.TAG_SIZE:
+            raise IntegrityError("GCM ciphertext shorter than the tag")
+        ciphertext, tag = data[: -self.TAG_SIZE], data[-self.TAG_SIZE:]
+        expected = self._tag(nonce, aad, ciphertext)
+        if not _constant_time_eq(expected, tag):
+            raise IntegrityError("GCM tag verification failed")
+        return self._aes.encrypt_ctr(nonce, ciphertext, initial_counter=2)
+
+
+def _constant_time_eq(a: bytes, b: bytes) -> bool:
+    if len(a) != len(b):
+        return False
+    result = 0
+    for x, y in zip(a, b):
+        result |= x ^ y
+    return result == 0

@@ -1,0 +1,68 @@
+"""HMAC-SHA256 and HKDF (RFC 5869), plus the TLS 1.3 Expand-Label form.
+
+All session keys in the shields and CAS are derived through HKDF so that
+compromise of one derived key never reveals siblings (standard key
+separation).  ``hkdf_expand_label`` mirrors RFC 8446 §7.1 so the TLS-like
+channel's key schedule reads like the real thing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import struct
+
+_HASH_LEN = 32
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 of ``data`` under ``key``."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract: concentrate input keying material into a PRK."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand: derive ``length`` bytes of output keying material."""
+    if length <= 0:
+        raise ValueError(f"requested non-positive key length: {length}")
+    if length > 255 * _HASH_LEN:
+        raise ValueError(f"HKDF output too long: {length}")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac_sha256(prk, previous + info + bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(salt: bytes, ikm: bytes, info: bytes, length: int) -> bytes:
+    """One-shot HKDF (extract then expand)."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)
+
+
+def hkdf_expand_label(secret: bytes, label: str, context: bytes, length: int) -> bytes:
+    """TLS 1.3 HKDF-Expand-Label (RFC 8446 §7.1)."""
+    full_label = b"tls13 " + label.encode("ascii")
+    if len(full_label) > 255 or len(context) > 255:
+        raise ValueError("label or context too long for HkdfLabel encoding")
+    hkdf_label = (
+        struct.pack(">H", length)
+        + bytes([len(full_label)])
+        + full_label
+        + bytes([len(context)])
+        + context
+    )
+    return hkdf_expand(secret, hkdf_label, length)
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest (convenience re-export used across the library)."""
+    return hashlib.sha256(data).digest()

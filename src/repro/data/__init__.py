@@ -1,0 +1,21 @@
+"""Synthetic datasets standing in for CIFAR-10 and MNIST.
+
+The paper evaluates on CIFAR-10 (32×32×3, 10 classes, 60k images) and
+MNIST (28×28, 10 classes, 60k train / 10k test) — §5.1.  Offline, we
+substitute deterministic generators with class-dependent structure
+(class prototypes + noise) so models genuinely *learn* and accuracy
+comparisons between modes are meaningful, while shapes, value ranges,
+and sizes match the originals.  See DESIGN.md's substitution table.
+"""
+
+from repro.data.loaders import Dataset, one_hot
+from repro.data.mnist import synthetic_mnist
+from repro.data.cifar10 import synthetic_cifar10, CIFAR10_CLASSES
+
+__all__ = [
+    "Dataset",
+    "one_hot",
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "CIFAR10_CLASSES",
+]

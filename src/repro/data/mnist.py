@@ -1,0 +1,70 @@
+"""Synthetic MNIST: 28×28 grayscale digits with learnable structure.
+
+Each class is a deterministic prototype (a smooth random field plus a
+class-specific stroke pattern); examples are prototypes with additive
+noise, small shifts, and amplitude jitter.  A linear model reaches
+~90 %+ and a small CNN >95 %, mirroring real-MNIST difficulty ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.loaders import Dataset
+
+IMAGE_SIZE = 28
+NUM_CLASSES = 10
+
+
+def _prototypes(rng: np.random.Generator) -> np.ndarray:
+    """One smooth 28×28 prototype per class."""
+    protos = np.zeros((NUM_CLASSES, IMAGE_SIZE, IMAGE_SIZE), dtype=np.float32)
+    yy, xx = np.mgrid[0:IMAGE_SIZE, 0:IMAGE_SIZE].astype(np.float32) / IMAGE_SIZE
+    for cls in range(NUM_CLASSES):
+        field = np.zeros((IMAGE_SIZE, IMAGE_SIZE), dtype=np.float32)
+        for _ in range(4):
+            fx, fy = rng.uniform(1.0, 4.0, size=2)
+            phase_x, phase_y = rng.uniform(0, 2 * np.pi, size=2)
+            field += np.sin(2 * np.pi * fx * xx + phase_x) * np.cos(
+                2 * np.pi * fy * yy + phase_y
+            )
+        # A class-distinct "stroke": a bright band whose angle encodes the class.
+        angle = np.pi * cls / NUM_CLASSES
+        band = np.abs(
+            (xx - 0.5) * np.cos(angle) + (yy - 0.5) * np.sin(angle)
+        )
+        field += 3.0 * np.exp(-((band / 0.12) ** 2))
+        field -= field.min()
+        field /= field.max()
+        protos[cls] = field
+    return protos
+
+
+def synthetic_mnist(
+    n_train: int = 60_000, n_test: int = 10_000, seed: int = 0
+) -> Tuple[Dataset, Dataset]:
+    """Deterministic (train, test) split shaped like MNIST."""
+    rng = np.random.default_rng(seed)
+    protos = _prototypes(rng)
+
+    def make(n: int, split_rng: np.random.Generator) -> Dataset:
+        labels = split_rng.integers(0, NUM_CLASSES, size=n)
+        images = protos[labels].copy()
+        shifts = split_rng.integers(-2, 3, size=(n, 2))
+        for i, (dy, dx) in enumerate(shifts):
+            images[i] = np.roll(np.roll(images[i], dy, axis=0), dx, axis=1)
+        amplitude = split_rng.uniform(0.8, 1.2, size=(n, 1, 1)).astype(np.float32)
+        noise = split_rng.normal(0, 0.15, size=images.shape).astype(np.float32)
+        images = np.clip(images * amplitude + noise, 0.0, 1.0)
+        return Dataset(
+            images.reshape(n, IMAGE_SIZE, IMAGE_SIZE, 1).astype(np.float32),
+            labels.astype(np.int64),
+            NUM_CLASSES,
+            name="synthetic-mnist",
+        )
+
+    return make(n_train, np.random.default_rng(seed + 1)), make(
+        n_test, np.random.default_rng(seed + 2)
+    )

@@ -1,0 +1,59 @@
+"""Input preprocessing: normalization for enclave-friendly training (§7.1).
+
+The paper's first proposed mitigation for EPC-bound training is *data
+normalization* — e.g. resizing all inputs of an image-recognition
+service to 32×32 — shrinking the per-batch working set.  These are the
+corresponding utilities: average-pool downscaling and per-dataset
+standardization, both pure numpy and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.loaders import Dataset
+from repro.errors import ConfigurationError
+
+
+def downscale_images(images: np.ndarray, target: int) -> np.ndarray:
+    """Downscale NHWC images to ``target``×``target`` by average pooling.
+
+    Requires the source size to be a multiple of the target (the paper's
+    use case normalizes to a fixed small size like 32×32).
+    """
+    if images.ndim != 4:
+        raise ConfigurationError(f"expected NHWC images, got shape {images.shape}")
+    n, h, w, c = images.shape
+    if h % target or w % target:
+        raise ConfigurationError(
+            f"source size {h}x{w} is not a multiple of target {target}"
+        )
+    fh, fw = h // target, w // target
+    view = images.reshape(n, target, fh, target, fw, c)
+    return view.mean(axis=(2, 4)).astype(images.dtype)
+
+
+def standardize(
+    images: np.ndarray, stats: Optional[Tuple[float, float]] = None
+) -> Tuple[np.ndarray, Tuple[float, float]]:
+    """Zero-mean/unit-variance normalization; returns (images, stats).
+
+    Pass the training set's ``stats`` when normalizing the test set so
+    no test-set information leaks into preprocessing.
+    """
+    if stats is None:
+        stats = (float(images.mean()), float(images.std() + 1e-8))
+    mean, std = stats
+    return ((images - mean) / std).astype(np.float32), stats
+
+
+def normalize_dataset(dataset: Dataset, target: int) -> Dataset:
+    """§7.1's mitigation applied to a whole dataset."""
+    return Dataset(
+        downscale_images(dataset.images, target),
+        dataset.labels,
+        dataset.num_classes,
+        name=f"{dataset.name}-{target}px",
+    )

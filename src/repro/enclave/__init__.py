@@ -1,0 +1,46 @@
+"""Mechanistic Intel SGX simulator.
+
+The paper's entire performance story is driven by four SGX properties:
+
+1. the ~94 MiB Enclave Page Cache (EPC) and the very expensive paging
+   that starts once an enclave's working set exceeds it,
+2. the Memory Encryption Engine's bandwidth penalty on enclave memory,
+3. costly enclave transitions (ecall/ocall) on every system call,
+4. measured launch (MRENCLAVE) + remote attestation via quotes.
+
+This package models all four at page granularity with a calibrated cost
+model.  Everything *protocol-shaped* is real: measurements are actual
+SHA-256 digests of enclave contents, quotes are actual Ed25519
+signatures chained to a simulated provisioning root, sealing is real
+AEAD.  Only *time* is simulated, charged to a
+:class:`~repro._sim.clock.SimClock`.
+"""
+
+from repro.enclave.cost_model import CostModel
+from repro.enclave.epc import EpcCache, EpcStats
+from repro.enclave.memory import EnclaveMemory, MemoryRegion
+from repro.enclave.sgx import Enclave, EnclaveImage, SgxCpu, SgxMode
+from repro.enclave.attestation import (
+    AttestationVerifier,
+    ProvisioningAuthority,
+    Quote,
+    Report,
+)
+from repro.enclave.ias import IntelAttestationService
+
+__all__ = [
+    "CostModel",
+    "EpcCache",
+    "EpcStats",
+    "EnclaveMemory",
+    "MemoryRegion",
+    "Enclave",
+    "EnclaveImage",
+    "SgxCpu",
+    "SgxMode",
+    "Quote",
+    "Report",
+    "ProvisioningAuthority",
+    "AttestationVerifier",
+    "IntelAttestationService",
+]

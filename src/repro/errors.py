@@ -1,0 +1,82 @@
+"""Exception hierarchy for the secureTF reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch library failures without masking programming errors.  Security
+failures form their own branch (:class:`SecurityError`) because the
+paper's threat model requires that tampering is *detected*, never
+silently tolerated — tests assert these exact exception types.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured inconsistently or incompletely."""
+
+
+class SecurityError(ReproError):
+    """Base class for violations of confidentiality/integrity/freshness."""
+
+
+class IntegrityError(SecurityError):
+    """Authenticated data failed verification (MAC/tag/measurement)."""
+
+
+class AttestationError(SecurityError):
+    """An enclave quote or measurement could not be verified."""
+
+
+class FreshnessError(SecurityError):
+    """Stale state was presented (rollback / replay detected)."""
+
+
+class IagoError(SecurityError):
+    """The untrusted OS returned a malformed or hostile syscall result."""
+
+
+class HandshakeError(SecurityError):
+    """A secure-channel handshake failed or was tampered with."""
+
+
+class PolicyError(SecurityError):
+    """A CAS policy denied access to a secret or session."""
+
+
+class EnclaveError(ReproError):
+    """Illegal enclave lifecycle operation or resource exhaustion."""
+
+
+class SyscallError(ReproError):
+    """A simulated system call failed."""
+
+
+class ShieldError(SecurityError):
+    """A file-system or network shield operation failed verification."""
+
+
+class GraphError(ReproError):
+    """Malformed dataflow graph (unknown op, shape mismatch, cycles)."""
+
+
+class ShapeError(GraphError):
+    """Tensor shapes are incompatible for the requested operation."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint or frozen graph could not be read or verified."""
+
+
+class LiteConversionError(ReproError):
+    """A graph could not be converted to the Lite flat format."""
+
+
+class ClusterError(ReproError):
+    """Node/container lifecycle failure in the simulated cluster."""
+
+
+class RpcError(ClusterError):
+    """A simulated RPC failed (timeout, node down, channel closed)."""

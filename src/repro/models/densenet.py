@@ -1,0 +1,50 @@
+"""DenseNet analogue (stands in for the paper's 42 MB Densenet)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+import repro.tensor as tf
+from repro.tensor.graph import Graph, Tensor
+
+
+def _dense_block(
+    net: Tensor, layers: int, growth: int, rng: np.random.Generator, name: str
+) -> Tensor:
+    """DenseNet block: each layer's output is concatenated to its input."""
+    features: List[Tensor] = [net]
+    for i in range(layers):
+        x = tf.concat(features, axis=3, name=f"{name}/concat{i}") if len(features) > 1 else features[0]
+        x = tf.layers.batch_norm(x, name=f"{name}/bn{i}")
+        x = tf.relu(x, name=f"{name}/relu{i}")
+        x = tf.layers.conv2d(
+            x, growth, 3, activation=None, use_bias=False,
+            name=f"{name}/conv{i}", rng=rng,
+        )
+        features.append(x)
+    return tf.concat(features, axis=3, name=f"{name}/out")
+
+
+def densenet_analogue(
+    rng: np.random.Generator, name: str = "densenet"
+) -> Tuple[Graph, Tensor, Tensor]:
+    """Two dense blocks with a transition, CIFAR-shaped input."""
+    graph = Graph()
+    with graph.as_default():
+        images = tf.placeholder("float32", (None, 32, 32, 3), name="images")
+        net = tf.layers.conv2d(
+            images, 16, 3, activation="relu", name=f"{name}/stem", rng=rng
+        )
+        net = _dense_block(net, layers=4, growth=12, rng=rng, name=f"{name}/block1")
+        # Transition: 1x1 conv + pooling.
+        net = tf.layers.conv2d(
+            net, 32, 1, activation="relu", name=f"{name}/trans1", rng=rng
+        )
+        net = tf.layers.avg_pool(net, 2, name=f"{name}/pool1")
+        net = _dense_block(net, layers=4, growth=12, rng=rng, name=f"{name}/block2")
+        net = tf.layers.avg_pool(net, 2, name=f"{name}/pool2")
+        net = tf.layers.flatten(net, name=f"{name}/flat")
+        logits = tf.layers.dense(net, 10, name=f"{name}/logits", rng=rng)
+    return graph, images, logits

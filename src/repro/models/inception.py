@@ -1,0 +1,60 @@
+"""Inception analogues (stand-ins for the 91 MB v3 and 163 MB v4)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+import repro.tensor as tf
+from repro.tensor.graph import Graph, Tensor
+
+
+def _inception_module(
+    net: Tensor, filters: int, rng: np.random.Generator, name: str
+) -> Tensor:
+    """Parallel 1×1 / 3×3 / 5×5-ish / pool-projection branches, concatenated."""
+    b1 = tf.layers.conv2d(net, filters, 1, activation="relu", name=f"{name}/b1x1", rng=rng)
+    b2 = tf.layers.conv2d(net, filters, 1, activation="relu", name=f"{name}/b3_reduce", rng=rng)
+    b2 = tf.layers.conv2d(b2, filters, 3, activation="relu", name=f"{name}/b3x3", rng=rng)
+    b3 = tf.layers.conv2d(net, filters // 2, 1, activation="relu", name=f"{name}/b5_reduce", rng=rng)
+    b3 = tf.layers.conv2d(b3, filters // 2, 3, activation="relu", name=f"{name}/b5a", rng=rng)
+    b3 = tf.layers.conv2d(b3, filters // 2, 3, activation="relu", name=f"{name}/b5b", rng=rng)
+    b4 = tf.layers.conv2d(net, filters // 2, 1, activation="relu", name=f"{name}/bpool_proj", rng=rng)
+    return tf.concat([b1, b2, b3, b4], axis=3, name=f"{name}/concat")
+
+
+def _inception_net(
+    rng: np.random.Generator, modules_per_stage: int, base_filters: int, name: str
+) -> Tuple[Graph, Tensor, Tensor]:
+    graph = Graph()
+    with graph.as_default():
+        images = tf.placeholder("float32", (None, 32, 32, 3), name="images")
+        net = tf.layers.conv2d(
+            images, base_filters, 3, activation="relu", name=f"{name}/stem", rng=rng
+        )
+        for stage in range(2):
+            for module in range(modules_per_stage):
+                net = _inception_module(
+                    net, base_filters * (stage + 1), rng,
+                    name=f"{name}/s{stage}m{module}",
+                )
+            net = tf.layers.max_pool(net, 2, name=f"{name}/reduce{stage}")
+        net = tf.layers.flatten(net, name=f"{name}/flat")
+        net = tf.layers.dense(net, 64, activation="relu", name=f"{name}/fc", rng=rng)
+        logits = tf.layers.dense(net, 10, name=f"{name}/logits", rng=rng)
+    return graph, images, logits
+
+
+def inception_v3_analogue(
+    rng: np.random.Generator, name: str = "inception_v3"
+) -> Tuple[Graph, Tensor, Tensor]:
+    """Two stages of inception modules (stands in for Inception-v3)."""
+    return _inception_net(rng, modules_per_stage=2, base_filters=16, name=name)
+
+
+def inception_v4_analogue(
+    rng: np.random.Generator, name: str = "inception_v4"
+) -> Tuple[Graph, Tensor, Tensor]:
+    """Deeper/wider variant (stands in for Inception-v4)."""
+    return _inception_net(rng, modules_per_stage=3, base_filters=24, name=name)

@@ -1,0 +1,61 @@
+"""Iago-attack defences: sanity checks on untrusted syscall results.
+
+Checkoway & Shacham showed that a malicious kernel can subvert a
+protected application purely through syscall *return values* (Iago
+attacks).  SCONE — and therefore secureTF (§3.3.3) — validates every
+result crossing into the enclave: buffer lengths against what was
+requested, sizes against non-negativity, pointers against the enclave
+layout.  Here the checks operate on the simulated syscall results; the
+test suite plays the malicious kernel via the hostile hook on
+:class:`~repro.runtime.syscall.SyscallInterface`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import IagoError
+
+
+def check_read_result(requested: int, returned: bytes) -> bytes:
+    """A read may return at most the requested byte count."""
+    if len(returned) > requested:
+        raise IagoError(
+            f"kernel returned {len(returned)} bytes for a {requested}-byte read"
+        )
+    return returned
+
+
+def check_size_result(size: int, declared_maximum: Optional[int] = None) -> int:
+    """File sizes must be non-negative and below any declared bound."""
+    if size < 0:
+        raise IagoError(f"kernel returned negative size {size}")
+    if declared_maximum is not None and size > declared_maximum:
+        raise IagoError(
+            f"kernel returned size {size} above the declared maximum "
+            f"{declared_maximum}"
+        )
+    return size
+
+
+def check_write_result(requested: int, written: int) -> int:
+    """A write may not claim to have written more than was passed."""
+    if written < 0:
+        raise IagoError(f"kernel returned negative write count {written}")
+    if written > requested:
+        raise IagoError(
+            f"kernel claims {written} bytes written for a {requested}-byte write"
+        )
+    return written
+
+
+def check_path_listing(prefix: str, paths: list) -> list:
+    """Directory listings must honour the queried prefix and be strings."""
+    for path in paths:
+        if not isinstance(path, str):
+            raise IagoError(f"kernel returned a non-string path entry: {path!r}")
+        if not path.startswith(prefix):
+            raise IagoError(
+                f"kernel returned {path!r} outside the queried prefix {prefix!r}"
+            )
+    return paths

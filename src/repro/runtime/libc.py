@@ -1,0 +1,69 @@
+"""libc flavours: glibc, musl, and the SCONE libc.
+
+Section 4.2 of the paper walks through compiling TensorFlow against
+musl (Alpine) and the SCONE libc, and §5.3 #1 discusses the measured
+glibc-vs-musl difference.  What matters for the simulation:
+
+- a **compute factor** (glibc is tuned for speed, musl for size; SCONE's
+  modified musl adds a little interposition overhead),
+- the **binary size** the libc contributes to the enclave image (the
+  decisive term for EPC pressure — Graphene ships an entire libOS,
+  SCONE only a slim libc, see Fig. 5's discussion), and
+- whether system calls can be issued **asynchronously** (SCONE's
+  exit-less interface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._sim.units import MiB
+
+
+@dataclass(frozen=True)
+class LibcFlavor:
+    """A C library variant an application can be linked against."""
+
+    name: str
+    compute_factor: float
+    binary_size: int
+    supports_async_syscalls: bool
+    description: str
+    #: Code footprint of this libc touched per executed op (allocator,
+    #: memcpy, syscall shims).  Library OSes interpose far more (every
+    #: call walks the shim + PAL), which matters for EPC residency.
+    hot_bytes_per_op: int = 64 * 1024
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Stock GNU libc on Ubuntu — the fastest native baseline.
+GLIBC = LibcFlavor(
+    name="glibc",
+    compute_factor=1.000,
+    binary_size=int(12.5 * MiB),
+    supports_async_syscalls=False,
+    description="GNU C library (Ubuntu), tuned for performance",
+    hot_bytes_per_op=96 * 1024,
+)
+
+#: musl on Alpine — smaller and a touch slower (paper §5.3 #1).
+MUSL = LibcFlavor(
+    name="musl",
+    compute_factor=1.025,
+    binary_size=int(1.0 * MiB),
+    supports_async_syscalls=False,
+    description="musl libc (Alpine), tuned for size",
+    hot_bytes_per_op=48 * 1024,
+)
+
+#: SCONE's modified musl — small, with the asynchronous syscall interface.
+SCONE_LIBC = LibcFlavor(
+    name="scone",
+    compute_factor=1.015,
+    binary_size=int(1.6 * MiB),
+    supports_async_syscalls=True,
+    description="SCONE libc (modified musl with exit-less syscalls)",
+    hot_bytes_per_op=64 * 1024,
+)

@@ -1,0 +1,223 @@
+"""The system-call boundary between a (possibly enclaved) app and the OS.
+
+Cost structure per mode (§3.3.3 and the SCONE paper):
+
+- **NATIVE** — a plain trap: fixed entry cost + kernel service time.
+- **SIM** — the SCONE runtime outside SGX: a fraction of calls is
+  handled entirely in userspace by the runtime (the paper observes SIM
+  sometimes *beats* native because of this); the rest go through the
+  async queue.
+- **HW, synchronous** — every call pays a full enclave transition.
+- **HW, asynchronous** — SCONE's exit-less interface: the request is
+  written to a queue served by threads outside the enclave, costing a
+  fraction of a transition, with most kernel time overlapped by the
+  user-level scheduler running another application thread.
+
+All file operations verify the kernel's answers against Iago checks;
+tests install a ``hostile_hook`` to emulate a malicious kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro._sim.clock import SimClock
+from repro.enclave.cost_model import CostModel
+from repro.enclave.sgx import Enclave, SgxMode
+from repro.runtime import iago
+from repro.runtime.vfs import VirtualFile, VirtualFileSystem
+from repro.errors import SyscallError
+
+#: Maximum bytes moved per read/write syscall (Linux pipe-sized chunks).
+IO_CHUNK = 256 * 1024
+
+#: Fraction of syscalls the SCONE runtime services without leaving
+#: userspace (futexes, clock reads, memory management fast paths).
+USERSPACE_HANDLED_FRACTION = 0.35
+
+#: Fraction of kernel service time hidden by user-level threading when
+#: syscalls are asynchronous (another app thread runs meanwhile).
+ASYNC_KERNEL_OVERLAP = 0.70
+
+
+@dataclass
+class SyscallStats:
+    """Counters for benchmarks and tests."""
+
+    calls: int = 0
+    userspace_handled: int = 0
+    transitions: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    time: float = 0.0
+    by_name: Dict[str, int] = field(default_factory=dict)
+
+
+HostileHook = Callable[[str, object], object]
+
+
+class SyscallInterface:
+    """Mode-aware syscall layer over a :class:`VirtualFileSystem`."""
+
+    def __init__(
+        self,
+        vfs: VirtualFileSystem,
+        cost_model: CostModel,
+        clock: SimClock,
+        mode: SgxMode = SgxMode.NATIVE,
+        enclave: Optional[Enclave] = None,
+        asynchronous: bool = True,
+    ) -> None:
+        if mode is SgxMode.HW and enclave is None:
+            raise SyscallError("HW mode requires an enclave for transitions")
+        self._vfs = vfs
+        self._model = cost_model
+        self._clock = clock
+        self._mode = mode
+        self._enclave = enclave
+        self._asynchronous = asynchronous
+        self.stats = SyscallStats()
+        #: Test hook: called as ``hook(syscall_name, result)`` and may
+        #: return a corrupted result, emulating a malicious kernel.
+        self.hostile_hook: Optional[HostileHook] = None
+
+    @property
+    def mode(self) -> SgxMode:
+        return self._mode
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+
+    def _charge(self, name: str) -> None:
+        """Charge the boundary-crossing cost of one syscall."""
+        self.stats.calls += 1
+        self.stats.by_name[name] = self.stats.by_name.get(name, 0) + 1
+        model = self._model
+        before = self._clock.now
+
+        if self._mode is SgxMode.NATIVE:
+            self._clock.advance(0.3e-6 + model.syscall_kernel_cost)
+        elif self._mode is SgxMode.SIM:
+            # Deterministic round-robin stand-in for "a fraction of calls
+            # is handled in userspace".
+            if self.stats.calls % 100 < USERSPACE_HANDLED_FRACTION * 100:
+                self.stats.userspace_handled += 1
+                self._clock.advance(model.userlevel_switch_cost)
+            else:
+                self._clock.advance(model.async_syscall_cost + model.syscall_kernel_cost)
+        else:  # HW
+            assert self._enclave is not None
+            if self._asynchronous:
+                self.stats.transitions += 1
+                self._enclave.cpu.transition(asynchronous=True)
+                self._clock.advance(
+                    model.syscall_kernel_cost * (1.0 - ASYNC_KERNEL_OVERLAP)
+                )
+            else:
+                self.stats.transitions += 1
+                self._enclave.cpu.transition(asynchronous=False)
+                self._clock.advance(model.syscall_kernel_cost)
+        self.stats.time += self._clock.now - before
+
+    def _charge_io(self, n_bytes: int, write: bool) -> None:
+        """Charge the data movement of a file read/write.
+
+        The payload crosses the boundary in :data:`IO_CHUNK` pieces, each
+        a separate syscall; in HW mode the copy into/out of the enclave
+        runs at MEE bandwidth.
+        """
+        chunks = max(1, -(-n_bytes // IO_CHUNK))
+        for _ in range(chunks - 1):
+            self._charge("rw_continuation")
+        before = self._clock.now
+        if self._mode is SgxMode.HW:
+            assert self._enclave is not None
+            self._enclave.memory.charge_bytes(n_bytes)
+        else:
+            self._clock.advance(n_bytes / self._model.native_memory_bandwidth)
+        self.stats.time += self._clock.now - before
+        if write:
+            self.stats.bytes_written += n_bytes
+        else:
+            self.stats.bytes_read += n_bytes
+
+    def _maybe_hostile(self, name: str, result: object) -> object:
+        if self.hostile_hook is not None:
+            return self.hostile_hook(name, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # File operations (the shield and runtime build on these)
+    # ------------------------------------------------------------------
+
+    def read_file(self, path: str) -> VirtualFile:
+        """Read a whole file; returns the VirtualFile (content + size)."""
+        self._charge("open")
+        self._charge("read")
+        file = self._vfs.read(path)
+        result = self._maybe_hostile("read", file)
+        if not isinstance(result, VirtualFile):
+            raise SyscallError("kernel returned a non-file object for read")
+        iago.check_size_result(result.size)
+        iago.check_read_result(result.size, result.content[: result.size + 1])
+        self._charge_io(result.size, write=False)
+        self._charge("close")
+        return result
+
+    def write_file(
+        self, path: str, content: bytes, declared_size: Optional[int] = None
+    ) -> VirtualFile:
+        """Write a whole file (create or replace)."""
+        self._charge("open")
+        self._charge("write")
+        size = declared_size if declared_size is not None else len(content)
+        self._charge_io(size, write=True)
+        file = self._vfs.write(path, content, declared_size=declared_size)
+        written = self._maybe_hostile("write", size)
+        if not isinstance(written, int):
+            raise SyscallError("kernel returned a non-integer write count")
+        iago.check_write_result(size, written)
+        self._charge("close")
+        return file
+
+    def stat(self, path: str) -> int:
+        """Size of a file (simulated size)."""
+        self._charge("stat")
+        size = self._vfs.read(path).size
+        result = self._maybe_hostile("stat", size)
+        if not isinstance(result, int):
+            raise SyscallError("kernel returned a non-integer stat size")
+        return iago.check_size_result(result)
+
+    def exists(self, path: str) -> bool:
+        self._charge("stat")
+        return self._vfs.exists(path)
+
+    def unlink(self, path: str) -> None:
+        self._charge("unlink")
+        self._vfs.delete(path)
+
+    def list_dir(self, prefix: str = "") -> List[str]:
+        self._charge("getdents")
+        paths = self._vfs.listdir(prefix)
+        result = self._maybe_hostile("getdents", paths)
+        if not isinstance(result, list):
+            raise SyscallError("kernel returned a non-list directory listing")
+        return iago.check_path_listing(prefix, result)
+
+    def next_version(self, path: str) -> int:
+        """The version the next write to ``path`` will get (0 if new)."""
+        self._charge("stat")
+        if not self._vfs.exists(path):
+            return 0
+        version = self._vfs.read(path).version + 1
+        result = self._maybe_hostile("version", version)
+        if not isinstance(result, int):
+            raise SyscallError("kernel returned a non-integer version")
+        return iago.check_size_result(result)
+
+    def nop_syscall(self, name: str = "nop") -> None:
+        """A syscall with no semantic effect (cost-model microbenchmarks)."""
+        self._charge(name)

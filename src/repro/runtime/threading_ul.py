@@ -1,0 +1,102 @@
+"""User-level threading (SCONE's in-enclave scheduler).
+
+Enclave transitions are costly, so SCONE multiplexes M application
+threads onto N OS threads *inside* the enclave: when an application
+thread blocks, the in-enclave scheduler switches to another application
+thread instead of exiting to the kernel (§3.3.3).  Consequences modelled
+here:
+
+- a blocking event costs a cheap user-level switch instead of an OS
+  context switch (plus, in HW mode, the transition that the OS switch
+  would imply);
+- full CPU utilization needs no more OS threads than cores;
+- parallel compute throughput follows the cost model's core/hyperthread
+  yield curve.
+
+The scheduler exposes :meth:`parallel_duration`, which the execution
+engine uses to turn "X seconds of single-thread work" into elapsed time
+on ``n`` threads, and :meth:`block`, which charges one blocking event.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro._sim.clock import SimClock
+from repro.enclave.cost_model import CostModel
+from repro.enclave.sgx import Enclave, SgxMode
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+class ThreadingModel(enum.Enum):
+    """OS threading (native baseline) vs SCONE user-level threading."""
+
+    OS = "os"
+    USER_LEVEL = "user-level"
+
+
+@dataclass
+class SchedulerStats:
+    blocks: int = 0
+    switches: int = 0
+    switch_time: float = 0.0
+
+
+class UserLevelScheduler:
+    """Charges scheduling costs and computes parallel elapsed time."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        clock: SimClock,
+        mode: SgxMode = SgxMode.NATIVE,
+        threading_model: ThreadingModel = ThreadingModel.USER_LEVEL,
+        enclave: Optional[Enclave] = None,
+    ) -> None:
+        if mode is SgxMode.HW and threading_model is ThreadingModel.OS and enclave is None:
+            raise ConfigurationError(
+                "OS threading in HW mode needs an enclave to charge transitions"
+            )
+        self._model = cost_model
+        self._clock = clock
+        self._mode = mode
+        self._threading_model = threading_model
+        self._enclave = enclave
+        self.stats = SchedulerStats()
+
+    @property
+    def threading_model(self) -> ThreadingModel:
+        return self._threading_model
+
+    def block(self) -> None:
+        """One application thread blocked (I/O wait, lock, queue)."""
+        self.stats.blocks += 1
+        self.stats.switches += 1
+        before = self._clock.now
+        if self._threading_model is ThreadingModel.USER_LEVEL:
+            self._clock.advance(self._model.userlevel_switch_cost)
+        else:
+            self._clock.advance(self._model.os_switch_cost)
+            if self._mode is SgxMode.HW and self._enclave is not None:
+                # An OS-level switch exits and re-enters the enclave.
+                self._enclave.cpu.transition(asynchronous=False)
+        self.stats.switch_time += self._clock.now - before
+
+    def parallel_duration(self, single_thread_seconds: float, threads: int) -> float:
+        """Elapsed time for work that takes ``single_thread_seconds`` on
+        one thread when spread over ``threads`` application threads."""
+        if single_thread_seconds < 0:
+            raise ConfigurationError(
+                f"negative work duration: {single_thread_seconds}"
+            )
+        speedup = self._model.effective_parallel_speedup(threads)
+        return single_thread_seconds / speedup
+
+    def run_parallel(self, single_thread_seconds: float, threads: int) -> float:
+        """Charge the clock for a parallel region; returns elapsed time."""
+        elapsed = self.parallel_duration(single_thread_seconds, threads)
+        self._clock.advance(elapsed)
+        return elapsed

@@ -1,0 +1,95 @@
+"""An in-memory virtual file system (the untrusted OS's storage).
+
+Files hold *real bytes* — what the file-system shield encrypts and
+authenticates — plus an optional **declared size** used for cost
+accounting, which lets a 163 MB model be represented by its real
+(small) serialized weights while I/O and cryptography are charged for
+the full simulated size.  This is the substitution DESIGN.md documents
+for the paper's pretrained models.
+
+The VFS is deliberately *untrusted*: tests mutate stored bytes directly
+to emulate a malicious OS and assert that the shield detects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import SyscallError
+
+
+@dataclass
+class VirtualFile:
+    """One stored file: real content plus simulated (declared) size."""
+
+    path: str
+    content: bytes = b""
+    declared_size: Optional[int] = None
+    version: int = 0
+
+    @property
+    def size(self) -> int:
+        """The simulated size used for cost accounting."""
+        return self.declared_size if self.declared_size is not None else len(self.content)
+
+
+class VirtualFileSystem:
+    """Flat-namespace file store owned by a (simulated) node's OS."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, VirtualFile] = {}
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def write(
+        self, path: str, content: bytes, declared_size: Optional[int] = None
+    ) -> VirtualFile:
+        """Create or replace a file."""
+        if declared_size is not None and declared_size < len(content):
+            raise SyscallError(
+                f"declared size {declared_size} smaller than real content "
+                f"({len(content)} bytes) for {path!r}"
+            )
+        existing = self._files.get(path)
+        version = existing.version + 1 if existing else 0
+        file = VirtualFile(
+            path=path, content=content, declared_size=declared_size, version=version
+        )
+        self._files[path] = file
+        return file
+
+    def read(self, path: str) -> VirtualFile:
+        if path not in self._files:
+            raise SyscallError(f"no such file: {path!r}")
+        return self._files[path]
+
+    def delete(self, path: str) -> None:
+        if path not in self._files:
+            raise SyscallError(f"no such file: {path!r}")
+        del self._files[path]
+
+    def listdir(self, prefix: str = "") -> List[str]:
+        return sorted(path for path in self._files if path.startswith(prefix))
+
+    def __iter__(self) -> Iterator[VirtualFile]:
+        return iter(self._files.values())
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    # ------------------------------------------------------------------
+    # Adversary interface (tests only): the OS is untrusted, so tampering
+    # is modelled as direct mutation of the stored bytes.
+    # ------------------------------------------------------------------
+
+    def tamper(self, path: str, content: bytes) -> None:
+        """Replace file content *without* bumping the version (a stealthy
+        malicious-OS modification)."""
+        file = self.read(path)
+        file.content = content
+
+    def rollback(self, path: str, old: VirtualFile) -> None:
+        """Replace a file with an older captured copy (rollback attack)."""
+        self._files[path] = old

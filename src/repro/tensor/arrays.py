@@ -1,0 +1,49 @@
+"""Canonical (de)serialization of numpy arrays and array dicts.
+
+Shared by checkpoints, the parameter-server protocol, and CAS records:
+one byte-exact representation so signatures and MACs are stable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.crypto import encoding
+from repro.errors import CheckpointError
+
+
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """Array -> canonical-encodable dict."""
+    array = np.ascontiguousarray(array)
+    return {
+        "__ndarray__": True,
+        "dtype": str(array.dtype),
+        "shape": [int(d) for d in array.shape],
+        "data": array.tobytes(),
+    }
+
+
+def decode_array(obj: Dict[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    try:
+        return (
+            np.frombuffer(obj["data"], dtype=obj["dtype"])
+            .reshape(obj["shape"])
+            .copy()
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError("malformed serialized array") from exc
+
+
+def encode_array_dict(arrays: Dict[str, np.ndarray]) -> bytes:
+    """Named arrays -> one canonical blob (PS weight/gradient messages)."""
+    return encoding.encode({name: encode_array(a) for name, a in arrays.items()})
+
+
+def decode_array_dict(data: bytes) -> Dict[str, np.ndarray]:
+    payload = encoding.decode(data)
+    if not isinstance(payload, dict):
+        raise CheckpointError("array dict blob must decode to a dict")
+    return {name: decode_array(obj) for name, obj in payload.items()}

@@ -1,0 +1,99 @@
+"""Reverse-mode autodiff over the graph (``tf.gradients`` analogue).
+
+Given scalar (or any) output tensors ``ys`` and input tensors ``xs``,
+build backward graph nodes computing ``d sum(ys) / d x`` for each x.
+Gradients accumulate by summation where a tensor fans out to several
+consumers; ops without a registered gradient act as gradient sinks
+(their inputs receive None), matching TF semantics for non-differentiable
+ops.  Correctness is pinned by numeric-gradient property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import GraphError
+from repro.tensor.graph import Operation, Tensor
+from repro.tensor.ops import GRADIENT_REGISTRY
+from repro.tensor.ops.core import add
+
+
+def _ones_like(tensor: Tensor) -> Tensor:
+    """A ones tensor matching ``tensor``'s runtime shape."""
+    from repro.tensor.ops.core import make_op
+    import numpy as np
+
+    return make_op(
+        "ones_like",
+        [tensor],
+        tensor.shape,
+        tensor.dtype,
+        lambda op, v: np.ones_like(v),
+        name="ones_like",
+    )
+
+
+def _backward_reachable(ys: Sequence[Tensor]) -> List[Operation]:
+    """Ops reachable backward from ys, in reverse topological order."""
+    visited: Dict[int, Operation] = {}
+    order: List[Operation] = []
+
+    def visit(op: Operation) -> None:
+        if id(op) in visited:
+            return
+        visited[id(op)] = op
+        for inp in op.inputs:
+            visit(inp.op)
+        order.append(op)
+
+    for y in ys:
+        visit(y.op)
+    return list(reversed(order))
+
+
+def gradients(
+    ys: Union[Tensor, Sequence[Tensor]],
+    xs: Union[Tensor, Sequence[Tensor]],
+    grad_ys: Optional[Sequence[Tensor]] = None,
+) -> List[Optional[Tensor]]:
+    """Symbolic gradients of sum(ys) with respect to each x."""
+    ys_list = [ys] if isinstance(ys, Tensor) else list(ys)
+    xs_list = [xs] if isinstance(xs, Tensor) else list(xs)
+    if not ys_list:
+        raise GraphError("gradients() needs at least one y")
+
+    accumulated: Dict[str, Tensor] = {}
+    if grad_ys is None:
+        for y in ys_list:
+            accumulated[y.name] = _ones_like(y)
+    else:
+        if len(grad_ys) != len(ys_list):
+            raise GraphError("grad_ys must match ys in length")
+        for y, gy in zip(ys_list, grad_ys):
+            accumulated[y.name] = gy
+
+    for op in _backward_reachable(ys_list):
+        # Gather this op's output gradient (only single-output ops and
+        # dropout-style (value, state) ops are differentiated; state
+        # outputs receive no gradient).
+        grad_out = accumulated.get(op.outputs[0].name)
+        if grad_out is None:
+            continue
+        grad_fn = GRADIENT_REGISTRY.get(op.op_type)
+        if grad_fn is None:
+            continue  # gradient sink (placeholders, comparisons, ...)
+        input_grads = grad_fn(op, grad_out)
+        if len(input_grads) != len(op.inputs):
+            raise GraphError(
+                f"gradient of {op.op_type!r} returned {len(input_grads)} "
+                f"grads for {len(op.inputs)} inputs"
+            )
+        for inp, grad in zip(op.inputs, input_grads):
+            if grad is None:
+                continue
+            existing = accumulated.get(inp.name)
+            accumulated[inp.name] = (
+                grad if existing is None else add(existing, grad, name="grad_acc")
+            )
+
+    return [accumulated.get(x.name) for x in xs_list]

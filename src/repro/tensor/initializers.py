@@ -1,0 +1,78 @@
+"""Weight initializers (deterministic, seeded via numpy Generators)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+Initializer = Callable[[Sequence[int], np.random.Generator], np.ndarray]
+
+
+def zeros() -> Initializer:
+    def init(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(shape, dtype=np.float32)
+
+    return init
+
+
+def ones() -> Initializer:
+    def init(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        return np.ones(shape, dtype=np.float32)
+
+    return init
+
+
+def constant_fill(value: float) -> Initializer:
+    def init(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        return np.full(shape, value, dtype=np.float32)
+
+    return init
+
+
+def random_normal(stddev: float = 0.05, mean: float = 0.0) -> Initializer:
+    def init(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(mean, stddev, size=shape).astype(np.float32)
+
+    return init
+
+
+def truncated_normal(stddev: float = 0.05) -> Initializer:
+    """Normal samples with |x - mean| > 2*stddev resampled (TF semantics)."""
+
+    def init(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        samples = rng.normal(0.0, stddev, size=shape)
+        bad = np.abs(samples) > 2 * stddev
+        while bad.any():
+            samples[bad] = rng.normal(0.0, stddev, size=int(bad.sum()))
+            bad = np.abs(samples) > 2 * stddev
+        return samples.astype(np.float32)
+
+    return init
+
+
+def _fan_in_out(shape: Sequence[int]) -> "tuple[int, int]":
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:  # kh, kw, cin, cout
+        receptive = shape[0] * shape[1]
+        return receptive * shape[2], receptive * shape[3]
+    n = int(np.prod(shape[:-1])) if len(shape) > 1 else shape[0]
+    return n, shape[-1]
+
+
+def glorot_uniform() -> Initializer:
+    def init(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        fan_in, fan_out = _fan_in_out(shape)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+    return init
+
+
+def he_normal() -> Initializer:
+    def init(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        fan_in, _ = _fan_in_out(shape)
+        return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape).astype(np.float32)
+
+    return init

@@ -1,0 +1,25 @@
+"""TensorFlow Lite analogue: converter, flat model format, interpreter.
+
+The paper's classification path (§3.3.4, §4.2) uses TensorFlow Lite
+inside the enclave because its binary is ~46× smaller than full
+TensorFlow's (1.9 MB vs 87.4 MB), which decides whether the hot code fits
+in the EPC next to the model.  This subpackage mirrors that pipeline:
+freeze a trained graph, convert it to the flat Lite format (folding
+pass-through ops, checking the restricted op set — Lite cannot train by
+design), and run it with the mobile-optimized interpreter profile.
+"""
+
+from repro.tensor.lite.schema import LiteModel, LITE_MAGIC
+from repro.tensor.lite.converter import LiteConverter, LITE_SUPPORTED_OPS
+from repro.tensor.lite.interpreter import Interpreter
+from repro.tensor.lite.optimize import prune, quantize
+
+__all__ = [
+    "LiteModel",
+    "LITE_MAGIC",
+    "LiteConverter",
+    "LITE_SUPPORTED_OPS",
+    "Interpreter",
+    "quantize",
+    "prune",
+]

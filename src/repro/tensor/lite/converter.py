@@ -1,0 +1,135 @@
+"""Frozen-graph → Lite conversion.
+
+Checks the restricted op set (Lite performs forward passes only — §2.1:
+"TensorFlow Lite can only perform forward passes in graphs"), folds
+pass-through ops (identity / stop_gradient), and plans the tensor arena.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.crypto import encoding
+from repro.errors import LiteConversionError
+from repro.tensor.lite.schema import LiteModel
+from repro.tensor.saver import MAGIC as GRAPH_MAGIC
+
+#: Inference ops the Lite interpreter implements.  No gradients, no
+#: assignments, no cross-entropy: training graphs are rejected.
+LITE_SUPPORTED_OPS: Set[str] = {
+    "const",
+    "placeholder",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "pow",
+    "maximum",
+    "minimum",
+    "equal",
+    "greater",
+    "neg",
+    "square",
+    "sqrt",
+    "exp",
+    "log",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "cast",
+    "matmul",
+    "reduce_sum",
+    "reduce_mean",
+    "reduce_max",
+    "argmax",
+    "reshape",
+    "transpose",
+    "concat",
+    "pad",
+    "expand_dims",
+    "tile",
+    "conv2d",
+    "max_pool",
+    "avg_pool",
+    "bias_add",
+}
+
+_FOLDABLE = {"identity", "stop_gradient"}
+
+
+class LiteConverter:
+    """Converts a frozen graph blob into a :class:`LiteModel`."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+
+    def convert(
+        self,
+        frozen_graph: bytes,
+        declared_size: Optional[int] = None,
+    ) -> LiteModel:
+        """Validate, fold, plan the arena, and pack the model."""
+        try:
+            payload = encoding.decode(frozen_graph)
+        except Exception as exc:
+            raise LiteConversionError("input is not a serialized graph") from exc
+        if not isinstance(payload, dict) or payload.get("magic") != GRAPH_MAGIC:
+            raise LiteConversionError("input is not a secureTF frozen graph")
+
+        records: List[dict] = payload["ops"]
+        alias: Dict[str, str] = {}
+        kept: List[dict] = []
+        weight_bytes = 0
+        for record in records:
+            op_type = record["op_type"]
+            resolved_inputs = [alias.get(name, name) for name in record["inputs"]]
+            if op_type in _FOLDABLE:
+                alias[f"{record['name']}:0"] = resolved_inputs[0]
+                continue
+            if op_type == "variable":
+                raise LiteConversionError(
+                    f"graph contains unfrozen variable {record['name']!r}; "
+                    f"Lite models must be frozen (the paper trains with full "
+                    f"TensorFlow and converts for inference)"
+                )
+            if op_type not in LITE_SUPPORTED_OPS:
+                raise LiteConversionError(
+                    f"op {record['name']!r} of type {op_type!r} is not in the "
+                    f"Lite op set"
+                )
+            if op_type == "const":
+                value = record["attrs"].get("value")
+                if isinstance(value, dict) and value.get("__ndarray__"):
+                    weight_bytes += len(value["data"])
+            kept.append({**record, "inputs": resolved_inputs})
+
+        folded_outputs = [alias.get(n, n) for n in payload["outputs"]]
+        folded_inputs = [alias.get(n, n) for n in payload.get("inputs", [])]
+        scales = dict(payload.get("scales", {}))
+        graph_blob = encoding.encode(
+            {
+                "magic": GRAPH_MAGIC,
+                "ops": kept,
+                "outputs": folded_outputs,
+                "inputs": folded_inputs,
+                "scales": scales,
+            }
+        )
+        arena = self._plan_arena(weight_bytes, scales.get("weight_scale", 1.0))
+        return LiteModel(
+            name=self.name,
+            graph_blob=graph_blob,
+            arena_size=arena,
+            scales=scales,
+            declared_size=declared_size,
+        )
+
+    @staticmethod
+    def _plan_arena(weight_bytes: int, weight_scale: float) -> int:
+        """Plan the activation arena: a fraction of the scaled weights,
+        floored at 1 MiB (Lite reuses buffers aggressively)."""
+        scaled = int(weight_bytes * weight_scale)
+        return max(1024 * 1024, scaled // 16)

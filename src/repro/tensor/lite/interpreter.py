@@ -1,0 +1,107 @@
+"""The Lite interpreter: forward-only model execution.
+
+API mirrors TensorFlow Lite: load a model, ``allocate_tensors()``, set
+inputs, ``invoke()``, read outputs.  Execution reuses the real numpy
+kernels through an internal :class:`Session`, but charges the simulated
+clock with :data:`~repro.tensor.engine.LITE_PROFILE` — the small-binary,
+low-dispatch-overhead interpreter the paper deploys in enclaves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import LiteConversionError
+from repro.runtime.scone import SconeRuntime
+from repro.tensor.engine import ExecutionEngine, LITE_PROFILE
+from repro.tensor.lite.schema import LiteModel
+from repro.tensor.saver import import_graph
+from repro.tensor.session import Session
+
+
+class Interpreter:
+    """Loads and runs one Lite model."""
+
+    def __init__(
+        self,
+        model: Union[LiteModel, bytes],
+        runtime: Optional[SconeRuntime] = None,
+        threads: int = 1,
+    ) -> None:
+        self.model = (
+            model if isinstance(model, LiteModel) else LiteModel.from_bytes(model)
+        )
+        self._runtime = runtime
+        self._threads = threads
+        self._session: Optional[Session] = None
+        self._imported = None
+
+    def allocate_tensors(self) -> None:
+        """Import the graph and build the execution session."""
+        imported = import_graph(self.model.graph_blob)
+        if not imported.inputs:
+            raise LiteConversionError(
+                "Lite model declares no inputs; re-convert with input tensors"
+            )
+        engine = None
+        if self._runtime is not None:
+            engine = ExecutionEngine(self._runtime, LITE_PROFILE, threads=self._threads)
+            engine.arena_hint = self.model.arena_size
+        self._imported = imported
+        self._session = Session(
+            graph=imported.graph, engine=engine, threads=self._threads
+        )
+
+    @property
+    def engine(self) -> Optional[ExecutionEngine]:
+        """The attached execution engine (None when cost-free)."""
+        self._check_allocated()
+        return self._session.engine
+
+    @property
+    def input_names(self) -> List[str]:
+        self._check_allocated()
+        return [t.name for t in self._imported.inputs]
+
+    @property
+    def output_names(self) -> List[str]:
+        self._check_allocated()
+        return [t.name for t in self._imported.outputs]
+
+    def invoke(self, inputs: Union[np.ndarray, List[Any], Dict[str, Any]]) -> List[np.ndarray]:
+        """Run one forward pass; returns the output arrays in order."""
+        self._check_allocated()
+        feed: Dict[Any, Any] = {}
+        declared = self._imported.inputs
+        if isinstance(inputs, dict):
+            for name, value in inputs.items():
+                feed[self._imported.graph.get_tensor(name)] = value
+        elif isinstance(inputs, (list, tuple)):
+            if len(inputs) != len(declared):
+                raise LiteConversionError(
+                    f"model expects {len(declared)} inputs, got {len(inputs)}"
+                )
+            for tensor, value in zip(declared, inputs):
+                feed[tensor] = value
+        else:
+            if len(declared) != 1:
+                raise LiteConversionError(
+                    f"model expects {len(declared)} inputs; pass a list or dict"
+                )
+            feed[declared[0]] = inputs
+        outputs = self._session.run(list(self._imported.outputs), feed_dict=feed)
+        return [np.asarray(value) for value in outputs]
+
+    def classify(self, inputs: Any) -> int:
+        """Convenience: argmax of the first output (label_image-style)."""
+        outputs = self.invoke(inputs)
+        first = outputs[0]
+        return int(np.argmax(first[0] if first.ndim > 1 else first))
+
+    def _check_allocated(self) -> None:
+        if self._session is None or self._imported is None:
+            raise LiteConversionError(
+                "call allocate_tensors() before using the interpreter"
+            )

@@ -1,0 +1,69 @@
+"""The flat Lite model format.
+
+A Lite model is a single canonical-encoded blob: the frozen graph, the
+planned arena size, a cost scale, and metadata.  ``declared_size`` lets
+the model zoo give a stand-in model the on-disk footprint of the paper's
+real models (42/91/163 MB) — the file-system shield and enclave memory
+charge for that size while the embedded weights stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.crypto import encoding
+from repro.errors import LiteConversionError
+
+LITE_MAGIC = "securetf-lite-v1"
+
+
+@dataclass(frozen=True)
+class LiteModel:
+    """An immutable converted model."""
+
+    name: str
+    graph_blob: bytes
+    arena_size: int
+    scales: Dict[str, float] = field(default_factory=dict)
+    declared_size: Optional[int] = None
+
+    def to_bytes(self) -> bytes:
+        return encoding.encode(
+            {
+                "magic": LITE_MAGIC,
+                "name": self.name,
+                "graph": self.graph_blob,
+                "arena_size": self.arena_size,
+                "scales": {k: float(v) for k, v in self.scales.items()},
+                "declared_size": self.declared_size,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LiteModel":
+        try:
+            payload = encoding.decode(data)
+        except Exception as exc:
+            raise LiteConversionError("malformed Lite model blob") from exc
+        if not isinstance(payload, dict) or payload.get("magic") != LITE_MAGIC:
+            raise LiteConversionError("not a secureTF Lite model")
+        try:
+            return cls(
+                name=payload["name"],
+                graph_blob=payload["graph"],
+                arena_size=payload["arena_size"],
+                scales=dict(payload["scales"]),
+                declared_size=payload["declared_size"],
+            )
+        except KeyError as exc:
+            raise LiteConversionError(f"Lite model missing field {exc}") from exc
+
+    @property
+    def size_bytes(self) -> int:
+        """The simulated on-disk size (declared, or the real blob size)."""
+        return (
+            self.declared_size
+            if self.declared_size is not None
+            else len(self.to_bytes())
+        )

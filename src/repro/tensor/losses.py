@@ -1,0 +1,29 @@
+"""Loss builders."""
+
+from __future__ import annotations
+
+from repro.tensor import nn
+from repro.tensor.graph import Tensor
+from repro.tensor.ops import core as ops
+
+
+def softmax_cross_entropy(labels: Tensor, logits: Tensor, name="xent_loss") -> Tensor:
+    """Mean softmax cross-entropy over the batch (one-hot labels)."""
+    per_example = nn.softmax_cross_entropy_with_logits(labels, logits)
+    return ops.reduce_mean(per_example, name=name)
+
+
+def mean_squared_error(labels: Tensor, predictions: Tensor, name="mse_loss") -> Tensor:
+    """Mean of squared residuals over all elements."""
+    return ops.reduce_mean(ops.square(ops.sub(predictions, labels)), name=name)
+
+
+def l2_regularization(variables, scale: float, name="l2_reg") -> Tensor:
+    """``scale * sum(||v||²)`` over trainable variables."""
+    if not variables:
+        raise ValueError("l2_regularization needs at least one variable")
+    total = None
+    for var in variables:
+        term = ops.reduce_sum(ops.square(var.tensor))
+        total = term if total is None else ops.add(total, term)
+    return ops.mul(ops.constant(scale, graph=total.graph), total, name=name)

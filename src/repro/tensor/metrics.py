@@ -1,0 +1,33 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+from repro.tensor.graph import Tensor
+from repro.tensor.ops import core as ops
+
+
+def accuracy(labels: Tensor, logits: Tensor, name: str = "accuracy") -> Tensor:
+    """Fraction of examples whose argmax prediction matches one-hot labels."""
+    predicted = ops.argmax(logits, axis=-1)
+    actual = ops.argmax(labels, axis=-1)
+    correct = ops.cast(ops.equal(predicted, actual), "float32")
+    return ops.reduce_mean(correct, name=name)
+
+
+def top_k_accuracy(labels: Tensor, logits: Tensor, k: int, name="topk") -> Tensor:
+    """Fraction of examples whose true class is in the top-k predictions."""
+    import numpy as np
+
+    from repro.tensor.ops.core import make_op
+
+    def kernel(op, lab, log_):
+        kk = op.attrs["k"]
+        top = np.argsort(log_, axis=-1)[:, -kk:]
+        actual = np.argmax(lab, axis=-1)
+        hits = (top == actual[:, None]).any(axis=-1)
+        return np.float32(hits.mean())
+
+    return make_op(
+        "top_k_accuracy", [labels, logits], (), "float32", kernel, name=name,
+        attrs={"k": k},
+    )

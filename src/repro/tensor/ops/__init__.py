@@ -1,0 +1,159 @@
+"""Operation registry and builders.
+
+Every op type registers three things:
+
+- a **kernel** (numpy forward function) attached to the Operation,
+- a **gradient function** in :data:`GRADIENT_REGISTRY` that, given the
+  op and the incoming gradient tensor, *builds backward graph nodes*
+  (TF-1.x ``tf.gradients`` style),
+- a **cost function** in :data:`FLOPS_REGISTRY` mapping concrete input/
+  output arrays to FLOPs (the execution engine sums these per run).
+
+``repro.tensor.ops.core`` registers the math/array ops; ``repro.tensor.nn``
+registers the neural-network ops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.tensor.graph import Graph, Operation, Tensor
+
+#: op_type -> fn(op, grad_tensor) -> list of per-input gradient Tensors
+#: (None for non-differentiable inputs).
+GRADIENT_REGISTRY: Dict[str, Callable[[Operation, Tensor], List[Optional[Tensor]]]] = {}
+
+#: op_type -> fn(op, input_values, output_value) -> flops (int).
+FLOPS_REGISTRY: Dict[str, Callable[[Operation, List[Any], Any], int]] = {}
+
+
+def register_gradient(op_type: str):
+    """Decorator: register a gradient builder for ``op_type``."""
+
+    def wrap(fn):
+        if op_type in GRADIENT_REGISTRY:
+            raise GraphError(f"gradient for {op_type!r} registered twice")
+        GRADIENT_REGISTRY[op_type] = fn
+        return fn
+
+    return wrap
+
+
+def register_flops(op_type: str):
+    """Decorator: register a FLOP counter for ``op_type``."""
+
+    def wrap(fn):
+        FLOPS_REGISTRY[op_type] = fn
+        return fn
+
+    return wrap
+
+
+def flops_of(op: Operation, input_values: List[Any], output_value: Any) -> int:
+    """FLOPs of one executed op (default: one per output element)."""
+    fn = FLOPS_REGISTRY.get(op.op_type)
+    if fn is not None:
+        return int(fn(op, input_values, output_value))
+    if isinstance(output_value, np.ndarray):
+        return int(output_value.size)
+    return 1
+
+
+def as_tensor(value: Any, graph: Optional[Graph] = None, name: str = "const") -> Tensor:
+    """Coerce a python/numpy value to a constant Tensor (pass through
+    existing tensors)."""
+    if isinstance(value, Tensor):
+        return value
+    from repro.tensor.ops.core import constant
+
+    return constant(value, name=name, graph=graph)
+
+
+# Import op implementations for their registration side effects and
+# re-export the public builders.
+from repro.tensor.ops.core import (  # noqa: E402
+    add,
+    argmax,
+    cast,
+    concat,
+    constant,
+    div,
+    equal,
+    exp,
+    expand_dims,
+    greater,
+    identity,
+    log,
+    make_op,
+    matmul,
+    maximum,
+    minimum,
+    mul,
+    neg,
+    pad,
+    placeholder,
+    pow_,
+    reduce_max,
+    reduce_mean,
+    reduce_sum,
+    relu,
+    reshape,
+    sigmoid,
+    softmax,
+    sqrt,
+    square,
+    stop_gradient,
+    sub,
+    tanh,
+    tile,
+    transpose,
+    unbroadcast_to,
+)
+
+__all__ = [
+    "GRADIENT_REGISTRY",
+    "FLOPS_REGISTRY",
+    "register_gradient",
+    "register_flops",
+    "flops_of",
+    "as_tensor",
+    "make_op",
+    "constant",
+    "placeholder",
+    "identity",
+    "stop_gradient",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "square",
+    "sqrt",
+    "exp",
+    "log",
+    "pow_",
+    "matmul",
+    "reduce_sum",
+    "reduce_mean",
+    "reduce_max",
+    "maximum",
+    "minimum",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "argmax",
+    "equal",
+    "greater",
+    "cast",
+    "reshape",
+    "transpose",
+    "concat",
+    "pad",
+    "expand_dims",
+    "tile",
+    "unbroadcast_to",
+]

@@ -1,0 +1,918 @@
+"""Math and array operations (kernels, shapes, gradients, FLOP counts)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError, ShapeError
+from repro.tensor.graph import Graph, Operation, Shape, Tensor, get_default_graph
+
+
+def _numel(shape: Sequence[Optional[int]]) -> int:
+    n = 1
+    for dim in shape:
+        n *= dim if dim is not None else 1
+    return n
+
+
+def broadcast_shape(a: Shape, b: Shape) -> Shape:
+    """Numpy broadcasting over static shapes; None is compatible with all."""
+    result: List[Optional[int]] = []
+    for da, db in zip(_pad_shape(a, len(b)), _pad_shape(b, len(a))):
+        if da is None or db is None:
+            result.append(None if (da is None and db is None) else (da if db in (1, None) else db))
+        elif da == db:
+            result.append(da)
+        elif da == 1:
+            result.append(db)
+        elif db == 1:
+            result.append(da)
+        else:
+            raise ShapeError(f"cannot broadcast shapes {a} and {b}")
+    return tuple(result)
+
+
+def _pad_shape(shape: Shape, to_rank: int) -> Shape:
+    if len(shape) >= to_rank:
+        return shape
+    return (1,) * (to_rank - len(shape)) + tuple(shape)
+
+
+def make_op(
+    op_type: str,
+    inputs: Sequence[Tensor],
+    output_shape: Shape,
+    output_dtype: str,
+    compute,
+    name: Optional[str] = None,
+    attrs: Optional[dict] = None,
+    graph: Optional[Graph] = None,
+) -> Tensor:
+    """Create a single-output operation and return its tensor."""
+    if graph is None:
+        graph = inputs[0].graph if inputs else get_default_graph()
+    op = Operation(
+        graph=graph,
+        op_type=op_type,
+        name=name or op_type,
+        inputs=inputs,
+        attrs=attrs or {},
+        output_shapes=[output_shape],
+        output_dtypes=[output_dtype],
+        compute=compute,
+    )
+    return op.output
+
+
+# ---------------------------------------------------------------------------
+# Sources
+# ---------------------------------------------------------------------------
+
+
+def constant(
+    value: Any,
+    dtype: Optional[str] = None,
+    name: str = "const",
+    graph: Optional[Graph] = None,
+) -> Tensor:
+    """A compile-time constant embedded in the graph."""
+    array = np.asarray(value)
+    if dtype is not None:
+        array = array.astype(dtype)
+    elif array.dtype == np.float64:
+        array = array.astype(np.float32)
+    return make_op(
+        "const",
+        [],
+        tuple(array.shape),
+        str(array.dtype),
+        lambda op: op.attrs["value"],
+        name=name,
+        attrs={"value": array},
+        graph=graph,
+    )
+
+
+def placeholder(
+    dtype: str,
+    shape: Shape,
+    name: str = "placeholder",
+    graph: Optional[Graph] = None,
+) -> Tensor:
+    """A graph input that must be fed at ``Session.run`` time."""
+
+    def _must_feed(op: Operation) -> Any:
+        raise GraphError(f"placeholder {op.name!r} was not fed")
+
+    return make_op(
+        "placeholder",
+        [],
+        tuple(shape),
+        dtype,
+        _must_feed,
+        name=name,
+        attrs={"dtype": dtype, "shape": tuple(shape)},
+        graph=graph,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Elementwise unary
+# ---------------------------------------------------------------------------
+
+
+def _unary(op_type: str, x: Tensor, kernel, name=None, dtype=None) -> Tensor:
+    return make_op(
+        op_type,
+        [x],
+        x.shape,
+        dtype or x.dtype,
+        lambda op, value: kernel(value),
+        name=name,
+    )
+
+
+def identity(x: Tensor, name: str = "identity") -> Tensor:
+    return _unary("identity", x, lambda v: v, name=name)
+
+
+def stop_gradient(x: Tensor, name: str = "stop_gradient") -> Tensor:
+    """Identity in the forward pass; blocks gradient flow backward."""
+    return _unary("stop_gradient", x, lambda v: v, name=name)
+
+
+def neg(x: Tensor, name: str = "neg") -> Tensor:
+    return _unary("neg", x, np.negative, name=name)
+
+
+def square(x: Tensor, name: str = "square") -> Tensor:
+    return _unary("square", x, np.square, name=name)
+
+
+def sqrt(x: Tensor, name: str = "sqrt") -> Tensor:
+    return _unary("sqrt", x, np.sqrt, name=name)
+
+
+def exp(x: Tensor, name: str = "exp") -> Tensor:
+    return _unary("exp", x, np.exp, name=name)
+
+
+def log(x: Tensor, name: str = "log") -> Tensor:
+    return _unary("log", x, np.log, name=name)
+
+
+def relu(x: Tensor, name: str = "relu") -> Tensor:
+    return _unary("relu", x, lambda v: np.maximum(v, 0), name=name)
+
+
+def sigmoid(x: Tensor, name: str = "sigmoid") -> Tensor:
+    return _unary(
+        "sigmoid", x, lambda v: 1.0 / (1.0 + np.exp(-v)), name=name
+    )
+
+
+def tanh(x: Tensor, name: str = "tanh") -> Tensor:
+    return _unary("tanh", x, np.tanh, name=name)
+
+
+def cast(x: Tensor, dtype: str, name: str = "cast") -> Tensor:
+    return make_op(
+        "cast",
+        [x],
+        x.shape,
+        dtype,
+        lambda op, v: np.asarray(v).astype(op.attrs["dtype"]),
+        name=name,
+        attrs={"dtype": dtype},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Elementwise binary (broadcasting)
+# ---------------------------------------------------------------------------
+
+
+def _binary(op_type: str, a: Tensor, b: Tensor, kernel, name=None, dtype=None) -> Tensor:
+    return make_op(
+        op_type,
+        [a, b],
+        broadcast_shape(a.shape, b.shape),
+        dtype or a.dtype,
+        lambda op, va, vb: kernel(va, vb),
+        name=name,
+    )
+
+
+def add(a: Tensor, b: Tensor, name: str = "add") -> Tensor:
+    return _binary("add", a, b, np.add, name=name)
+
+
+def sub(a: Tensor, b: Tensor, name: str = "sub") -> Tensor:
+    return _binary("sub", a, b, np.subtract, name=name)
+
+
+def mul(a: Tensor, b: Tensor, name: str = "mul") -> Tensor:
+    return _binary("mul", a, b, np.multiply, name=name)
+
+
+def div(a: Tensor, b: Tensor, name: str = "div") -> Tensor:
+    return _binary("div", a, b, np.divide, name=name)
+
+
+def pow_(a: Tensor, b: Tensor, name: str = "pow") -> Tensor:
+    return _binary("pow", a, b, np.power, name=name)
+
+
+def maximum(a: Tensor, b: Tensor, name: str = "maximum") -> Tensor:
+    return _binary("maximum", a, b, np.maximum, name=name)
+
+
+def minimum(a: Tensor, b: Tensor, name: str = "minimum") -> Tensor:
+    return _binary("minimum", a, b, np.minimum, name=name)
+
+
+def equal(a: Tensor, b: Tensor, name: str = "equal") -> Tensor:
+    return _binary("equal", a, b, np.equal, name=name, dtype="bool")
+
+
+def greater(a: Tensor, b: Tensor, name: str = "greater") -> Tensor:
+    return _binary("greater", a, b, np.greater, name=name, dtype="bool")
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra
+# ---------------------------------------------------------------------------
+
+
+def matmul(a: Tensor, b: Tensor, name: str = "matmul") -> Tensor:
+    if a.rank != 2 or b.rank != 2:
+        raise ShapeError(f"matmul expects rank-2 tensors, got {a.shape} @ {b.shape}")
+    if a.shape[1] is not None and b.shape[0] is not None and a.shape[1] != b.shape[0]:
+        raise ShapeError(f"matmul inner dims disagree: {a.shape} @ {b.shape}")
+    return make_op(
+        "matmul",
+        [a, b],
+        (a.shape[0], b.shape[1]),
+        a.dtype,
+        lambda op, va, vb: va @ vb,
+        name=name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+
+def _reduction(op_type, x, kernel, axis, keepdims, name) -> Tensor:
+    if axis is None:
+        out_shape: Shape = () if not keepdims else (1,) * x.rank
+    else:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        axes = tuple(a % x.rank for a in axes)
+        dims = list(x.shape)
+        for a in sorted(axes, reverse=True):
+            if keepdims:
+                dims[a] = 1
+            else:
+                del dims[a]
+        out_shape = tuple(dims)
+    return make_op(
+        op_type,
+        [x],
+        out_shape,
+        x.dtype,
+        lambda op, v: kernel(
+            v, axis=op.attrs["axis"], keepdims=op.attrs["keepdims"]
+        ),
+        name=name,
+        attrs={"axis": axis if axis is None or isinstance(axis, int) else tuple(axis), "keepdims": keepdims},
+    )
+
+
+def reduce_sum(x: Tensor, axis=None, keepdims: bool = False, name="reduce_sum") -> Tensor:
+    return _reduction("reduce_sum", x, np.sum, axis, keepdims, name)
+
+
+def reduce_mean(x: Tensor, axis=None, keepdims: bool = False, name="reduce_mean") -> Tensor:
+    return _reduction("reduce_mean", x, np.mean, axis, keepdims, name)
+
+
+def reduce_max(x: Tensor, axis=None, keepdims: bool = False, name="reduce_max") -> Tensor:
+    return _reduction("reduce_max", x, np.max, axis, keepdims, name)
+
+
+def argmax(x: Tensor, axis: int = -1, name: str = "argmax") -> Tensor:
+    axis = axis % x.rank
+    out_shape = tuple(d for i, d in enumerate(x.shape) if i != axis)
+    return make_op(
+        "argmax",
+        [x],
+        out_shape,
+        "int64",
+        lambda op, v: np.argmax(v, axis=op.attrs["axis"]),
+        name=name,
+        attrs={"axis": axis},
+    )
+
+
+def softmax(x: Tensor, name: str = "softmax") -> Tensor:
+    """Numerically stable softmax over the last axis."""
+
+    def kernel(op: Operation, v: np.ndarray) -> np.ndarray:
+        shifted = v - np.max(v, axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        return e / np.sum(e, axis=-1, keepdims=True)
+
+    return make_op("softmax", [x], x.shape, x.dtype, kernel, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Shape manipulation
+# ---------------------------------------------------------------------------
+
+
+def reshape(x: Tensor, shape: Sequence[Optional[int]], name="reshape") -> Tensor:
+    target = tuple(shape)
+
+    def kernel(op: Operation, v: np.ndarray) -> np.ndarray:
+        concrete = [(-1 if d is None else d) for d in op.attrs["shape"]]
+        if concrete.count(-1) > 1:
+            # Keep the batch dimension, infer the rest from the value.
+            concrete = [v.shape[0]] + [
+                (-1 if d == -1 else d) for d in concrete[1:]
+            ]
+        return np.reshape(v, concrete)
+
+    out_shape = tuple(None if d in (None, -1) else d for d in target)
+    return make_op(
+        "reshape", [x], out_shape, x.dtype, kernel, name=name, attrs={"shape": target}
+    )
+
+
+def transpose(x: Tensor, perm: Sequence[int], name="transpose") -> Tensor:
+    perm = tuple(perm)
+    if sorted(perm) != list(range(x.rank)):
+        raise ShapeError(f"invalid permutation {perm} for rank {x.rank}")
+    out_shape = tuple(x.shape[p] for p in perm)
+    return make_op(
+        "transpose",
+        [x],
+        out_shape,
+        x.dtype,
+        lambda op, v: np.transpose(v, op.attrs["perm"]),
+        name=name,
+        attrs={"perm": perm},
+    )
+
+
+def concat(tensors: Sequence[Tensor], axis: int, name="concat") -> Tensor:
+    if not tensors:
+        raise GraphError("concat of zero tensors")
+    rank = tensors[0].rank
+    axis = axis % rank
+    dims: List[Optional[int]] = list(tensors[0].shape)
+    total = 0
+    for t in tensors:
+        if t.rank != rank:
+            raise ShapeError("concat inputs must share rank")
+        if t.shape[axis] is None:
+            total = None  # type: ignore[assignment]
+        if total is not None:
+            total += t.shape[axis]
+    dims[axis] = total
+    return make_op(
+        "concat",
+        list(tensors),
+        tuple(dims),
+        tensors[0].dtype,
+        lambda op, *values: np.concatenate(values, axis=op.attrs["axis"]),
+        name=name,
+        attrs={"axis": axis},
+    )
+
+
+def pad(x: Tensor, paddings: Sequence[Tuple[int, int]], name="pad") -> Tensor:
+    paddings = tuple((int(a), int(b)) for a, b in paddings)
+    if len(paddings) != x.rank:
+        raise ShapeError(f"pad needs {x.rank} (before, after) pairs")
+    out_shape = tuple(
+        None if d is None else d + before + after
+        for d, (before, after) in zip(x.shape, paddings)
+    )
+    return make_op(
+        "pad",
+        [x],
+        out_shape,
+        x.dtype,
+        lambda op, v: np.pad(v, op.attrs["paddings"]),
+        name=name,
+        attrs={"paddings": paddings},
+    )
+
+
+def expand_dims(x: Tensor, axis: int, name="expand_dims") -> Tensor:
+    axis = axis % (x.rank + 1)
+    out_shape = x.shape[:axis] + (1,) + x.shape[axis:]
+    return make_op(
+        "expand_dims",
+        [x],
+        out_shape,
+        x.dtype,
+        lambda op, v: np.expand_dims(v, op.attrs["axis"]),
+        name=name,
+        attrs={"axis": axis},
+    )
+
+
+def tile(x: Tensor, multiples: Sequence[int], name="tile") -> Tensor:
+    multiples = tuple(int(m) for m in multiples)
+    if len(multiples) != x.rank:
+        raise ShapeError(f"tile needs {x.rank} multiples")
+    out_shape = tuple(
+        None if d is None else d * m for d, m in zip(x.shape, multiples)
+    )
+    return make_op(
+        "tile",
+        [x],
+        out_shape,
+        x.dtype,
+        lambda op, v: np.tile(v, op.attrs["multiples"]),
+        name=name,
+        attrs={"multiples": multiples},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gradient helper ops (dedicated kernels keep backward graphs small)
+# ---------------------------------------------------------------------------
+
+
+def unbroadcast_to(grad: Tensor, ref: Tensor, name="unbroadcast") -> Tensor:
+    """Sum ``grad`` down to the (runtime) shape of ``ref``."""
+
+    def kernel(op: Operation, g: np.ndarray, ref_value: np.ndarray) -> np.ndarray:
+        g = np.asarray(g)
+        target = np.asarray(ref_value).shape
+        while g.ndim > len(target):
+            g = g.sum(axis=0)
+        for axis, dim in enumerate(target):
+            if dim == 1 and g.shape[axis] != 1:
+                g = g.sum(axis=axis, keepdims=True)
+        return g.reshape(target)
+
+    return make_op("unbroadcast", [grad, ref], ref.shape, grad.dtype, kernel, name=name)
+
+
+def _relu_grad(grad: Tensor, x: Tensor) -> Tensor:
+    return make_op(
+        "relu_grad",
+        [grad, x],
+        x.shape,
+        grad.dtype,
+        lambda op, g, v: g * (v > 0),
+        name="relu_grad",
+    )
+
+
+def _reduce_sum_grad(grad: Tensor, x: Tensor, axis, keepdims) -> Tensor:
+    def kernel(op: Operation, g: np.ndarray, v: np.ndarray) -> np.ndarray:
+        g = np.asarray(g)
+        ax = op.attrs["axis"]
+        if ax is not None and not op.attrs["keepdims"]:
+            axes = (ax,) if isinstance(ax, int) else tuple(ax)
+            for a in sorted(a % v.ndim for a in axes):
+                g = np.expand_dims(g, a)
+        return np.broadcast_to(g, v.shape).astype(v.dtype, copy=False)
+
+    return make_op(
+        "reduce_sum_grad",
+        [grad, x],
+        x.shape,
+        grad.dtype,
+        kernel,
+        name="reduce_sum_grad",
+        attrs={"axis": axis, "keepdims": keepdims},
+    )
+
+
+def _reduce_mean_grad(grad: Tensor, x: Tensor, axis, keepdims) -> Tensor:
+    def kernel(op: Operation, g: np.ndarray, v: np.ndarray) -> np.ndarray:
+        g = np.asarray(g)
+        ax = op.attrs["axis"]
+        if ax is None:
+            count = v.size
+        else:
+            axes = (ax,) if isinstance(ax, int) else tuple(ax)
+            count = 1
+            for a in axes:
+                count *= v.shape[a % v.ndim]
+            if not op.attrs["keepdims"]:
+                for a in sorted(a % v.ndim for a in axes):
+                    g = np.expand_dims(g, a)
+        return (np.broadcast_to(g, v.shape) / count).astype(v.dtype, copy=False)
+
+    return make_op(
+        "reduce_mean_grad",
+        [grad, x],
+        x.shape,
+        grad.dtype,
+        kernel,
+        name="reduce_mean_grad",
+        attrs={"axis": axis, "keepdims": keepdims},
+    )
+
+
+def _reduce_max_grad(grad: Tensor, x: Tensor, y: Tensor, axis, keepdims) -> Tensor:
+    def kernel(op, g, v, out):
+        g = np.asarray(g)
+        out = np.asarray(out)
+        ax = op.attrs["axis"]
+        if ax is not None and not op.attrs["keepdims"]:
+            axes = (ax,) if isinstance(ax, int) else tuple(ax)
+            for a in sorted(a % v.ndim for a in axes):
+                g = np.expand_dims(g, a)
+                out = np.expand_dims(out, a)
+        mask = (v == out).astype(v.dtype)
+        return mask * np.broadcast_to(g, v.shape)
+
+    return make_op(
+        "reduce_max_grad",
+        [grad, x, y],
+        x.shape,
+        grad.dtype,
+        kernel,
+        name="reduce_max_grad",
+        attrs={"axis": axis, "keepdims": keepdims},
+    )
+
+
+def _mask_grad(grad: Tensor, a: Tensor, b: Tensor, side: str, kind: str) -> Tensor:
+    """Gradient helper for maximum/minimum: route grad to the winner."""
+
+    def kernel(op, g, va, vb):
+        if op.attrs["side"] == "a":
+            mask = (va >= vb) if op.attrs["kind"] == "max" else (va <= vb)
+        else:
+            mask = (vb > va) if op.attrs["kind"] == "max" else (vb < va)
+        return g * mask
+
+    return make_op(
+        "minmax_mask_grad",
+        [grad, a, b],
+        broadcast_shape(a.shape, b.shape),
+        grad.dtype,
+        kernel,
+        name="minmax_mask_grad",
+        attrs={"side": side, "kind": kind},
+    )
+
+
+def _concat_grad(grad: Tensor, op: Operation, index: int) -> Tensor:
+    """Slice the gradient of a concat back out for input ``index``."""
+
+    def kernel(grad_op: Operation, g: np.ndarray, *originals: np.ndarray) -> np.ndarray:
+        axis = grad_op.attrs["axis"]
+        idx = grad_op.attrs["index"]
+        offset = sum(o.shape[axis] for o in originals[:idx])
+        size = originals[idx].shape[axis]
+        slicer = [slice(None)] * g.ndim
+        slicer[axis] = slice(offset, offset + size)
+        return g[tuple(slicer)]
+
+    return make_op(
+        "concat_grad",
+        [grad] + list(op.inputs),
+        op.inputs[index].shape,
+        grad.dtype,
+        kernel,
+        name="concat_grad",
+        attrs={"axis": op.attrs["axis"], "index": index},
+    )
+
+
+def _pad_grad(grad: Tensor, op: Operation) -> Tensor:
+    def kernel(grad_op: Operation, g: np.ndarray) -> np.ndarray:
+        slicer = tuple(
+            slice(before, g.shape[i] - after)
+            for i, (before, after) in enumerate(grad_op.attrs["paddings"])
+        )
+        return g[slicer]
+
+    return make_op(
+        "pad_grad",
+        [grad],
+        op.inputs[0].shape,
+        grad.dtype,
+        kernel,
+        name="pad_grad",
+        attrs={"paddings": op.attrs["paddings"]},
+    )
+
+
+def _reshape_like(grad: Tensor, ref: Tensor) -> Tensor:
+    return make_op(
+        "reshape_like",
+        [grad, ref],
+        ref.shape,
+        grad.dtype,
+        lambda op, g, v: np.reshape(g, np.asarray(v).shape),
+        name="reshape_like",
+    )
+
+
+def _tile_grad(grad: Tensor, op: Operation) -> Tensor:
+    def kernel(grad_op: Operation, g: np.ndarray, v: np.ndarray) -> np.ndarray:
+        multiples = grad_op.attrs["multiples"]
+        out = g
+        for axis, m in enumerate(multiples):
+            if m > 1:
+                shape = list(out.shape)
+                shape[axis: axis + 1] = [m, v.shape[axis]]
+                out = out.reshape(shape).sum(axis=axis)
+        return out
+
+    return make_op(
+        "tile_grad",
+        [grad, op.inputs[0]],
+        op.inputs[0].shape,
+        grad.dtype,
+        kernel,
+        name="tile_grad",
+        attrs={"multiples": op.attrs["multiples"]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gradient registrations
+# ---------------------------------------------------------------------------
+
+from repro.tensor.ops import register_flops, register_gradient  # noqa: E402
+
+
+def _ub(grad: Tensor, ref: Tensor) -> Tensor:
+    """Unbroadcast unless the static shapes already match exactly."""
+    if grad.shape == ref.shape and None not in grad.shape:
+        return grad
+    return unbroadcast_to(grad, ref)
+
+
+@register_gradient("identity")
+def _grad_identity(op, grad):
+    return [grad]
+
+
+@register_gradient("stop_gradient")
+def _grad_stop(op, grad):
+    return [None]
+
+
+@register_gradient("neg")
+def _grad_neg(op, grad):
+    return [neg(grad)]
+
+
+@register_gradient("square")
+def _grad_square(op, grad):
+    x = op.inputs[0]
+    return [mul(grad, mul(constant(2.0, graph=op.graph), x))]
+
+
+@register_gradient("sqrt")
+def _grad_sqrt(op, grad):
+    y = op.outputs[0]
+    return [div(mul(constant(0.5, graph=op.graph), grad), y)]
+
+
+@register_gradient("exp")
+def _grad_exp(op, grad):
+    return [mul(grad, op.outputs[0])]
+
+
+@register_gradient("log")
+def _grad_log(op, grad):
+    return [div(grad, op.inputs[0])]
+
+
+@register_gradient("relu")
+def _grad_relu(op, grad):
+    return [_relu_grad(grad, op.inputs[0])]
+
+
+@register_gradient("sigmoid")
+def _grad_sigmoid(op, grad):
+    y = op.outputs[0]
+    one = constant(1.0, graph=op.graph)
+    return [mul(grad, mul(y, sub(one, y)))]
+
+
+@register_gradient("tanh")
+def _grad_tanh(op, grad):
+    y = op.outputs[0]
+    one = constant(1.0, graph=op.graph)
+    return [mul(grad, sub(one, square(y)))]
+
+
+@register_gradient("cast")
+def _grad_cast(op, grad):
+    src = op.inputs[0].dtype
+    if src.startswith("float"):
+        return [cast(grad, src)]
+    return [None]
+
+
+@register_gradient("add")
+def _grad_add(op, grad):
+    a, b = op.inputs
+    return [_ub(grad, a), _ub(grad, b)]
+
+
+@register_gradient("sub")
+def _grad_sub(op, grad):
+    a, b = op.inputs
+    return [_ub(grad, a), _ub(neg(grad), b)]
+
+
+@register_gradient("mul")
+def _grad_mul(op, grad):
+    a, b = op.inputs
+    return [_ub(mul(grad, b), a), _ub(mul(grad, a), b)]
+
+
+@register_gradient("div")
+def _grad_div(op, grad):
+    a, b = op.inputs
+    ga = div(grad, b)
+    gb = neg(div(mul(grad, a), square(b)))
+    return [_ub(ga, a), _ub(gb, b)]
+
+
+@register_gradient("pow")
+def _grad_pow(op, grad):
+    a, b = op.inputs
+    y = op.outputs[0]
+    ga = mul(grad, mul(b, div(y, a)))
+    gb = mul(grad, mul(y, log(a)))
+    return [_ub(ga, a), _ub(gb, b)]
+
+
+@register_gradient("maximum")
+def _grad_maximum(op, grad):
+    a, b = op.inputs
+    return [
+        _ub(_mask_grad(grad, a, b, "a", "max"), a),
+        _ub(_mask_grad(grad, a, b, "b", "max"), b),
+    ]
+
+
+@register_gradient("minimum")
+def _grad_minimum(op, grad):
+    a, b = op.inputs
+    return [
+        _ub(_mask_grad(grad, a, b, "a", "min"), a),
+        _ub(_mask_grad(grad, a, b, "b", "min"), b),
+    ]
+
+
+@register_gradient("matmul")
+def _grad_matmul(op, grad):
+    a, b = op.inputs
+    ga = matmul(grad, transpose(b, (1, 0)))
+    gb = matmul(transpose(a, (1, 0)), grad)
+    return [ga, gb]
+
+
+@register_gradient("reduce_sum")
+def _grad_reduce_sum(op, grad):
+    return [_reduce_sum_grad(grad, op.inputs[0], op.attrs["axis"], op.attrs["keepdims"])]
+
+
+@register_gradient("reduce_mean")
+def _grad_reduce_mean(op, grad):
+    return [
+        _reduce_mean_grad(grad, op.inputs[0], op.attrs["axis"], op.attrs["keepdims"])
+    ]
+
+
+@register_gradient("reduce_max")
+def _grad_reduce_max(op, grad):
+    return [
+        _reduce_max_grad(
+            grad, op.inputs[0], op.outputs[0], op.attrs["axis"], op.attrs["keepdims"]
+        )
+    ]
+
+
+@register_gradient("softmax")
+def _grad_softmax(op, grad):
+    y = op.outputs[0]
+    gy = mul(grad, y)
+    summed = reduce_sum(gy, axis=-1, keepdims=True)
+    return [sub(gy, mul(y, summed))]
+
+
+@register_gradient("reshape")
+def _grad_reshape(op, grad):
+    return [_reshape_like(grad, op.inputs[0])]
+
+
+@register_gradient("expand_dims")
+def _grad_expand_dims(op, grad):
+    return [_reshape_like(grad, op.inputs[0])]
+
+
+@register_gradient("transpose")
+def _grad_transpose(op, grad):
+    perm = op.attrs["perm"]
+    inverse = tuple(int(np.argsort(perm)[i]) for i in range(len(perm)))
+    return [transpose(grad, inverse)]
+
+
+@register_gradient("concat")
+def _grad_concat(op, grad):
+    return [_concat_grad(grad, op, i) for i in range(len(op.inputs))]
+
+
+@register_gradient("pad")
+def _grad_pad(op, grad):
+    return [_pad_grad(grad, op)]
+
+
+@register_gradient("tile")
+def _grad_tile(op, grad):
+    return [_tile_grad(grad, op)]
+
+
+# ---------------------------------------------------------------------------
+# FLOP counters (defaults to one per output element; override the rest)
+# ---------------------------------------------------------------------------
+
+_TRANSCENDENTAL_WEIGHT = 8  # exp/log/tanh/sigmoid cost several FLOPs each
+
+
+@register_flops("matmul")
+def _flops_matmul(op, input_values, output_value):
+    a, b = input_values
+    return 2 * a.shape[0] * a.shape[1] * b.shape[1]
+
+
+@register_flops("exp")
+def _flops_exp(op, input_values, output_value):
+    return _TRANSCENDENTAL_WEIGHT * output_value.size
+
+
+@register_flops("log")
+def _flops_log(op, input_values, output_value):
+    return _TRANSCENDENTAL_WEIGHT * output_value.size
+
+
+@register_flops("tanh")
+def _flops_tanh(op, input_values, output_value):
+    return _TRANSCENDENTAL_WEIGHT * output_value.size
+
+
+@register_flops("sigmoid")
+def _flops_sigmoid(op, input_values, output_value):
+    return _TRANSCENDENTAL_WEIGHT * output_value.size
+
+
+@register_flops("softmax")
+def _flops_softmax(op, input_values, output_value):
+    return (_TRANSCENDENTAL_WEIGHT + 3) * output_value.size
+
+
+@register_flops("reduce_sum")
+def _flops_reduce(op, input_values, output_value):
+    return input_values[0].size
+
+
+@register_flops("reduce_mean")
+def _flops_reduce_mean(op, input_values, output_value):
+    return input_values[0].size
+
+
+@register_flops("reduce_max")
+def _flops_reduce_max(op, input_values, output_value):
+    return input_values[0].size
+
+
+@register_flops("const")
+def _flops_const(op, input_values, output_value):
+    return 0
+
+
+@register_flops("placeholder")
+def _flops_placeholder(op, input_values, output_value):
+    return 0
+
+
+@register_flops("identity")
+def _flops_identity(op, input_values, output_value):
+    return 0
+
+
+@register_flops("stop_gradient")
+def _flops_stop(op, input_values, output_value):
+    return 0

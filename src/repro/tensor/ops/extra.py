@@ -1,0 +1,296 @@
+"""Additional operations commonly used by TensorFlow applications.
+
+Kept separate from the core set for readability; registered into the
+same gradient/FLOP registries and the saver's rebuilder table, and added
+to the Lite op set, so they work across the whole freeze/convert/serve
+pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.graph import Tensor
+from repro.tensor.ops import register_flops, register_gradient
+from repro.tensor.ops.core import make_op
+
+
+def abs_(x: Tensor, name: str = "abs") -> Tensor:
+    return make_op("abs", [x], x.shape, x.dtype, lambda op, v: np.abs(v), name=name)
+
+
+@register_gradient("abs")
+def _grad_abs(op, grad):
+    result = make_op(
+        "abs_grad",
+        [grad, op.inputs[0]],
+        op.inputs[0].shape,
+        grad.dtype,
+        lambda gop, g, v: g * np.sign(v),
+        name="abs_grad",
+    )
+    return [result]
+
+
+def leaky_relu(x: Tensor, alpha: float = 0.2, name: str = "leaky_relu") -> Tensor:
+    return make_op(
+        "leaky_relu",
+        [x],
+        x.shape,
+        x.dtype,
+        lambda op, v: np.where(v > 0, v, op.attrs["alpha"] * v),
+        name=name,
+        attrs={"alpha": float(alpha)},
+    )
+
+
+@register_gradient("leaky_relu")
+def _grad_leaky_relu(op, grad):
+    result = make_op(
+        "leaky_relu_grad",
+        [grad, op.inputs[0]],
+        op.inputs[0].shape,
+        grad.dtype,
+        lambda gop, g, v: g * np.where(v > 0, 1.0, gop.attrs["alpha"]).astype(g.dtype),
+        name="leaky_relu_grad",
+        attrs={"alpha": op.attrs["alpha"]},
+    )
+    return [result]
+
+
+def softplus(x: Tensor, name: str = "softplus") -> Tensor:
+    """log(1 + e^x), computed stably."""
+
+    def kernel(op, v):
+        return np.logaddexp(0.0, v).astype(v.dtype)
+
+    return make_op("softplus", [x], x.shape, x.dtype, kernel, name=name)
+
+
+@register_gradient("softplus")
+def _grad_softplus(op, grad):
+    result = make_op(
+        "softplus_grad",
+        [grad, op.inputs[0]],
+        op.inputs[0].shape,
+        grad.dtype,
+        lambda gop, g, v: g / (1.0 + np.exp(-v)),
+        name="softplus_grad",
+    )
+    return [result]
+
+
+def clip_by_value(
+    x: Tensor, minimum: float, maximum: float, name: str = "clip"
+) -> Tensor:
+    if minimum > maximum:
+        raise ShapeError(f"clip bounds inverted: [{minimum}, {maximum}]")
+    return make_op(
+        "clip_by_value",
+        [x],
+        x.shape,
+        x.dtype,
+        lambda op, v: np.clip(v, op.attrs["minimum"], op.attrs["maximum"]),
+        name=name,
+        attrs={"minimum": float(minimum), "maximum": float(maximum)},
+    )
+
+
+@register_gradient("clip_by_value")
+def _grad_clip(op, grad):
+    result = make_op(
+        "clip_grad",
+        [grad, op.inputs[0]],
+        op.inputs[0].shape,
+        grad.dtype,
+        lambda gop, g, v: g
+        * ((v >= gop.attrs["minimum"]) & (v <= gop.attrs["maximum"])),
+        name="clip_grad",
+        attrs=dict(op.attrs),
+    )
+    return [result]
+
+
+def squeeze(x: Tensor, axis: int, name: str = "squeeze") -> Tensor:
+    axis = axis % x.rank
+    if x.shape[axis] not in (1, None):
+        raise ShapeError(
+            f"cannot squeeze axis {axis} of size {x.shape[axis]}"
+        )
+    out_shape = x.shape[:axis] + x.shape[axis + 1:]
+    return make_op(
+        "squeeze",
+        [x],
+        out_shape,
+        x.dtype,
+        lambda op, v: np.squeeze(v, axis=op.attrs["axis"]),
+        name=name,
+        attrs={"axis": axis},
+    )
+
+
+@register_gradient("squeeze")
+def _grad_squeeze(op, grad):
+    from repro.tensor.ops.core import expand_dims
+
+    return [expand_dims(grad, op.attrs["axis"])]
+
+
+def slice_(
+    x: Tensor,
+    begin: Sequence[int],
+    size: Sequence[int],
+    name: str = "slice",
+) -> Tensor:
+    """Static slice (TF's ``tf.slice`` with concrete begin/size)."""
+    begin = tuple(int(b) for b in begin)
+    size = tuple(int(s) for s in size)
+    if len(begin) != x.rank or len(size) != x.rank:
+        raise ShapeError(
+            f"slice begin/size must have rank {x.rank}"
+        )
+    for axis, (b, s, dim) in enumerate(zip(begin, size, x.shape)):
+        if b < 0 or s <= 0:
+            raise ShapeError(f"invalid slice on axis {axis}: begin {b}, size {s}")
+        if dim is not None and b + s > dim:
+            raise ShapeError(
+                f"slice [{b}, {b + s}) exceeds axis {axis} of size {dim}"
+            )
+
+    def kernel(op, v):
+        slicer = tuple(
+            slice(b, b + s) for b, s in zip(op.attrs["begin"], op.attrs["size"])
+        )
+        return v[slicer]
+
+    return make_op(
+        "slice",
+        [x],
+        size,
+        x.dtype,
+        kernel,
+        name=name,
+        attrs={"begin": begin, "size": size},
+    )
+
+
+@register_gradient("slice")
+def _grad_slice(op, grad):
+    def kernel(gop, g, v):
+        out = np.zeros_like(v)
+        slicer = tuple(
+            slice(b, b + s)
+            for b, s in zip(gop.attrs["begin"], gop.attrs["size"])
+        )
+        out[slicer] = g
+        return out
+
+    result = make_op(
+        "slice_grad",
+        [grad, op.inputs[0]],
+        op.inputs[0].shape,
+        grad.dtype,
+        kernel,
+        name="slice_grad",
+        attrs=dict(op.attrs),
+    )
+    return [result]
+
+
+def log_softmax(x: Tensor, name: str = "log_softmax") -> Tensor:
+    """Numerically stable log-softmax over the last axis."""
+
+    def kernel(op, v):
+        shifted = v - v.max(axis=-1, keepdims=True)
+        return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+    return make_op("log_softmax", [x], x.shape, x.dtype, kernel, name=name)
+
+
+@register_gradient("log_softmax")
+def _grad_log_softmax(op, grad):
+    def kernel(gop, g, y):
+        softmax = np.exp(y)
+        return g - softmax * g.sum(axis=-1, keepdims=True)
+
+    result = make_op(
+        "log_softmax_grad",
+        [grad, op.outputs[0]],
+        op.inputs[0].shape,
+        grad.dtype,
+        kernel,
+        name="log_softmax_grad",
+    )
+    return [result]
+
+
+@register_flops("log_softmax")
+def _flops_log_softmax(op, input_values, output_value):
+    return 11 * output_value.size
+
+
+def one_hot(indices: Tensor, depth: int, name: str = "one_hot") -> Tensor:
+    """Integer class indices -> one-hot float32 rows (no gradient)."""
+    if depth <= 0:
+        raise ShapeError(f"one_hot depth must be positive: {depth}")
+    out_shape = indices.shape + (depth,)
+    return make_op(
+        "one_hot",
+        [indices],
+        out_shape,
+        "float32",
+        lambda op, v: np.eye(op.attrs["depth"], dtype=np.float32)[
+            np.asarray(v, dtype=np.int64)
+        ],
+        name=name,
+        attrs={"depth": depth},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Saver rebuilders + Lite support
+# ---------------------------------------------------------------------------
+
+from repro.tensor import saver as _saver  # noqa: E402
+from repro.tensor.lite import converter as _converter  # noqa: E402
+
+_saver.REBUILDERS["abs"] = lambda name, attrs, inputs, graph: abs_(
+    inputs[0], name=name
+)
+_saver.REBUILDERS["leaky_relu"] = lambda name, attrs, inputs, graph: leaky_relu(
+    inputs[0], alpha=attrs["alpha"], name=name
+)
+_saver.REBUILDERS["softplus"] = lambda name, attrs, inputs, graph: softplus(
+    inputs[0], name=name
+)
+_saver.REBUILDERS["clip_by_value"] = lambda name, attrs, inputs, graph: clip_by_value(
+    inputs[0], attrs["minimum"], attrs["maximum"], name=name
+)
+_saver.REBUILDERS["squeeze"] = lambda name, attrs, inputs, graph: squeeze(
+    inputs[0], attrs["axis"], name=name
+)
+_saver.REBUILDERS["slice"] = lambda name, attrs, inputs, graph: slice_(
+    inputs[0], attrs["begin"], attrs["size"], name=name
+)
+_saver.REBUILDERS["log_softmax"] = lambda name, attrs, inputs, graph: log_softmax(
+    inputs[0], name=name
+)
+_saver.REBUILDERS["one_hot"] = lambda name, attrs, inputs, graph: one_hot(
+    inputs[0], attrs["depth"], name=name
+)
+
+_converter.LITE_SUPPORTED_OPS.update(
+    {
+        "abs",
+        "leaky_relu",
+        "softplus",
+        "clip_by_value",
+        "squeeze",
+        "slice",
+        "log_softmax",
+        "one_hot",
+    }
+)

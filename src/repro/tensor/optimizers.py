@@ -1,0 +1,197 @@
+"""Optimizers: SGD, Momentum, Adam (graph-building, TF-1.x style).
+
+``minimize(loss)`` differentiates the loss against the graph's trainable
+variables and returns a single *train op*; each ``Session.run`` of that
+op performs one update step.  Optimizer slot state (momentum buffers,
+Adam moments) is held in non-trainable variables so checkpoints can
+capture it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.tensor.gradients import gradients
+from repro.tensor.graph import Tensor
+from repro.tensor.ops import core as ops
+from repro.tensor.variables import Variable, trainable_variables
+
+
+def _as_lr_tensor(learning_rate, graph) -> Tensor:
+    """Accept a float or a schedule tensor as the learning rate."""
+    if isinstance(learning_rate, Tensor):
+        return learning_rate
+    return ops.constant(float(learning_rate), graph=graph)
+
+
+def group(operations: Sequence[Tensor], name: str = "group") -> Tensor:
+    """A no-op that forces all ``operations`` to run first."""
+    if not operations:
+        raise GraphError("group() of nothing")
+    graph = operations[0].graph
+    result = ops.make_op(
+        "group", [], (), "int64", lambda op: 0, name=name, graph=graph
+    )
+    for dep in operations:
+        result.op.add_control_input(dep.op)
+    return result
+
+
+class Optimizer:
+    """Base class: compute_gradients + apply_gradients."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def compute_gradients(
+        self, loss: Tensor, var_list: Optional[List[Variable]] = None
+    ) -> List[Tuple[Tensor, Variable]]:
+        variables = var_list or trainable_variables(loss.graph)
+        if not variables:
+            raise GraphError("no trainable variables to optimize")
+        grads = gradients(loss, [v.tensor for v in variables])
+        pairs = []
+        for grad, var in zip(grads, variables):
+            if grad is None:
+                raise GraphError(
+                    f"loss does not depend on variable {var.name!r}"
+                )
+            pairs.append((grad, var))
+        return pairs
+
+    def apply_gradients(self, grads_and_vars: List[Tuple[Tensor, Variable]]) -> Tensor:
+        updates = [
+            self._apply_one(grad, var) for grad, var in grads_and_vars
+        ]
+        return group(updates, name=f"{self.name}/update")
+
+    def minimize(
+        self, loss: Tensor, var_list: Optional[List[Variable]] = None
+    ) -> Tensor:
+        return self.apply_gradients(self.compute_gradients(loss, var_list))
+
+    def _apply_one(self, grad: Tensor, var: Variable) -> Tensor:
+        raise NotImplementedError
+
+
+class GradientDescent(Optimizer):
+    """Plain SGD: ``w -= lr * g``.  ``learning_rate`` may be a float or a
+    schedule tensor (see :mod:`repro.tensor.schedules`)."""
+
+    def __init__(self, learning_rate, name: str = "sgd") -> None:
+        super().__init__(name)
+        if not isinstance(learning_rate, Tensor) and learning_rate <= 0:
+            raise GraphError(f"learning rate must be positive: {learning_rate}")
+        self.learning_rate = learning_rate
+
+    def _apply_one(self, grad: Tensor, var: Variable) -> Tensor:
+        lr = _as_lr_tensor(self.learning_rate, grad.graph)
+        return var.assign_sub(ops.mul(lr, grad), name=f"{self.name}/{var.name}/step")
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum: ``v = m*v + g; w -= lr*v``."""
+
+    def __init__(
+        self, learning_rate: float, momentum: float = 0.9, name: str = "momentum"
+    ) -> None:
+        super().__init__(name)
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+
+    def _apply_one(self, grad: Tensor, var: Variable) -> Tensor:
+        slot = Variable(
+            lambda shape=tuple(var.shape): np.zeros(shape, dtype=np.float32),
+            tuple(var.shape),
+            name=f"{self.name}/{var.name}/velocity",
+            trainable=False,
+            graph=grad.graph,
+        )
+        m = ops.constant(self.momentum, graph=grad.graph)
+        new_velocity = slot.assign(
+            ops.add(ops.mul(m, slot.tensor), grad),
+            name=f"{self.name}/{var.name}/vel_update",
+        )
+        lr = _as_lr_tensor(self.learning_rate, grad.graph)
+        return var.assign_sub(
+            ops.mul(lr, new_velocity), name=f"{self.name}/{var.name}/step"
+        )
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        name: str = "adam",
+    ) -> None:
+        super().__init__(name)
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step: Optional[Variable] = None
+
+    def _step_var(self, graph) -> Variable:
+        if self._step is None:
+            self._step = Variable(
+                lambda: np.zeros((), dtype=np.float32),
+                (),
+                name=f"{self.name}/step",
+                trainable=False,
+                graph=graph,
+            )
+        return self._step
+
+    def apply_gradients(self, grads_and_vars: List[Tuple[Tensor, Variable]]) -> Tensor:
+        graph = grads_and_vars[0][0].graph
+        step = self._step_var(graph)
+        one = ops.constant(1.0, graph=graph)
+        bump = step.assign_add(one, name=f"{self.name}/tick")
+        updates = [bump]
+        for grad, var in grads_and_vars:
+            updates.append(self._apply_adam(grad, var, bump))
+        return group(updates, name=f"{self.name}/update")
+
+    def _apply_one(self, grad: Tensor, var: Variable) -> Tensor:
+        raise GraphError("Adam applies gradients jointly; use apply_gradients")
+
+    def _apply_adam(self, grad: Tensor, var: Variable, step: Tensor) -> Tensor:
+        graph = grad.graph
+        shape = tuple(var.shape)
+        m = Variable(
+            lambda s=shape: np.zeros(s, dtype=np.float32), shape,
+            name=f"{self.name}/{var.name}/m", trainable=False, graph=graph,
+        )
+        v = Variable(
+            lambda s=shape: np.zeros(s, dtype=np.float32), shape,
+            name=f"{self.name}/{var.name}/v", trainable=False, graph=graph,
+        )
+        b1 = ops.constant(self.beta1, graph=graph)
+        b2 = ops.constant(self.beta2, graph=graph)
+        one = ops.constant(1.0, graph=graph)
+        eps = ops.constant(self.epsilon, graph=graph)
+        lr = _as_lr_tensor(self.learning_rate, graph)
+
+        new_m = m.assign(
+            ops.add(ops.mul(b1, m.tensor), ops.mul(ops.sub(one, b1), grad)),
+            name=f"{self.name}/{var.name}/m_up",
+        )
+        new_v = v.assign(
+            ops.add(
+                ops.mul(b2, v.tensor), ops.mul(ops.sub(one, b2), ops.square(grad))
+            ),
+            name=f"{self.name}/{var.name}/v_up",
+        )
+        # Bias correction uses the freshly bumped step count.
+        m_hat = ops.div(new_m, ops.sub(one, ops.pow_(b1, step)))
+        v_hat = ops.div(new_v, ops.sub(one, ops.pow_(b2, step)))
+        delta = ops.div(ops.mul(lr, m_hat), ops.add(ops.sqrt(v_hat), eps))
+        return var.assign_sub(delta, name=f"{self.name}/{var.name}/step_apply")

@@ -1,0 +1,420 @@
+"""Checkpoints, graph export/import, and graph freezing.
+
+Mirrors the paper's §4.1 workflow: define a graph with the (rich) Python
+API, export checkpoints, *freeze* the graph — fold trained variable
+values into constants — and later import it elsewhere (the C++ API in
+the paper, the Lite converter here).  Serialization uses the canonical
+encoding so frozen models can be protected by the file-system shield and
+measured into enclave images byte-exactly.
+
+Import rebuilds operations through the public builders (a rebuilder
+registry per op type), so only inference ops are importable — exactly
+the subset a frozen graph may contain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.crypto import encoding
+from repro.errors import CheckpointError, GraphError
+from repro.tensor import nn
+from repro.tensor.graph import Graph, Operation, Tensor
+from repro.tensor.ops import core as ops
+from repro.tensor.variables import GLOBAL_VARIABLES, Variable
+
+MAGIC = "securetf-graph-v1"
+CHECKPOINT_MAGIC = "securetf-ckpt-v1"
+
+
+# ---------------------------------------------------------------------------
+# Value (de)serialization helpers
+# ---------------------------------------------------------------------------
+
+
+from repro.tensor.arrays import decode_array as _decode_array
+from repro.tensor.arrays import encode_array as _encode_array
+
+
+def _encode_attr(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return _encode_array(value)
+    if isinstance(value, tuple):
+        return ["__tuple__"] + [_encode_attr(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+def _decode_attr(value: Any) -> Any:
+    if isinstance(value, dict) and value.get("__ndarray__"):
+        return _decode_array(value)
+    if isinstance(value, list):
+        if value and value[0] == "__tuple__":
+            return tuple(_decode_attr(v) for v in value[1:])
+        return [_decode_attr(v) for v in value]
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Rebuilder registry: op_type -> fn(name, attrs, inputs, graph) -> Tensor
+# ---------------------------------------------------------------------------
+
+Rebuilder = Callable[[str, Dict[str, Any], List[Tensor], Graph], Tensor]
+
+REBUILDERS: Dict[str, Rebuilder] = {}
+
+
+def _rebuilder(op_type: str):
+    def wrap(fn: Rebuilder) -> Rebuilder:
+        REBUILDERS[op_type] = fn
+        return fn
+
+    return wrap
+
+
+@_rebuilder("const")
+def _rb_const(name, attrs, inputs, graph):
+    return ops.constant(attrs["value"], name=name, graph=graph)
+
+
+@_rebuilder("placeholder")
+def _rb_placeholder(name, attrs, inputs, graph):
+    return ops.placeholder(attrs["dtype"], tuple(attrs["shape"]), name=name, graph=graph)
+
+
+def _rb_unary(builder):
+    def fn(name, attrs, inputs, graph):
+        return builder(inputs[0], name=name)
+
+    return fn
+
+
+for _unary_type, _builder in [
+    ("identity", ops.identity),
+    ("stop_gradient", ops.stop_gradient),
+    ("neg", ops.neg),
+    ("square", ops.square),
+    ("sqrt", ops.sqrt),
+    ("exp", ops.exp),
+    ("log", ops.log),
+    ("relu", ops.relu),
+    ("sigmoid", ops.sigmoid),
+    ("tanh", ops.tanh),
+    ("softmax", ops.softmax),
+]:
+    REBUILDERS[_unary_type] = _rb_unary(_builder)
+
+
+def _rb_binary(builder):
+    def fn(name, attrs, inputs, graph):
+        return builder(inputs[0], inputs[1], name=name)
+
+    return fn
+
+
+for _binary_type, _builder in [
+    ("add", ops.add),
+    ("sub", ops.sub),
+    ("mul", ops.mul),
+    ("div", ops.div),
+    ("pow", ops.pow_),
+    ("maximum", ops.maximum),
+    ("minimum", ops.minimum),
+    ("equal", ops.equal),
+    ("greater", ops.greater),
+    ("matmul", ops.matmul),
+]:
+    REBUILDERS[_binary_type] = _rb_binary(_builder)
+
+
+@_rebuilder("cast")
+def _rb_cast(name, attrs, inputs, graph):
+    return ops.cast(inputs[0], attrs["dtype"], name=name)
+
+
+def _rb_reduction(builder):
+    def fn(name, attrs, inputs, graph):
+        return builder(
+            inputs[0], axis=attrs["axis"], keepdims=attrs["keepdims"], name=name
+        )
+
+    return fn
+
+
+REBUILDERS["reduce_sum"] = _rb_reduction(ops.reduce_sum)
+REBUILDERS["reduce_mean"] = _rb_reduction(ops.reduce_mean)
+REBUILDERS["reduce_max"] = _rb_reduction(ops.reduce_max)
+
+
+@_rebuilder("argmax")
+def _rb_argmax(name, attrs, inputs, graph):
+    return ops.argmax(inputs[0], axis=attrs["axis"], name=name)
+
+
+@_rebuilder("reshape")
+def _rb_reshape(name, attrs, inputs, graph):
+    return ops.reshape(inputs[0], tuple(attrs["shape"]), name=name)
+
+
+@_rebuilder("transpose")
+def _rb_transpose(name, attrs, inputs, graph):
+    return ops.transpose(inputs[0], tuple(attrs["perm"]), name=name)
+
+
+@_rebuilder("concat")
+def _rb_concat(name, attrs, inputs, graph):
+    return ops.concat(inputs, axis=attrs["axis"], name=name)
+
+
+@_rebuilder("pad")
+def _rb_pad(name, attrs, inputs, graph):
+    return ops.pad(inputs[0], attrs["paddings"], name=name)
+
+
+@_rebuilder("expand_dims")
+def _rb_expand_dims(name, attrs, inputs, graph):
+    return ops.expand_dims(inputs[0], attrs["axis"], name=name)
+
+
+@_rebuilder("tile")
+def _rb_tile(name, attrs, inputs, graph):
+    return ops.tile(inputs[0], attrs["multiples"], name=name)
+
+
+@_rebuilder("conv2d")
+def _rb_conv2d(name, attrs, inputs, graph):
+    return nn.conv2d(
+        inputs[0], inputs[1], stride=attrs["stride"], padding=attrs["padding"],
+        name=name,
+    )
+
+
+@_rebuilder("max_pool")
+def _rb_max_pool(name, attrs, inputs, graph):
+    return nn.max_pool(inputs[0], window=attrs["window"], name=name)
+
+
+@_rebuilder("avg_pool")
+def _rb_avg_pool(name, attrs, inputs, graph):
+    return nn.avg_pool(inputs[0], window=attrs["window"], name=name)
+
+
+@_rebuilder("bias_add")
+def _rb_bias_add(name, attrs, inputs, graph):
+    return nn.bias_add(inputs[0], inputs[1], name=name)
+
+
+@_rebuilder("softmax_xent")
+def _rb_softmax_xent(name, attrs, inputs, graph):
+    return nn.softmax_cross_entropy_with_logits(inputs[0], inputs[1], name=name)
+
+
+# ---------------------------------------------------------------------------
+# Graph export / import
+# ---------------------------------------------------------------------------
+
+
+def _subgraph_ops(outputs: Sequence[Tensor]) -> List[Operation]:
+    """Ops needed to produce ``outputs``, in topological order."""
+    seen: Dict[int, Operation] = {}
+    order: List[Operation] = []
+
+    def visit(op: Operation) -> None:
+        if id(op) in seen:
+            return
+        seen[id(op)] = op
+        for inp in op.inputs:
+            visit(inp.op)
+        order.append(op)
+
+    for out in outputs:
+        visit(out.op)
+    return order
+
+
+def export_graph(
+    outputs: Sequence[Tensor],
+    inputs: Optional[Sequence[Tensor]] = None,
+    scales: Optional[Dict[str, float]] = None,
+) -> bytes:
+    """Serialize the subgraph producing ``outputs`` (no variables allowed;
+    freeze first)."""
+    op_records = []
+    for op in _subgraph_ops(outputs):
+        if op.op_type == "variable":
+            raise GraphError(
+                f"graph contains unfrozen variable {op.name!r}; "
+                f"use freeze_graph() before export"
+            )
+        if op.op_type not in REBUILDERS:
+            raise GraphError(
+                f"op type {op.op_type!r} ({op.name!r}) is not exportable"
+            )
+        op_records.append(
+            {
+                "name": op.name,
+                "op_type": op.op_type,
+                "inputs": [t.name for t in op.inputs],
+                "attrs": {k: _encode_attr(v) for k, v in op.attrs.items()},
+            }
+        )
+    graph = outputs[0].graph
+    resolved_scales = scales or {
+        "cost_scale": graph.cost_scale,
+        "weight_scale": graph.weight_scale,
+        "op_scale": graph.op_scale,
+        "activation_scale": graph.activation_scale,
+    }
+    payload = {
+        "magic": MAGIC,
+        "ops": op_records,
+        "outputs": [t.name for t in outputs],
+        "inputs": [t.name for t in inputs] if inputs else [],
+        "scales": {k: float(v) for k, v in resolved_scales.items()},
+    }
+    return encoding.encode(payload)
+
+
+class ImportedGraph:
+    """An imported frozen graph with named inputs and outputs."""
+
+    def __init__(self, graph: Graph, inputs: List[Tensor], outputs: List[Tensor]):
+        self.graph = graph
+        self.inputs = inputs
+        self.outputs = outputs
+
+
+def import_graph(data: bytes) -> ImportedGraph:
+    """Rebuild a graph serialized by :func:`export_graph`."""
+    try:
+        payload = encoding.decode(data)
+    except Exception as exc:
+        raise CheckpointError("malformed graph serialization") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != MAGIC:
+        raise CheckpointError("not a secureTF graph blob")
+
+    graph = Graph()
+    scales = payload.get("scales", {})
+    graph.cost_scale = float(scales.get("cost_scale", 1.0))
+    graph.weight_scale = float(scales.get("weight_scale", 1.0))
+    graph.op_scale = float(scales.get("op_scale", 1.0))
+    graph.activation_scale = float(scales.get("activation_scale", 1.0))
+    tensors: Dict[str, Tensor] = {}
+    for record in payload["ops"]:
+        op_type = record["op_type"]
+        rebuilder = REBUILDERS.get(op_type)
+        if rebuilder is None:
+            raise CheckpointError(f"cannot import op type {op_type!r}")
+        try:
+            input_tensors = [tensors[name] for name in record["inputs"]]
+        except KeyError as exc:
+            raise CheckpointError(f"dangling input reference {exc}") from exc
+        attrs = {k: _decode_attr(v) for k, v in record["attrs"].items()}
+        out = rebuilder(record["name"], attrs, input_tensors, graph)
+        tensors[f"{record['name']}:0"] = out
+
+    def resolve(names: List[str]) -> List[Tensor]:
+        resolved = []
+        for name in names:
+            if name not in tensors:
+                raise CheckpointError(f"serialized graph references unknown {name!r}")
+            resolved.append(tensors[name])
+        return resolved
+
+    return ImportedGraph(
+        graph, resolve(payload.get("inputs", [])), resolve(payload["outputs"])
+    )
+
+
+def freeze_graph(
+    outputs: Sequence[Tensor],
+    inputs: Optional[Sequence[Tensor]] = None,
+    scales: Optional[Dict[str, float]] = None,
+) -> bytes:
+    """Fold variable values into constants and export the frozen graph.
+
+    Variables must be initialized (train first, or restore a checkpoint).
+    """
+    graph = outputs[0].graph
+    frozen = Graph()
+    frozen_tensors: Dict[str, Tensor] = {}
+
+    for op in _subgraph_ops(outputs):
+        if op.op_type == "variable":
+            var: Variable = op.attrs["variable"]
+            frozen_tensors[op.outputs[0].name] = ops.constant(
+                var.value, name=op.name, graph=frozen
+            )
+            continue
+        if op.op_type not in REBUILDERS:
+            raise GraphError(
+                f"op type {op.op_type!r} ({op.name!r}) cannot be frozen; "
+                f"freeze only inference subgraphs"
+            )
+        rebuilder = REBUILDERS[op.op_type]
+        input_tensors = [frozen_tensors[t.name] for t in op.inputs]
+        attrs = {k: _decode_attr(_encode_attr(v)) for k, v in op.attrs.items()}
+        out = rebuilder(op.name, attrs, input_tensors, frozen)
+        frozen_tensors[op.outputs[0].name] = out
+
+    frozen_outputs = [frozen_tensors[t.name] for t in outputs]
+    frozen_inputs = [frozen_tensors[t.name] for t in inputs] if inputs else None
+    resolved = scales or {
+        "cost_scale": graph.cost_scale,
+        "weight_scale": graph.weight_scale,
+        "op_scale": graph.op_scale,
+        "activation_scale": graph.activation_scale,
+    }
+    return export_graph(frozen_outputs, frozen_inputs, scales=resolved)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints
+# ---------------------------------------------------------------------------
+
+
+class Saver:
+    """Saves and restores variable values (TF-1.x ``tf.train.Saver``)."""
+
+    def __init__(self, graph: Optional[Graph] = None) -> None:
+        self._graph = graph
+
+    def _variables(self, graph: Optional[Graph]) -> List[Variable]:
+        target = graph or self._graph
+        if target is None:
+            raise CheckpointError("Saver needs a graph")
+        variables = target.get_collection(GLOBAL_VARIABLES)
+        if not variables:
+            raise CheckpointError("graph has no variables to checkpoint")
+        return variables
+
+    def to_bytes(self, graph: Optional[Graph] = None) -> bytes:
+        """Serialize all initialized variables of the graph."""
+        records = {}
+        for var in self._variables(graph):
+            if not var.initialized:
+                raise CheckpointError(f"variable {var.name!r} is uninitialized")
+            records[var.name] = _encode_array(var.value)
+        return encoding.encode({"magic": CHECKPOINT_MAGIC, "variables": records})
+
+    def restore(self, data: bytes, graph: Optional[Graph] = None) -> int:
+        """Load a checkpoint into the graph's variables; returns count."""
+        try:
+            payload = encoding.decode(data)
+        except Exception as exc:
+            raise CheckpointError("malformed checkpoint") from exc
+        if not isinstance(payload, dict) or payload.get("magic") != CHECKPOINT_MAGIC:
+            raise CheckpointError("not a secureTF checkpoint")
+        records = payload["variables"]
+        restored = 0
+        for var in self._variables(graph):
+            if var.name not in records:
+                raise CheckpointError(f"checkpoint is missing {var.name!r}")
+            var.load(_decode_array(records[var.name]))
+            restored += 1
+        return restored

@@ -1,0 +1,92 @@
+"""Learning-rate schedules and gradient clipping utilities."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.tensor.graph import Graph, Tensor, get_default_graph
+from repro.tensor.ops import core as ops
+from repro.tensor.variables import Variable
+
+
+class ExponentialDecay:
+    """``lr = initial * decay_rate ** (step / decay_steps)``.
+
+    The step counter is a non-trainable variable bumped by
+    :meth:`step_op`; optimizers accept :attr:`tensor` wherever a float
+    learning rate is allowed.
+    """
+
+    def __init__(
+        self,
+        initial: float,
+        decay_rate: float,
+        decay_steps: int,
+        graph: Optional[Graph] = None,
+        name: str = "lr_schedule",
+    ) -> None:
+        if initial <= 0 or decay_rate <= 0 or decay_steps <= 0:
+            raise GraphError(
+                f"invalid schedule: initial={initial}, rate={decay_rate}, "
+                f"steps={decay_steps}"
+            )
+        graph = graph or get_default_graph()
+        with graph.as_default():
+            self.step = Variable(
+                lambda: np.zeros((), dtype=np.float32),
+                (),
+                name=f"{name}/step",
+                trainable=False,
+                graph=graph,
+            )
+            exponent = ops.div(
+                self.step.tensor, ops.constant(float(decay_steps), graph=graph)
+            )
+            self.tensor = ops.mul(
+                ops.constant(float(initial), graph=graph),
+                ops.pow_(
+                    ops.constant(float(decay_rate), graph=graph), exponent
+                ),
+                name=f"{name}/lr",
+            )
+            self._bump = self.step.assign_add(
+                ops.constant(1.0, graph=graph), name=f"{name}/tick"
+            )
+
+    def step_op(self) -> Tensor:
+        """Run once per training step to advance the schedule."""
+        return self._bump
+
+
+def global_norm(gradients: List[Tensor]) -> Tensor:
+    """sqrt(sum of squared entries over all gradient tensors)."""
+    if not gradients:
+        raise GraphError("global_norm of nothing")
+    total = None
+    for grad in gradients:
+        term = ops.reduce_sum(ops.square(grad))
+        total = term if total is None else ops.add(total, term)
+    return ops.sqrt(total, name="global_norm")
+
+
+def clip_by_global_norm(
+    gradients: List[Tensor], max_norm: float
+) -> Tuple[List[Tensor], Tensor]:
+    """Scale all gradients so their global norm is at most ``max_norm``.
+
+    Returns ``(clipped gradients, the pre-clip norm tensor)`` — the same
+    contract as ``tf.clip_by_global_norm``.
+    """
+    if max_norm <= 0:
+        raise GraphError(f"max_norm must be positive: {max_norm}")
+    norm = global_norm(gradients)
+    graph = gradients[0].graph
+    limit = ops.constant(float(max_norm), graph=graph)
+    # factor = max_norm / max(norm, max_norm)  -> <= 1, no-op when small.
+    denominator = ops.maximum(norm, limit)
+    factor = ops.div(limit, denominator, name="clip_factor")
+    clipped = [ops.mul(grad, factor) for grad in gradients]
+    return clipped, norm

@@ -1,0 +1,206 @@
+"""Variables: mutable graph state (weights, biases, counters).
+
+TF-1.x semantics: a variable is a graph node whose value persists across
+``Session.run`` calls.  Values live on the :class:`Variable` object (the
+graph owns its state, sessions are stateless with respect to weights),
+which is what lets checkpoints, freezing, and the parameter-server
+protocol read/write weights directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.tensor.graph import Graph, Operation, Shape, Tensor, get_default_graph
+from repro.tensor.ops import register_flops, register_gradient
+from repro.tensor.ops.core import make_op
+
+TRAINABLE_VARIABLES = "trainable_variables"
+GLOBAL_VARIABLES = "global_variables"
+
+
+class Variable:
+    """A named, mutable tensor with an initializer."""
+
+    def __init__(
+        self,
+        initial_value_fn: Callable[[], np.ndarray],
+        shape: Shape,
+        dtype: str = "float32",
+        name: str = "variable",
+        trainable: bool = True,
+        graph: Optional[Graph] = None,
+    ) -> None:
+        self.graph = graph or get_default_graph()
+        self._initial_value_fn = initial_value_fn
+        self._value: Optional[np.ndarray] = None
+        self.trainable = trainable
+        self.dtype = dtype
+
+        def read(op: Operation) -> np.ndarray:
+            if self._value is None:
+                raise GraphError(
+                    f"variable {op.name!r} read before initialization"
+                )
+            return self._value
+
+        self.read_op = Operation(
+            graph=self.graph,
+            op_type="variable",
+            name=name,
+            inputs=[],
+            attrs={"variable": self},
+            output_shapes=[tuple(shape)],
+            output_dtypes=[dtype],
+            compute=read,
+        )
+        self.name = self.read_op.name
+        self.graph.add_to_collection(GLOBAL_VARIABLES, self)
+        if trainable:
+            self.graph.add_to_collection(TRAINABLE_VARIABLES, self)
+
+    @property
+    def tensor(self) -> Tensor:
+        """The read tensor of this variable."""
+        return self.read_op.output
+
+    @property
+    def shape(self) -> Shape:
+        return self.tensor.shape
+
+    @property
+    def initialized(self) -> bool:
+        return self._value is not None
+
+    @property
+    def value(self) -> np.ndarray:
+        if self._value is None:
+            raise GraphError(f"variable {self.name!r} is not initialized")
+        return self._value
+
+    def initialize(self) -> None:
+        value = np.asarray(self._initial_value_fn(), dtype=self.dtype)
+        if tuple(value.shape) != tuple(self.shape):
+            raise GraphError(
+                f"initializer for {self.name!r} produced shape {value.shape}, "
+                f"declared {self.shape}"
+            )
+        self._value = value
+
+    def load(self, value: np.ndarray) -> None:
+        """Directly set the value (checkpoint restore, PS updates)."""
+        value = np.asarray(value, dtype=self.dtype)
+        if tuple(value.shape) != tuple(self.shape):
+            raise GraphError(
+                f"cannot load shape {value.shape} into {self.name!r} "
+                f"of shape {self.shape}"
+            )
+        self._value = value
+
+    @property
+    def nbytes(self) -> int:
+        itemsize = np.dtype(self.dtype).itemsize
+        n = 1
+        for dim in self.shape:
+            n *= dim if dim is not None else 1
+        return n * itemsize
+
+    # -- update ops ----------------------------------------------------
+
+    def assign(self, value: Tensor, name: str = "assign") -> Tensor:
+        def kernel(op: Operation, v: np.ndarray) -> np.ndarray:
+            self._value = np.asarray(v, dtype=self.dtype)
+            return self._value
+
+        return make_op(
+            "assign", [value], self.shape, self.dtype, kernel, name=name,
+            attrs={"variable_name": self.name},
+        )
+
+    def assign_add(self, delta: Tensor, name: str = "assign_add") -> Tensor:
+        def kernel(op: Operation, d: np.ndarray) -> np.ndarray:
+            self._value = self.value + np.asarray(d, dtype=self.dtype)
+            return self._value
+
+        return make_op(
+            "assign_add", [delta], self.shape, self.dtype, kernel, name=name,
+            attrs={"variable_name": self.name},
+        )
+
+    def assign_sub(self, delta: Tensor, name: str = "assign_sub") -> Tensor:
+        def kernel(op: Operation, d: np.ndarray) -> np.ndarray:
+            self._value = self.value - np.asarray(d, dtype=self.dtype)
+            return self._value
+
+        return make_op(
+            "assign_sub", [delta], self.shape, self.dtype, kernel, name=name,
+            attrs={"variable_name": self.name},
+        )
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, shape={self.shape}, dtype={self.dtype})"
+
+
+def variable(
+    initial_value: Any,
+    name: str = "variable",
+    trainable: bool = True,
+    dtype: str = "float32",
+    graph: Optional[Graph] = None,
+) -> Variable:
+    """Create a variable from a concrete initial value (array or callable)."""
+    if callable(initial_value):
+        fn = initial_value
+        probe = np.asarray(fn())
+        shape = tuple(probe.shape)
+
+        def fn_cached() -> np.ndarray:
+            return probe
+
+        return Variable(fn_cached, shape, dtype=dtype, name=name, trainable=trainable, graph=graph)
+    array = np.asarray(initial_value, dtype=dtype)
+    return Variable(
+        lambda: array, tuple(array.shape), dtype=dtype, name=name,
+        trainable=trainable, graph=graph,
+    )
+
+
+@register_gradient("variable")
+def _grad_variable(op: Operation, grad: Tensor) -> List[Optional[Tensor]]:
+    return []  # variables have no inputs; gradients stop here
+
+
+@register_flops("variable")
+def _flops_variable(op, input_values, output_value):
+    return 0
+
+
+class _InitAllOp:
+    """Group node that initializes every variable of a graph."""
+
+
+def global_variables_initializer(graph: Optional[Graph] = None) -> Tensor:
+    """An op that (re)initializes all variables in the graph."""
+    graph = graph or get_default_graph()
+
+    def kernel(op: Operation) -> int:
+        count = 0
+        for var in op.graph.get_collection(GLOBAL_VARIABLES):
+            var.initialize()
+            count += 1
+        return count
+
+    return make_op("init_all", [], (), "int64", kernel, name="init", graph=graph)
+
+
+def trainable_variables(graph: Optional[Graph] = None) -> List[Variable]:
+    graph = graph or get_default_graph()
+    return graph.get_collection(TRAINABLE_VARIABLES)
+
+
+def global_variables(graph: Optional[Graph] = None) -> List[Variable]:
+    graph = graph or get_default_graph()
+    return graph.get_collection(GLOBAL_VARIABLES)

@@ -1,0 +1,98 @@
+"""Simulation substrate: clock, RNG, trace."""
+
+import pytest
+
+from repro._sim import DeterministicRng, EventTrace, SimClock
+from repro._sim.units import Gbps, Mbps, bytes_to_pages
+
+
+def test_clock_advances_monotonically():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now == pytest.approx(2.0)
+
+
+def test_clock_rejects_negative_advance():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+    with pytest.raises(ValueError):
+        SimClock(start=-1.0)
+
+
+def test_advance_to_is_idempotent_backwards():
+    clock = SimClock()
+    clock.advance(5.0)
+    clock.advance_to(3.0)  # in the past: no-op
+    assert clock.now == 5.0
+    clock.advance_to(7.0)
+    assert clock.now == 7.0
+
+
+def test_clock_observers():
+    clock = SimClock()
+    seen = []
+    clock.subscribe(lambda old, new: seen.append((old, new)))
+    clock.advance(1.0)
+    clock.advance(2.0)
+    assert seen == [(0.0, 1.0), (1.0, 3.0)]
+
+
+def test_clock_measure_span():
+    clock = SimClock()
+    with clock.measure() as span:
+        clock.advance(0.25)
+    assert span.elapsed == pytest.approx(0.25)
+
+
+def test_rng_determinism():
+    a = DeterministicRng(42)
+    b = DeterministicRng(42)
+    assert a.random_bytes(64) == b.random_bytes(64)
+    assert a.random_bytes(16) == b.random_bytes(16)  # stream continues
+
+
+def test_rng_children_independent():
+    root = DeterministicRng(1)
+    assert root.child("a").random_bytes(8) != root.child("b").random_bytes(8)
+    # Child derivation is stable regardless of parent consumption.
+    again = DeterministicRng(1)
+    again.random_bytes(100)
+    assert root.child("a").seed == again.child("a").seed
+
+
+def test_rng_choice_and_validation():
+    rng = DeterministicRng(5)
+    assert rng.choice([7]) == 7
+    with pytest.raises(ValueError):
+        rng.choice([])
+    with pytest.raises(ValueError):
+        rng.random_bytes(-1)
+
+
+def test_trace_spans_and_breakdown():
+    clock = SimClock()
+    trace = EventTrace(clock)
+    with trace.span("phase-a"):
+        clock.advance(1.0)
+    with trace.span("phase-b", detail="x"):
+        clock.advance(2.0)
+    trace.record("phase-a", 0.5)
+    breakdown = trace.breakdown()
+    assert breakdown["phase-a"] == pytest.approx(1.5)
+    assert breakdown["phase-b"] == pytest.approx(2.0)
+    assert trace.total() == pytest.approx(3.5)
+    assert trace.total("phase-b") == pytest.approx(2.0)
+    trace.clear()
+    assert trace.events == []
+
+
+def test_units():
+    assert Mbps(8) == 1e6
+    assert Gbps(1) == 1.25e8
+    assert bytes_to_pages(1) == 1
+    assert bytes_to_pages(4096) == 1
+    assert bytes_to_pages(4097) == 2
+    with pytest.raises(ValueError):
+        bytes_to_pages(-1)

@@ -1,0 +1,72 @@
+"""Native and Graphene baselines."""
+
+import pytest
+
+from repro.baselines import GRAPHENE_LIBOS, make_graphene_runner, make_native_runner
+from repro.cluster import make_cluster
+from repro.data import synthetic_cifar10
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.errors import ConfigurationError
+from repro.models import pretrained_lite_model
+from repro.runtime.libc import GLIBC, MUSL, SCONE_LIBC
+
+
+@pytest.fixture(scope="module")
+def model():
+    return pretrained_lite_model("densenet", seed=0)
+
+
+@pytest.fixture(scope="module")
+def images():
+    _, test = synthetic_cifar10(n_train=5, n_test=10, seed=1)
+    return test.images
+
+
+@pytest.fixture
+def node(provisioning):
+    return make_cluster(1, CM, provisioning, seed=3)[0]
+
+
+def test_native_runner_classifies(node, model, images):
+    runner = make_native_runner(node, model, libc=GLIBC)
+    label = runner.classify(images[0])
+    assert 0 <= label < 10
+
+
+def test_glibc_faster_than_musl(node, model, images):
+    glibc = make_native_runner(node, model, libc=GLIBC, name="g")
+    musl = make_native_runner(node, model, libc=MUSL, name="m")
+    glibc_latency = glibc.measure_latency(images, 4)
+    musl_latency = musl.measure_latency(images, 4)
+    # Paper §5.3 #1: glibc has the edge, slightly.
+    assert glibc_latency < musl_latency < glibc_latency * 1.1
+
+
+def test_scone_libc_rejected_for_native(node, model):
+    with pytest.raises(ConfigurationError):
+        make_native_runner(node, model, libc=SCONE_LIBC)
+
+
+def test_graphene_runner_matches_native_labels(node, model, images):
+    native = make_native_runner(node, model, libc=GLIBC, name="n")
+    graphene = make_graphene_runner(node, model)
+    for image in images[:3]:
+        assert graphene.classify(image) == native.classify(image)
+
+
+def test_graphene_runs_in_hardware_enclave(node, model):
+    graphene = make_graphene_runner(node, model)
+    assert graphene.runtime.memory.encrypted
+    assert graphene.runtime.libc is GRAPHENE_LIBOS
+    # The libOS stack is more than an order of magnitude bigger than
+    # SCONE's libc — the Fig. 5 divergence mechanism.
+    assert GRAPHENE_LIBOS.binary_size > 20 * SCONE_LIBC.binary_size
+
+
+def test_graphene_not_faster_than_native(node, model, images):
+    native = make_native_runner(node, model, libc=GLIBC, name="n2")
+    graphene = make_graphene_runner(node, model, name="g2")
+    graphene.classify(images[0])  # warm the EPC
+    native_latency = native.measure_latency(images, 4)
+    graphene_latency = graphene.measure_latency(images, 4)
+    assert graphene_latency >= native_latency

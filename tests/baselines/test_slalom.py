@@ -1,0 +1,84 @@
+"""Slalom-style GPU outsourcing (§7.4)."""
+
+import pytest
+
+from repro.baselines import make_graphene_runner, make_slalom_runner
+from repro.baselines.native import make_native_runner
+from repro.cluster import make_cluster
+from repro.data import synthetic_cifar10
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.models import pretrained_lite_model
+from repro.tensor.engine import GpuProfile
+
+
+@pytest.fixture(scope="module")
+def model():
+    return pretrained_lite_model("inception_v3", seed=0)
+
+
+@pytest.fixture(scope="module")
+def images():
+    _, test = synthetic_cifar10(n_train=5, n_test=8, seed=21)
+    return test.images
+
+
+@pytest.fixture
+def node(provisioning):
+    return make_cluster(1, CM, provisioning, seed=22)[0]
+
+
+def test_slalom_outputs_match_cpu(node, model, images):
+    """Offloading is a performance split, never a numerics change."""
+    slalom = make_slalom_runner(node, model)
+    native = make_native_runner(node, model, name="ref")
+    for image in images[:3]:
+        assert slalom.classify(image) == native.classify(image)
+
+
+def test_slalom_much_faster_than_enclave_cpu(node, model, images):
+    from repro.enclave.sgx import SgxMode
+    from repro.runtime.scone import RuntimeConfig, SconeRuntime
+    from repro.tensor.engine import LITE_PROFILE
+    from repro.tensor.lite import Interpreter
+
+    # Plain HW-mode CPU inference on the same node.
+    runtime = SconeRuntime(
+        RuntimeConfig(
+            name="cpu-only", mode=SgxMode.HW,
+            binary_size=LITE_PROFILE.binary_size, fs_shield_enabled=False,
+        ),
+        node.vfs, CM, node.clock, cpu=node.cpu, rng=node.rng.child("cpu-only"),
+    )
+    cpu = Interpreter(model, runtime=runtime)
+    cpu.allocate_tensors()
+    cpu.classify(images[0][None])
+    before = node.clock.now
+    for image in images[:4]:
+        cpu.classify(image[None])
+    cpu_latency = (node.clock.now - before) / 4
+
+    slalom = make_slalom_runner(node, model)
+    slalom.classify(images[0])
+    slalom_latency = slalom.measure_latency(images, 4)
+    # Convnets are overwhelmingly linear FLOPs: the GPU should win big.
+    assert slalom_latency < cpu_latency / 3
+
+
+def test_slalom_costs_scale_with_gpu_speed(node, model, images):
+    slow_gpu = make_slalom_runner(
+        node, model, gpu=GpuProfile(flops_per_second=5e10), name="slow"
+    )
+    fast_gpu = make_slalom_runner(
+        node, model, gpu=GpuProfile(flops_per_second=5e12), name="fast"
+    )
+    slow_gpu.classify(images[0])
+    fast_gpu.classify(images[0])
+    assert fast_gpu.measure_latency(images, 3) < slow_gpu.measure_latency(
+        images, 3
+    )
+
+
+def test_slalom_documents_the_weakened_threat_model(node, model):
+    slalom = make_slalom_runner(node, model)
+    assert "confiden" in slalom.CONFIDENTIALITY_CAVEAT.lower()
+    assert slalom.runtime.memory.encrypted  # the enclave half is real HW

@@ -1,0 +1,62 @@
+"""Key manager and provisioned-identity serialization."""
+
+import pytest
+
+from repro._sim import DeterministicRng
+from repro.cas.keys import KeyManager, ProvisionedIdentity
+from repro.crypto.certs import Certificate
+from repro.errors import IntegrityError
+
+
+@pytest.fixture
+def manager(rng: DeterministicRng) -> KeyManager:
+    return KeyManager(rng.child("km"))
+
+
+def test_symmetric_keys_are_distinct(manager):
+    assert manager.new_symmetric_key() != manager.new_symmetric_key()
+    assert len(manager.new_symmetric_key()) == 32
+
+
+def test_tls_identity_signed_by_ca(manager):
+    key_bytes, cert_bytes = manager.new_tls_identity("svc", now=10.0)
+    certificate = Certificate.from_bytes(cert_bytes)
+    certificate.verify_signature(manager.ca.public_key())
+    assert certificate.subject == "svc"
+    assert len(key_bytes) == 32
+    # The cert binds the signing key that was issued with it.
+    from repro.crypto.ed25519 import Ed25519PrivateKey
+
+    signer = Ed25519PrivateKey(key_bytes)
+    assert (
+        signer.public_key().public_bytes() == certificate.ed25519_public
+    )
+
+
+def test_trusted_root_bytes_match_ca(manager):
+    assert manager.trusted_root_bytes() == manager.ca.public_key().public_bytes()
+
+
+def test_provisioned_identity_roundtrip(manager):
+    key_bytes, cert_bytes = manager.new_tls_identity("svc", now=0.0)
+    identity = ProvisionedIdentity(
+        session="s",
+        fs_key=bytes(32),
+        tls_signing_key=key_bytes,
+        tls_certificate=cert_bytes,
+        trusted_root=manager.trusted_root_bytes(),
+        secrets={"api": b"token"},
+    )
+    restored = ProvisionedIdentity.from_bytes(identity.to_bytes())
+    assert restored == identity
+    tls = restored.tls_identity()
+    assert tls.certificate.subject == "svc"
+
+
+def test_malformed_identity_rejected():
+    with pytest.raises(IntegrityError):
+        ProvisionedIdentity.from_bytes(b"garbage")
+    from repro.crypto import encoding
+
+    with pytest.raises(IntegrityError):
+        ProvisionedIdentity.from_bytes(encoding.encode({"session": "s"}))

@@ -1,0 +1,181 @@
+"""CAS provisioning protocol end-to-end (service + clients)."""
+
+import pytest
+
+from repro._sim import DeterministicRng, EventTrace
+from repro.cas import CasClient, CasService, Policy
+from repro.cas.client import RemoteCasClient, RemoteFreshnessTracker, serve_cas
+from repro.cluster import Network, make_cluster
+from repro.crypto.aead import AeadKey
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.enclave.sgx import SgxMode
+from repro.errors import (
+    AttestationError,
+    FreshnessError,
+    IntegrityError,
+    PolicyError,
+    RpcError,
+)
+from repro.runtime.scone import RuntimeConfig, SconeRuntime
+from repro.tensor.engine import LITE_PROFILE
+
+
+@pytest.fixture
+def cluster(provisioning):
+    return make_cluster(2, CM, provisioning, seed=8)
+
+
+@pytest.fixture
+def cas(cluster, provisioning):
+    return CasService(cluster[0], provisioning.public_key())
+
+
+def make_runtime(node, name="worker", mode=SgxMode.HW):
+    return SconeRuntime(
+        RuntimeConfig(
+            name=name,
+            mode=mode,
+            binary_size=LITE_PROFILE.binary_size,
+            fs_shield_enabled=False,
+        ),
+        node.vfs,
+        CM,
+        node.clock,
+        cpu=node.cpu,
+        rng=node.rng.child(name),
+    )
+
+
+def register(cas, runtime, session="s", secrets=None, accept_debug=False):
+    cas.register_policy(
+        Policy(
+            session,
+            [runtime.measurement],
+            secret_names=sorted(secrets or {}),
+            accept_debug=accept_debug,
+        ),
+        secrets=secrets,
+    )
+
+
+def test_direct_provision_flow(cas, cluster):
+    runtime = make_runtime(cluster[1])
+    register(cas, runtime, secrets={"api": b"token"})
+    identity = CasClient(cas).provision(runtime, "s")
+    assert identity.session == "s"
+    assert identity.secrets == {"api": b"token"}
+    assert len(identity.fs_key) == 32
+    tls = identity.tls_identity()
+    assert tls.certificate.subject.startswith("s/worker-")
+    tls.certificate.verify_signature(cas.keys.ca.public_key())
+
+
+def test_each_member_gets_unique_identity(cas, cluster):
+    runtime = make_runtime(cluster[1])
+    register(cas, runtime)
+    a = CasClient(cas).provision(runtime, "s")
+    b = CasClient(cas).provision(runtime, "s")
+    assert a.tls_certificate != b.tls_certificate
+    assert a.fs_key == b.fs_key  # session key is shared
+
+
+def test_wrong_measurement_rejected(cas, cluster):
+    runtime = make_runtime(cluster[1], name="expected")
+    register(cas, runtime)
+    impostor = make_runtime(cluster[1], name="impostor")
+    with pytest.raises(PolicyError):
+        CasClient(cas).provision(impostor, "s")
+
+
+def test_sim_mode_needs_accept_debug(cas, cluster):
+    runtime = make_runtime(cluster[1], mode=SgxMode.SIM)
+    register(cas, runtime, session="strict", accept_debug=False)
+    with pytest.raises(AttestationError):
+        CasClient(cas).provision(runtime, "strict")
+    register(cas, runtime, session="dev", accept_debug=True)
+    identity = CasClient(cas).provision(runtime, "dev")
+    assert identity.session == "dev"
+
+
+def test_bundle_is_sealed_to_the_enclave_key(cas, cluster):
+    """An eavesdropper with the bundle but not the X25519 private key
+    cannot decrypt the provisioned identity."""
+    runtime = make_runtime(cluster[1])
+    register(cas, runtime, secrets={"k": b"super-secret"})
+    quote = runtime.attest(report_data=bytes(32))  # attacker-known key? no:
+    # use a legitimate quote bound to a key the attacker does not hold.
+    exchange_public = DeterministicRng(99).random_bytes(32)
+    quote = runtime.attest(report_data=exchange_public)
+    bundle = cas.provision("s", quote)
+    assert b"super-secret" not in bundle.sealed_identity
+    # Opening with a wrong key fails.
+    wrong = AeadKey("chacha20-poly1305", bytes(32))
+    with pytest.raises(IntegrityError):
+        wrong.open(bundle.sealed_identity)
+
+
+def test_provision_requires_32_byte_report_data(cas, cluster):
+    runtime = make_runtime(cluster[1])
+    register(cas, runtime)
+    quote = runtime.attest(report_data=b"short")
+    with pytest.raises(AttestationError):
+        cas.provision("s", quote)
+
+
+def test_owner_fs_key_matches_provisioned(cas, cluster):
+    runtime = make_runtime(cluster[1])
+    register(cas, runtime)
+    identity = CasClient(cas).provision(runtime, "s")
+    assert cas.owner_fs_key("s") == identity.fs_key
+    with pytest.raises(PolicyError):
+        cas.owner_fs_key("unknown")
+
+
+def test_cas_self_attestation(cas, provisioning):
+    from repro.enclave.attestation import AttestationVerifier
+
+    quote = cas.attest()
+    report = AttestationVerifier(provisioning.public_key()).verify(quote)
+    assert report.attributes["name"] == "cas"
+    assert report.measurement == cas.measurement
+
+
+def test_remote_provision_over_network(cas, cluster):
+    network = Network(CM)
+    serve_cas(network, cas, address="cas")
+    runtime = make_runtime(cluster[1])
+    register(cas, runtime)
+    trace = EventTrace(cluster[1].clock)
+    client = RemoteCasClient(network, cluster[1], "cas", trace=trace)
+    before = cluster[1].clock.now
+    identity = client.provision(runtime, "s")
+    elapsed = cluster[1].clock.now - before
+    assert identity.session == "s"
+    # Paper Fig. 4: the whole CAS attestation flow is ~17 ms, dominated
+    # by quote generation; local verification is sub-millisecond.
+    assert elapsed < 0.05
+    breakdown = trace.breakdown()
+    assert breakdown["quote.generation"] == pytest.approx(
+        CM.quote_generation_cost
+    )
+
+
+def test_remote_provision_errors_travel_as_rpc_errors(cas, cluster):
+    network = Network(CM)
+    serve_cas(network, cas, address="cas")
+    runtime = make_runtime(cluster[1])
+    client = RemoteCasClient(network, cluster[1], "cas")
+    with pytest.raises(RpcError):
+        client.provision(runtime, "never-registered")
+
+
+def test_remote_freshness_tracker(cas, cluster):
+    network = Network(CM)
+    serve_cas(network, cas, address="cas")
+    tracker = RemoteFreshnessTracker(network, cluster[1], owner="sess")
+    tracker.commit("/f", 0, b"d0")
+    tracker.verify("/f", 0, b"d0")
+    tracker.commit("/f", 1, b"d1")
+    with pytest.raises(RpcError):
+        tracker.verify("/f", 0, b"d0")
+    assert cas.audit.latest("sess", "/f").version == 1

@@ -1,0 +1,115 @@
+"""Nodes, containers, and elastic orchestration."""
+
+import pytest
+
+from repro.cluster import Container, ContainerSpec, Orchestrator, make_cluster
+from repro.cluster.container import ContainerState
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.enclave.sgx import SgxMode
+from repro.errors import ClusterError
+from repro.runtime.scone import RuntimeConfig
+
+
+@pytest.fixture
+def cluster(provisioning):
+    return make_cluster(3, CM, provisioning, seed=2)
+
+
+def config_factory(node, index):
+    return RuntimeConfig(
+        name="svc", mode=SgxMode.HW, fs_shield_enabled=False
+    )
+
+
+def test_cluster_nodes_are_independent(cluster):
+    assert len(cluster) == 3
+    cluster[0].clock.advance(1.0)
+    assert cluster[1].clock.now == 0.0
+    assert cluster[0].cpu is not cluster[1].cpu
+
+
+def test_container_lifecycle_and_costs(cluster):
+    node = cluster[0]
+    container = Container("c0", node, config_factory(node, 0))
+    assert container.state is ContainerState.CREATED
+    before = node.clock.now
+    runtime = container.start()
+    assert node.clock.now - before >= CM.container_start_cost
+    assert container.running
+    assert runtime.enclave is not None
+    container.stop()
+    assert container.state is ContainerState.STOPPED
+    assert runtime.enclave is None
+
+
+def test_container_double_start_and_stop_rejected(cluster):
+    container = Container("c0", cluster[0], config_factory(cluster[0], 0))
+    container.start()
+    with pytest.raises(ClusterError):
+        container.start()
+    container.stop()
+    with pytest.raises(ClusterError):
+        container.stop()
+
+
+def test_container_fail(cluster):
+    container = Container("c0", cluster[0], config_factory(cluster[0], 0))
+    container.start()
+    container.fail()
+    assert container.state is ContainerState.FAILED
+    assert not container.running
+
+
+def test_orchestrator_round_robin_placement(cluster):
+    orch = Orchestrator(cluster)
+    spec = ContainerSpec("svc", config_factory)
+    containers = [orch.launch(spec) for _ in range(4)]
+    nodes = [c.node.node_id for c in containers]
+    assert nodes == ["node-0", "node-1", "node-2", "node-0"]
+
+
+def test_elastic_scale_up_and_down(cluster):
+    orch = Orchestrator(cluster)
+    spec = ContainerSpec("svc", config_factory)
+    orch.scale_to(spec, 3)
+    assert len(orch.replicas("svc")) == 3
+    orch.scale_to(spec, 1)
+    assert len(orch.replicas("svc")) == 1
+    orch.scale_to(spec, 0)
+    assert orch.replicas("svc") == []
+    with pytest.raises(ClusterError):
+        orch.scale_to(spec, -1)
+
+
+def test_on_start_hooks_run_for_every_launch(cluster):
+    orch = Orchestrator(cluster)
+    attested = []
+    orch.on_start.append(lambda c: attested.append(c.name))
+    spec = ContainerSpec("svc", config_factory)
+    orch.scale_to(spec, 2)
+    assert len(attested) == 2
+
+
+def test_recover_replaces_failed_replicas(cluster):
+    orch = Orchestrator(cluster)
+    spec = ContainerSpec("svc", config_factory)
+    containers = orch.scale_to(spec, 2)
+    victim = containers[0]
+    orch.fail_container(victim)
+    assert len(orch.replicas("svc")) == 1
+    replaced = orch.recover(spec)
+    assert len(replaced) == 1
+    assert replaced[0].node is victim.node  # restarted in place
+    assert len(orch.replicas("svc")) == 2
+
+
+def test_stop_all(cluster):
+    orch = Orchestrator(cluster)
+    orch.scale_to(ContainerSpec("svc", config_factory), 3)
+    orch.stop_all()
+    assert orch.replicas("svc") == []
+
+
+def test_orchestrator_needs_nodes():
+    with pytest.raises(ClusterError):
+        Orchestrator([])

@@ -1,0 +1,223 @@
+"""Simulated network and RPC: timing, adversary, secure sessions."""
+
+import pytest
+
+from repro._sim import DeterministicRng
+from repro.cluster import Network, make_cluster
+from repro.cluster.rpc import RpcClient, RpcServer, SecureRpcClient, SecureRpcServer
+from repro.crypto.certs import CertificateAuthority
+from repro.crypto.ed25519 import Ed25519PrivateKey
+from repro.crypto.tls import TlsIdentity
+from repro.enclave.attestation import ProvisioningAuthority
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.errors import RpcError
+from repro.runtime.net_shield import NetworkShield
+
+
+@pytest.fixture
+def cluster(provisioning):
+    return make_cluster(3, CM, provisioning, seed=4)
+
+
+@pytest.fixture
+def network():
+    return Network(CM)
+
+
+def echo_server(network, node, address="echo"):
+    server = RpcServer(network, address, node)
+    server.register("echo", lambda payload, peer: payload)
+    server.start()
+    return server
+
+
+def test_plain_call_roundtrip(cluster, network):
+    echo_server(network, cluster[0])
+    client = RpcClient(network, "client", cluster[1])
+    assert client.call("echo", "echo", b"hello") == b"hello"
+
+
+def test_call_charges_rtt_and_bandwidth(cluster, network):
+    echo_server(network, cluster[0])
+    client = RpcClient(network, "client", cluster[1])
+    before = cluster[1].clock.now
+    client.call("echo", "echo", b"x", declared_request=10_000_000)
+    elapsed = cluster[1].clock.now - before
+    assert elapsed >= CM.lan_rtt + 10_000_000 / CM.lan_bandwidth
+
+
+def test_callee_clock_advances_to_arrival(cluster, network):
+    echo_server(network, cluster[0])
+    cluster[1].clock.advance(5.0)
+    RpcClient(network, "client", cluster[1]).call("echo", "echo", b"x")
+    assert cluster[0].clock.now >= 5.0
+
+
+def test_busy_callee_delays_caller(cluster, network):
+    server = RpcServer(network, "slow", cluster[0])
+
+    def slow_handler(payload, peer):
+        cluster[0].clock.advance(2.0)
+        return b"done"
+
+    server.register("work", slow_handler)
+    server.start()
+    client = RpcClient(network, "client", cluster[1])
+    before = cluster[1].clock.now
+    client.call("slow", "work", b"")
+    assert cluster[1].clock.now - before >= 2.0
+
+
+def test_unknown_method_and_endpoint(cluster, network):
+    echo_server(network, cluster[0])
+    client = RpcClient(network, "client", cluster[1])
+    with pytest.raises(RpcError):
+        client.call("echo", "missing_method", b"")
+    with pytest.raises(RpcError):
+        client.call("nowhere", "echo", b"")
+
+
+def test_partition_and_heal(cluster, network):
+    echo_server(network, cluster[0])
+    client = RpcClient(network, "client", cluster[1])
+    network.partition("echo")
+    with pytest.raises(RpcError):
+        client.call("echo", "echo", b"")
+    network.heal("echo")
+    assert client.call("echo", "echo", b"ok") == b"ok"
+
+
+def test_adversary_can_drop(cluster, network):
+    echo_server(network, cluster[0])
+    network.adversary = lambda src, dst, data: None
+    client = RpcClient(network, "client", cluster[1])
+    with pytest.raises(RpcError):
+        client.call("echo", "echo", b"")
+    assert network.stats.dropped == 1
+
+
+def test_duplicate_address_rejected(cluster, network):
+    echo_server(network, cluster[0])
+    with pytest.raises(RpcError):
+        echo_server(network, cluster[1])
+
+
+def test_barrier_synchronizes(cluster, network):
+    cluster[0].clock.advance(1.0)
+    cluster[2].clock.advance(3.0)
+    latest = network.barrier([n.clock for n in cluster])
+    assert latest == 3.0
+    assert all(n.clock.now == 3.0 for n in cluster)
+
+
+# --- secure RPC -----------------------------------------------------------------
+
+
+def make_shield(ca, rng, node, name):
+    key = Ed25519PrivateKey(rng.random_bytes(32))
+    cert = ca.issue(name, key.public_key().public_bytes(), rng.random_bytes(32), now=0.0)
+    return NetworkShield(
+        TlsIdentity(key, cert), [ca.public_key()], CM, node.clock,
+        rng.child(name),
+    )
+
+
+@pytest.fixture
+def secure_setup(cluster, network, rng):
+    ca = CertificateAuthority("root", Ed25519PrivateKey(rng.random_bytes(32)))
+    server_shield = make_shield(ca, rng, cluster[0], "server")
+    client_shield = make_shield(ca, rng, cluster[1], "client")
+    server = SecureRpcServer(network, "secure", cluster[0], server_shield)
+    server.register("echo", lambda payload, peer: payload)
+    server.register("whoami", lambda payload, peer: peer.encode())
+    server.start()
+    client = SecureRpcClient(network, "client", cluster[1], client_shield)
+    return ca, rng, client, server, network, cluster
+
+
+def test_secure_call_roundtrip(secure_setup):
+    _, _, client, _, _, _ = secure_setup
+    conn = client.connect("secure", expected_server="server")
+    assert conn.call("echo", b"confidential") == b"confidential"
+    assert conn.peer_subject == "server"
+
+
+def test_secure_server_sees_client_identity(secure_setup):
+    _, _, client, _, _, _ = secure_setup
+    conn = client.connect("secure")
+    assert conn.call("whoami", b"") == b"client"
+
+
+def test_payload_not_visible_on_wire(secure_setup):
+    _, _, client, _, network, _ = secure_setup
+    seen = []
+
+    def sniff(src, dst, data):
+        seen.append(data)
+        return data
+
+    conn = client.connect("secure")
+    network.adversary = sniff
+    conn.call("echo", b"super-secret-payload")
+    assert all(b"super-secret-payload" not in msg for msg in seen)
+
+
+def test_tampered_secure_response_detected(secure_setup):
+    from repro.errors import IntegrityError
+
+    _, _, client, _, network, _ = secure_setup
+    conn = client.connect("secure")
+
+    def tamper(src, dst, data):
+        if dst == "client":  # corrupt responses only
+            corrupted = bytearray(data)
+            corrupted[-1] ^= 1
+            return bytes(corrupted)
+        return data
+
+    network.adversary = tamper
+    with pytest.raises((IntegrityError, RpcError)):
+        conn.call("echo", b"payload")
+
+
+def test_tampered_secure_request_rejected_by_server(secure_setup):
+    _, _, client, _, network, _ = secure_setup
+    conn = client.connect("secure")
+
+    def tamper(src, dst, data):
+        if dst == "secure":
+            corrupted = bytearray(data)
+            corrupted[-1] ^= 1
+            return bytes(corrupted)
+        return data
+
+    network.adversary = tamper
+    with pytest.raises(RpcError):
+        conn.call("echo", b"payload")
+
+
+def test_untrusted_client_cannot_connect(secure_setup, rng):
+    ca, _, _, _, network, cluster = secure_setup
+    rogue_ca = CertificateAuthority("rogue", Ed25519PrivateKey(rng.random_bytes(32)))
+    rogue_key = Ed25519PrivateKey(rng.random_bytes(32))
+    rogue_cert = rogue_ca.issue(
+        "mallory", rogue_key.public_key().public_bytes(), rng.random_bytes(32), now=0.0
+    )
+    rogue_shield = NetworkShield(
+        TlsIdentity(rogue_key, rogue_cert),
+        [ca.public_key()],
+        CM,
+        cluster[2].clock,
+        rng.child("mallory"),
+    )
+    rogue = SecureRpcClient(network, "mallory", cluster[2], rogue_shield)
+    with pytest.raises(RpcError):
+        rogue.connect("secure")
+
+
+def test_unknown_connection_rejected(secure_setup):
+    _, _, client, _, _, _ = secure_setup
+    conn = client.connect("secure")
+    conn._conn = 9999
+    with pytest.raises(RpcError):
+        conn.call("echo", b"")

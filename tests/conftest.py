@@ -1,0 +1,46 @@
+"""Shared fixtures for the secureTF reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._sim import DeterministicRng, SimClock
+from repro.enclave.attestation import ProvisioningAuthority
+from repro.enclave.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.enclave.sgx import SgxCpu
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(1234, label="tests")
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    return DEFAULT_COST_MODEL
+
+
+@pytest.fixture
+def provisioning(rng: DeterministicRng) -> ProvisioningAuthority:
+    return ProvisioningAuthority(rng.child("intel"))
+
+
+@pytest.fixture
+def cpu(
+    cost_model: CostModel,
+    clock: SimClock,
+    provisioning: ProvisioningAuthority,
+    rng: DeterministicRng,
+) -> SgxCpu:
+    return SgxCpu("cpu-test", cost_model, clock, provisioning, rng.child("cpu"))
+
+
+@pytest.fixture
+def tiny_cost_model() -> CostModel:
+    """A cost model with a tiny EPC so paging tests run fast."""
+    return DEFAULT_COST_MODEL.with_overrides(epc_capacity_bytes=4 * 1024 * 1024)

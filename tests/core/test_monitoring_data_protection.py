@@ -1,0 +1,149 @@
+"""Platform monitoring + encrypted dataset pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.cas.audit import ScopedFreshnessTracker
+from repro.core import SecureTFPlatform
+from repro.core.data_protection import (
+    DATASET_PATH_PREFIX,
+    dataset_rules,
+    deploy_encrypted_dataset,
+    load_encrypted_dataset,
+    serialize_dataset,
+    deserialize_dataset,
+)
+from repro.core.inference import (
+    InferenceService,
+    deploy_encrypted_model,
+    service_runtime_config,
+)
+from repro.core.monitoring import collect_metrics
+from repro.core.platform import PlatformConfig
+from repro.data import synthetic_mnist
+from repro.enclave.sgx import SgxMode
+from repro.errors import FreshnessError, SecurityError, ShieldError
+from repro.models import pretrained_lite_model
+from repro.runtime.scone import RuntimeConfig, SconeRuntime
+from repro.tensor.engine import FULL_TF_PROFILE
+
+
+# --- monitoring ------------------------------------------------------------
+
+
+def test_metrics_snapshot_after_workload():
+    platform = SecureTFPlatform(PlatformConfig(n_nodes=2, seed=60))
+    model = pretrained_lite_model("densenet", seed=0)
+    platform.register_session(
+        "m", [service_runtime_config("svc", SgxMode.HW)]
+    )
+    path = deploy_encrypted_model(platform, "m", platform.node(1), model)
+    service = InferenceService(
+        platform, "m", platform.node(1), path, mode=SgxMode.HW, name="svc"
+    )
+    service.start()
+    service.classify(np.zeros((32, 32, 3), np.float32))
+
+    metrics = collect_metrics(platform)
+    assert len(metrics.nodes) == 2
+    node1 = next(n for n in metrics.nodes if n.node_id == "node-1")
+    assert node1.epc_faults > 0                # the model paged in
+    assert 0 < node1.epc_utilization <= 1.0
+    assert node1.simulated_time > 0
+    assert metrics.network_messages > 0        # provisioning traffic
+    assert metrics.cas_sessions == 1
+    assert metrics.audit_records >= 1          # model upload committed
+    assert metrics.audit_chain_ok
+    report = metrics.format()
+    assert "node-1" in report and "chain OK" in report
+
+
+def test_metrics_detect_broken_audit_chain():
+    import dataclasses
+
+    platform = SecureTFPlatform(PlatformConfig(n_nodes=1, seed=61))
+    platform.cas.audit.commit("s", "/f", 0, b"\x00" * 32)
+    platform.cas.audit.commit("s", "/f", 1, b"\x01" * 32)
+    platform.cas.audit._log[0] = dataclasses.replace(
+        platform.cas.audit._log[0], digest=b"\xff" * 32
+    )
+    assert collect_metrics(platform).audit_chain_ok is False
+
+
+# --- encrypted datasets -------------------------------------------------------
+
+
+@pytest.fixture
+def shard():
+    train, _ = synthetic_mnist(n_train=50, n_test=5, seed=62)
+    return train
+
+
+def test_dataset_serialization_roundtrip(shard):
+    restored = deserialize_dataset(serialize_dataset(shard))
+    np.testing.assert_array_equal(restored.images, shard.images)
+    np.testing.assert_array_equal(restored.labels, shard.labels)
+    assert restored.num_classes == shard.num_classes
+
+
+def make_training_runtime(platform, session, node):
+    config = RuntimeConfig(
+        name="trainer",
+        mode=SgxMode.HW,
+        binary_size=FULL_TF_PROFILE.binary_size,
+        fs_shield_enabled=True,
+        fs_rules=dataset_rules(),
+    )
+    platform.register_session(session, [config])
+    runtime = SconeRuntime(
+        config, node.vfs, platform.cost_model, node.clock,
+        cpu=node.cpu, rng=node.rng.child("trainer"),
+    )
+    identity = platform.provision_runtime(runtime, node, session)
+    runtime.install_fs_key(
+        identity.fs_key,
+        freshness=ScopedFreshnessTracker(
+            platform.cas.audit, f"{session}@{node.node_id}"
+        ),
+    )
+    return runtime
+
+
+def test_encrypted_dataset_roundtrip_through_enclave(shard):
+    platform = SecureTFPlatform(PlatformConfig(n_nodes=2, seed=63))
+    node = platform.node(1)
+    runtime = make_training_runtime(platform, "train", node)
+    path = deploy_encrypted_dataset(platform, "train", node, shard)
+
+    stored = node.vfs.read(path).content
+    assert shard.images.tobytes()[:256] not in stored  # ciphertext at rest
+
+    loaded = load_encrypted_dataset(runtime, path)
+    np.testing.assert_array_equal(loaded.images, shard.images)
+    np.testing.assert_array_equal(loaded.labels, shard.labels)
+
+
+def test_tampered_dataset_rejected(shard):
+    platform = SecureTFPlatform(PlatformConfig(n_nodes=2, seed=64))
+    node = platform.node(1)
+    runtime = make_training_runtime(platform, "train", node)
+    path = deploy_encrypted_dataset(platform, "train", node, shard)
+    raw = bytearray(node.vfs.read(path).content)
+    raw[len(raw) // 2] ^= 0x20  # poison one training byte
+    node.vfs.tamper(path, bytes(raw))
+    with pytest.raises((ShieldError, FreshnessError)):
+        load_encrypted_dataset(runtime, path)
+
+
+def test_dataset_rollback_rejected(shard):
+    import copy
+
+    platform = SecureTFPlatform(PlatformConfig(n_nodes=2, seed=65))
+    node = platform.node(1)
+    runtime = make_training_runtime(platform, "train", node)
+    path = deploy_encrypted_dataset(platform, "train", node, shard)
+    snapshot = copy.deepcopy(node.vfs.read(path))
+    deploy_encrypted_dataset(platform, "train", node, shard, path=path)  # v1
+    node.vfs.rollback(path, snapshot)
+    with pytest.raises(FreshnessError):
+        load_encrypted_dataset(runtime, path)

@@ -1,0 +1,65 @@
+"""AEAD registry and the nonce-sequencing key wrapper."""
+
+import pytest
+
+from repro.crypto.aead import AeadKey, get_aead, key_size
+from repro.errors import ConfigurationError, IntegrityError
+
+
+@pytest.mark.parametrize(
+    "cipher,size",
+    [("chacha20-poly1305", 32), ("aes-256-gcm", 32), ("aes-128-gcm", 16)],
+)
+def test_registry_roundtrip(cipher, size):
+    assert key_size(cipher) == size
+    aead = get_aead(cipher, bytes(size))
+    sealed = aead.encrypt(b"\x01" * 12, b"payload", b"aad")
+    assert aead.decrypt(b"\x01" * 12, sealed, b"aad") == b"payload"
+
+
+def test_unknown_cipher_rejected():
+    with pytest.raises(ConfigurationError):
+        get_aead("rot13", bytes(32))
+    with pytest.raises(ConfigurationError):
+        key_size("rot13")
+
+
+def test_wrong_key_size_rejected():
+    with pytest.raises(ConfigurationError):
+        get_aead("aes-128-gcm", bytes(32))
+
+
+def test_aeadkey_sequencing_produces_distinct_nonces():
+    key = AeadKey("chacha20-poly1305", bytes(32))
+    sealed_1 = key.seal(b"same plaintext")
+    sealed_2 = key.seal(b"same plaintext")
+    assert sealed_1 != sealed_2
+    assert key.messages_sealed == 2
+    assert key.open(sealed_1) == b"same plaintext"
+    assert key.open(sealed_2) == b"same plaintext"
+
+
+def test_aeadkey_aad_binding():
+    key = AeadKey("chacha20-poly1305", bytes(32))
+    sealed = key.seal(b"x", aad=b"ctx")
+    with pytest.raises(IntegrityError):
+        key.open(sealed, aad=b"other")
+
+
+def test_aeadkey_explicit_sequence():
+    key = AeadKey("aes-256-gcm", bytes(32))
+    sealed = key.seal_at(7, b"chunk", aad=b"file")
+    assert key.open_at(7, sealed, aad=b"file") == b"chunk"
+    with pytest.raises(IntegrityError):
+        key.open_at(8, sealed, aad=b"file")
+
+
+def test_aeadkey_short_message_rejected():
+    key = AeadKey("chacha20-poly1305", bytes(32))
+    with pytest.raises(ConfigurationError):
+        key.open(b"short")
+
+
+def test_nonce_prefix_must_be_4_bytes():
+    with pytest.raises(ConfigurationError):
+        AeadKey("chacha20-poly1305", bytes(32), nonce_prefix=b"abc")

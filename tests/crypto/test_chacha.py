@@ -1,0 +1,107 @@
+"""ChaCha20-Poly1305 against RFC 8439 vectors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.chacha import (
+    ChaCha20Poly1305,
+    chacha20_keystream,
+    chacha20_xor,
+    poly1305_mac,
+)
+from repro.errors import IntegrityError
+
+RFC_KEY = bytes(range(32))
+
+
+def test_rfc8439_block_function():
+    nonce = bytes.fromhex("000000090000004a00000000")
+    stream = chacha20_keystream(RFC_KEY, nonce, 1, 64)
+    assert stream.hex() == (
+        "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+        "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    )
+
+
+def test_rfc8439_encryption():
+    key = RFC_KEY
+    nonce = bytes.fromhex("000000000000004a00000000")
+    plaintext = (
+        b"Ladies and Gentlemen of the class of '99: If I could offer you "
+        b"only one tip for the future, sunscreen would be it."
+    )
+    ct = chacha20_xor(key, nonce, 1, plaintext)
+    assert ct.hex().startswith("6e2e359a2568f98041ba0728dd0d6981")
+    assert chacha20_xor(key, nonce, 1, ct) == plaintext
+
+
+def test_rfc8439_poly1305():
+    key = bytes.fromhex(
+        "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"
+    )
+    tag = poly1305_mac(key, b"Cryptographic Forum Research Group")
+    assert tag.hex() == "a8061dc1305136c6c22b8baf0c0127a9"
+
+
+def test_rfc8439_aead_vector():
+    key = bytes.fromhex(
+        "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f"
+    )
+    nonce = bytes.fromhex("070000004041424344454647")
+    aad = bytes.fromhex("50515253c0c1c2c3c4c5c6c7")
+    plaintext = (
+        b"Ladies and Gentlemen of the class of '99: If I could offer you "
+        b"only one tip for the future, sunscreen would be it."
+    )
+    aead = ChaCha20Poly1305(key)
+    sealed = aead.encrypt(nonce, plaintext, aad)
+    assert sealed[-16:].hex() == "1ae10b594f09e26a7e902ecbd0600691"
+    assert aead.decrypt(nonce, sealed, aad) == plaintext
+
+
+def test_tamper_detection_everywhere():
+    aead = ChaCha20Poly1305(bytes(32))
+    nonce = b"\x05" * 12
+    sealed = aead.encrypt(nonce, b"data" * 100, aad=b"meta")
+    for position in (0, len(sealed) // 2, len(sealed) - 1):
+        corrupted = bytearray(sealed)
+        corrupted[position] ^= 0x80
+        with pytest.raises(IntegrityError):
+            aead.decrypt(nonce, bytes(corrupted), aad=b"meta")
+
+
+def test_aad_binding():
+    aead = ChaCha20Poly1305(bytes(32))
+    sealed = aead.encrypt(b"\x00" * 12, b"x", aad=b"context-a")
+    with pytest.raises(IntegrityError):
+        aead.decrypt(b"\x00" * 12, sealed, aad=b"context-b")
+
+
+def test_keystream_counter_continuity():
+    a = chacha20_keystream(RFC_KEY, bytes(12), 0, 128)
+    b = chacha20_keystream(RFC_KEY, bytes(12), 0, 64) + chacha20_keystream(
+        RFC_KEY, bytes(12), 1, 64
+    )
+    assert a == b
+
+
+def test_empty_keystream():
+    assert chacha20_keystream(RFC_KEY, bytes(12), 0, 0) == b""
+
+
+def test_key_and_nonce_validation():
+    with pytest.raises(ValueError):
+        ChaCha20Poly1305(bytes(31))
+    aead = ChaCha20Poly1305(bytes(32))
+    with pytest.raises(ValueError):
+        aead.encrypt(bytes(11), b"x")
+    with pytest.raises(ValueError):
+        poly1305_mac(bytes(31), b"x")
+
+
+@settings(max_examples=25)
+@given(st.binary(min_size=0, max_size=5000), st.binary(min_size=32, max_size=32))
+def test_roundtrip_property(plaintext, key):
+    aead = ChaCha20Poly1305(key)
+    sealed = aead.encrypt(b"\x01" * 12, plaintext)
+    assert aead.decrypt(b"\x01" * 12, sealed) == plaintext

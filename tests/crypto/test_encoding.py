@@ -1,0 +1,92 @@
+"""Canonical encoding: determinism, roundtrips, adversarial inputs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import encoding
+from repro.errors import IntegrityError
+
+values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**70), max_value=2**70)
+    | st.floats(allow_nan=False)
+    | st.binary(max_size=50)
+    | st.text(max_size=30),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+@given(values)
+def test_roundtrip_property(value):
+    decoded = encoding.decode(encoding.encode(value))
+    if isinstance(value, tuple):
+        value = list(value)
+    assert decoded == value
+
+
+def test_dict_key_order_is_canonical():
+    a = encoding.encode({"b": 1, "a": 2})
+    b = encoding.encode({"a": 2, "b": 1})
+    assert a == b
+
+
+def test_tuple_encodes_as_list():
+    assert encoding.decode(encoding.encode((1, 2))) == [1, 2]
+
+
+def test_large_integers():
+    n = 2**200 + 12345
+    assert encoding.decode(encoding.encode(n)) == n
+    assert encoding.decode(encoding.encode(-n)) == -n
+
+
+def test_rejects_non_string_dict_keys():
+    with pytest.raises(TypeError):
+        encoding.encode({1: "x"})
+
+
+def test_rejects_unencodable_type():
+    with pytest.raises(TypeError):
+        encoding.encode(object())
+
+
+def test_rejects_trailing_garbage():
+    data = encoding.encode(42) + b"\x00"
+    with pytest.raises(IntegrityError):
+        encoding.decode(data)
+
+
+def test_rejects_truncation():
+    data = encoding.encode({"key": b"value" * 10})
+    for cut in (1, len(data) // 2, len(data) - 1):
+        with pytest.raises(IntegrityError):
+            encoding.decode(data[:cut])
+
+
+def test_rejects_unknown_tag():
+    with pytest.raises(IntegrityError):
+        encoding.decode(b"\xfe")
+
+
+def test_rejects_unsorted_dict_keys():
+    # Hand-craft a dict with keys out of canonical order.
+    good = encoding.encode({"a": 1, "b": 2})
+    ka = encoding.encode("a")
+    kb = encoding.encode("b")
+    swapped = good.replace(ka, b"\x99", 1).replace(kb, ka, 1).replace(b"\x99", kb, 1)
+    with pytest.raises(IntegrityError):
+        encoding.decode(swapped)
+
+
+def test_rejects_invalid_utf8_string():
+    raw = encoding.encode("hello")
+    corrupted = raw.replace(b"hello", b"he\xfflo")
+    with pytest.raises(IntegrityError):
+        encoding.decode(corrupted)
+
+
+def test_bytes_and_str_are_distinct():
+    assert encoding.encode(b"x") != encoding.encode("x")

@@ -1,0 +1,81 @@
+"""AES-GCM against NIST vectors and tamper-detection requirements."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.gcm import AesGcm
+from repro.errors import IntegrityError
+
+
+def test_nist_empty_plaintext_vector():
+    gcm = AesGcm(b"\x00" * 16)
+    out = gcm.encrypt(b"\x00" * 12, b"")
+    assert out.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+
+def test_nist_single_block_vector():
+    gcm = AesGcm(b"\x00" * 16)
+    out = gcm.encrypt(b"\x00" * 12, b"\x00" * 16)
+    assert out.hex() == (
+        "0388dace60b6a392f328c2b971b2fe78"
+        "ab6e47d42cec13bdf53a67b21257bddf"
+    )
+
+
+def test_roundtrip_with_aad():
+    gcm = AesGcm(bytes(range(32)))
+    sealed = gcm.encrypt(b"\x07" * 12, b"payload", aad=b"header")
+    assert gcm.decrypt(b"\x07" * 12, sealed, aad=b"header") == b"payload"
+
+
+def test_tampered_ciphertext_rejected():
+    gcm = AesGcm(bytes(range(16)))
+    sealed = bytearray(gcm.encrypt(b"\x01" * 12, b"secret message"))
+    sealed[3] ^= 0x40
+    with pytest.raises(IntegrityError):
+        gcm.decrypt(b"\x01" * 12, bytes(sealed))
+
+
+def test_tampered_tag_rejected():
+    gcm = AesGcm(bytes(range(16)))
+    sealed = bytearray(gcm.encrypt(b"\x01" * 12, b"secret message"))
+    sealed[-1] ^= 1
+    with pytest.raises(IntegrityError):
+        gcm.decrypt(b"\x01" * 12, bytes(sealed))
+
+
+def test_wrong_aad_rejected():
+    gcm = AesGcm(bytes(range(16)))
+    sealed = gcm.encrypt(b"\x01" * 12, b"msg", aad=b"right")
+    with pytest.raises(IntegrityError):
+        gcm.decrypt(b"\x01" * 12, sealed, aad=b"wrong")
+
+
+def test_wrong_nonce_rejected():
+    gcm = AesGcm(bytes(range(16)))
+    sealed = gcm.encrypt(b"\x01" * 12, b"msg")
+    with pytest.raises(IntegrityError):
+        gcm.decrypt(b"\x02" * 12, sealed)
+
+
+def test_truncated_input_rejected():
+    gcm = AesGcm(bytes(range(16)))
+    with pytest.raises(IntegrityError):
+        gcm.decrypt(b"\x01" * 12, b"short")
+
+
+def test_nonce_length_enforced():
+    gcm = AesGcm(bytes(16))
+    with pytest.raises(ValueError):
+        gcm.encrypt(b"\x00" * 11, b"x")
+
+
+@given(
+    st.binary(min_size=0, max_size=300),
+    st.binary(min_size=0, max_size=40),
+    st.binary(min_size=16, max_size=16),
+)
+def test_roundtrip_property(plaintext, aad, key):
+    gcm = AesGcm(key)
+    sealed = gcm.encrypt(b"\x09" * 12, plaintext, aad=aad)
+    assert gcm.decrypt(b"\x09" * 12, sealed, aad=aad) == plaintext

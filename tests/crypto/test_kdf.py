@@ -1,0 +1,68 @@
+"""HKDF against RFC 5869 vectors; Expand-Label structure."""
+
+import pytest
+
+from repro.crypto.kdf import (
+    hkdf,
+    hkdf_expand,
+    hkdf_expand_label,
+    hkdf_extract,
+    hmac_sha256,
+)
+
+
+def test_rfc5869_case_1():
+    ikm = bytes.fromhex("0b" * 22)
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    prk = hkdf_extract(salt, ikm)
+    assert prk.hex() == (
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    )
+    okm = hkdf_expand(prk, info, 42)
+    assert okm.hex() == (
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_rfc5869_case_3_empty_salt_info():
+    ikm = bytes.fromhex("0b" * 22)
+    okm = hkdf(b"", ikm, b"", 42)
+    assert okm.hex() == (
+        "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+        "9d201395faa4b61a96c8"
+    )
+
+
+def test_expand_length_limits():
+    prk = hkdf_extract(b"salt", b"ikm")
+    with pytest.raises(ValueError):
+        hkdf_expand(prk, b"", 0)
+    with pytest.raises(ValueError):
+        hkdf_expand(prk, b"", 255 * 32 + 1)
+    assert len(hkdf_expand(prk, b"", 255 * 32)) == 255 * 32
+
+
+def test_expand_label_is_deterministic_and_label_sensitive():
+    secret = bytes(range(32))
+    a = hkdf_expand_label(secret, "key", b"", 16)
+    b = hkdf_expand_label(secret, "key", b"", 16)
+    c = hkdf_expand_label(secret, "iv", b"", 16)
+    d = hkdf_expand_label(secret, "key", b"ctx", 16)
+    assert a == b
+    assert a != c
+    assert a != d
+
+
+def test_expand_label_rejects_oversized_label():
+    with pytest.raises(ValueError):
+        hkdf_expand_label(bytes(32), "x" * 300, b"", 16)
+
+
+def test_hmac_known_answer():
+    # RFC 4231 test case 2.
+    tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+    assert tag.hex() == (
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    )

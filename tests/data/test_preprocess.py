@@ -1,0 +1,57 @@
+"""Input normalization (§7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_cifar10
+from repro.data.loaders import Dataset
+from repro.data.preprocess import downscale_images, normalize_dataset, standardize
+from repro.errors import ConfigurationError
+
+
+def test_downscale_halves_dimensions():
+    rng = np.random.default_rng(0)
+    images = rng.random((4, 64, 64, 3)).astype(np.float32)
+    small = downscale_images(images, 32)
+    assert small.shape == (4, 32, 32, 3)
+    # Average pooling preserves the global mean.
+    assert small.mean() == pytest.approx(images.mean(), rel=1e-5)
+
+
+def test_downscale_block_average_exact():
+    images = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+    small = downscale_images(images, 2)
+    expected = np.array([[[2.5], [4.5]], [[10.5], [12.5]]], dtype=np.float32)
+    np.testing.assert_allclose(small[0], expected)
+
+
+def test_downscale_validation():
+    with pytest.raises(ConfigurationError):
+        downscale_images(np.zeros((4, 30, 30, 3), np.float32), 32)
+    with pytest.raises(ConfigurationError):
+        downscale_images(np.zeros((30, 30, 3), np.float32), 10)
+
+
+def test_standardize_and_stats_reuse():
+    rng = np.random.default_rng(1)
+    train = rng.normal(5.0, 2.0, size=(100, 8, 8, 1)).astype(np.float32)
+    test = rng.normal(5.0, 2.0, size=(20, 8, 8, 1)).astype(np.float32)
+    normalized_train, stats = standardize(train)
+    assert abs(normalized_train.mean()) < 1e-4
+    assert abs(normalized_train.std() - 1.0) < 1e-3
+    normalized_test, stats_again = standardize(test, stats)
+    assert stats_again == stats  # no test-set leakage
+
+
+def test_normalize_dataset_shrinks_memory():
+    train, _ = synthetic_cifar10(n_train=16, n_test=4, seed=0)
+    big = Dataset(
+        np.repeat(np.repeat(train.images, 2, axis=1), 2, axis=2),
+        train.labels,
+        train.num_classes,
+        name="cifar-64px",
+    )
+    normalized = normalize_dataset(big, 32)
+    assert normalized.images.shape == (16, 32, 32, 3)
+    assert normalized.images.nbytes == big.images.nbytes // 4
+    np.testing.assert_array_equal(normalized.labels, big.labels)

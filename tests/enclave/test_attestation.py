@@ -1,0 +1,111 @@
+"""Attestation: quotes, verification, the provisioning chain, IAS."""
+
+import dataclasses
+
+import pytest
+
+from repro._sim import DeterministicRng, SimClock
+from repro.enclave.attestation import (
+    AttestationVerifier,
+    ProvisioningAuthority,
+    Quote,
+    Report,
+)
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.enclave.ias import IntelAttestationService
+from repro.enclave.sgx import EnclaveImage, Segment, SgxMode
+from repro.errors import AttestationError
+
+
+@pytest.fixture
+def enclave(cpu):
+    image = EnclaveImage(
+        "service", [Segment.from_content("binary", b"\x90" * 500, "code")]
+    )
+    return cpu.create_enclave(image, SgxMode.HW)
+
+
+def test_valid_quote_verifies(enclave, provisioning):
+    quote = enclave.get_quote(b"binding-data")
+    report = AttestationVerifier(provisioning.public_key()).verify(quote)
+    assert report.measurement == enclave.measurement
+    assert report.report_data == b"binding-data"
+
+
+def test_quote_serialization_roundtrip(enclave, provisioning):
+    quote = enclave.get_quote(b"x")
+    restored = Quote.from_bytes(quote.to_bytes())
+    AttestationVerifier(provisioning.public_key()).verify(restored)
+
+
+def test_tampered_report_rejected(enclave, provisioning):
+    quote = enclave.get_quote()
+    forged = dataclasses.replace(
+        quote, report=dataclasses.replace(quote.report, report_data=b"evil")
+    )
+    with pytest.raises(AttestationError):
+        AttestationVerifier(provisioning.public_key()).verify(forged)
+
+
+def test_forged_measurement_rejected(enclave, provisioning):
+    quote = enclave.get_quote()
+    forged = dataclasses.replace(
+        quote,
+        report=dataclasses.replace(quote.report, measurement=b"\x00" * 32),
+    )
+    with pytest.raises(AttestationError):
+        AttestationVerifier(provisioning.public_key()).verify(forged)
+
+
+def test_wrong_provisioning_root_rejected(enclave, rng):
+    quote = enclave.get_quote()
+    rogue = ProvisioningAuthority(rng.child("rogue"))
+    with pytest.raises(AttestationError):
+        AttestationVerifier(rogue.public_key()).verify(quote)
+
+
+def test_cpu_id_mismatch_rejected(enclave, provisioning):
+    quote = enclave.get_quote()
+    forged = dataclasses.replace(quote, cpu_id="cpu-spoofed")
+    with pytest.raises(AttestationError):
+        AttestationVerifier(provisioning.public_key()).verify(forged)
+
+
+def test_debug_quote_rejected_by_default(cpu, provisioning):
+    image = EnclaveImage("sim-app", [Segment.from_content("b", b"x", "code")])
+    sim_enclave = cpu.create_enclave(image, SgxMode.SIM)
+    quote = sim_enclave.get_quote()
+    verifier = AttestationVerifier(provisioning.public_key())
+    with pytest.raises(AttestationError):
+        verifier.verify(quote)
+    verifier.verify(quote, accept_debug=True)  # explicit opt-in works
+
+
+def test_report_roundtrip():
+    report = Report(b"\x01" * 32, {"name": "a"}, b"rd", debug=True)
+    assert Report.from_bytes(report.to_bytes()) == report
+
+
+def test_ias_latency_matches_paper(enclave, provisioning, clock):
+    ias = IntelAttestationService(provisioning.public_key(), CM, clock)
+    quote = enclave.get_quote()
+    before = clock.now
+    ias.verify_quote(quote)
+    elapsed = clock.now - before
+    # Paper Fig. 4: IAS verification ~280 ms (WAN-bound).
+    assert 0.25 < elapsed < 0.35
+    assert ias.stats.requests == 1
+
+
+def test_ias_rejects_and_counts(enclave, provisioning, clock, rng):
+    rogue = ProvisioningAuthority(rng.child("rogue"))
+    ias = IntelAttestationService(rogue.public_key(), CM, clock)
+    with pytest.raises(AttestationError):
+        ias.verify_quote(enclave.get_quote())
+    assert ias.stats.rejected == 1
+
+
+def test_cas_verification_is_orders_of_magnitude_faster():
+    # The architectural claim behind Fig. 4: same verification logic,
+    # local (sub-ms) vs WAN-bound (hundreds of ms).
+    assert CM.quote_verification_cost * 100 < 2 * CM.wan_rtt

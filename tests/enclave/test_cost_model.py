@@ -1,0 +1,40 @@
+"""Cost model: parallel speedup curve and overrides."""
+
+import pytest
+
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+
+
+def test_speedup_monotonic_through_physical_cores():
+    speedups = [CM.effective_parallel_speedup(t) for t in (1, 2, 3, 4)]
+    assert speedups == sorted(speedups)
+    assert speedups[0] == pytest.approx(1.0)
+
+
+def test_hyperthreads_yield_less_than_cores():
+    gain_core = CM.effective_parallel_speedup(4) / CM.effective_parallel_speedup(2)
+    gain_ht = CM.effective_parallel_speedup(8) / CM.effective_parallel_speedup(4)
+    assert gain_ht < gain_core
+    assert gain_ht > 1.0  # still positive
+
+
+def test_speedup_validation():
+    with pytest.raises(ValueError):
+        CM.effective_parallel_speedup(0)
+
+
+def test_with_overrides_returns_new_model():
+    modified = CM.with_overrides(epc_capacity_bytes=1024)
+    assert modified.epc_capacity_bytes == 1024
+    assert CM.epc_capacity_bytes != 1024
+    assert modified.lan_rtt == CM.lan_rtt
+
+
+def test_key_relationships_hold():
+    # Cross-constant sanity the rest of the simulation relies on.
+    assert CM.async_syscall_cost < CM.sync_transition_cost
+    assert CM.userlevel_switch_cost < CM.os_switch_cost
+    assert CM.enclave_memory_bandwidth < CM.native_memory_bandwidth
+    assert CM.glibc_factor <= CM.scone_libc_factor <= CM.musl_factor
+    assert CM.lan_rtt < CM.wan_rtt
+    assert CM.enclave_compute_factor >= 1.0

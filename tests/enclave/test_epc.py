@@ -1,0 +1,147 @@
+"""EPC page cache: capacity invariants, fault accounting, policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._sim import SimClock
+from repro.enclave.cost_model import DEFAULT_COST_MODEL
+from repro.enclave.epc import EpcCache
+from repro.errors import ConfigurationError, EnclaveError
+
+GRANULE = 64 * 1024
+
+
+def make_cache(capacity_granules=8, policy="lru", clock=None):
+    return EpcCache(
+        DEFAULT_COST_MODEL,
+        clock or SimClock(),
+        capacity_bytes=capacity_granules * GRANULE,
+        policy=policy,
+    )
+
+
+def test_cold_access_faults_then_hits():
+    cache = make_cache()
+    assert cache.access(1, 0) is True
+    assert cache.access(1, 0) is False
+    assert cache.stats.faults == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.cold_loads == 1
+
+
+def test_fault_charges_clock():
+    clock = SimClock()
+    cache = make_cache(clock=clock)
+    cache.access(1, 0)
+    pages = GRANULE // DEFAULT_COST_MODEL.page_size
+    assert clock.now == pytest.approx(
+        pages * DEFAULT_COST_MODEL.epc_page_fault_cost
+    )
+    before = clock.now
+    cache.access(1, 0)  # hit: free
+    assert clock.now == before
+
+
+def test_lru_eviction_order():
+    cache = make_cache(capacity_granules=2, policy="lru")
+    cache.access(1, 0)
+    cache.access(1, 1)
+    cache.access(1, 0)  # refresh granule 0
+    cache.access(1, 2)  # evicts granule 1 (LRU)
+    assert cache.access(1, 0) is False
+    assert cache.access(1, 1) is True
+
+
+def test_capacity_never_exceeded_lru():
+    cache = make_cache(capacity_granules=4, policy="lru")
+    for i in range(100):
+        cache.access(1, i % 13)
+        assert cache.resident_granules <= 4
+
+
+def test_capacity_never_exceeded_random():
+    cache = make_cache(capacity_granules=4, policy="random")
+    for i in range(200):
+        cache.access(i % 3, i % 17)
+        assert cache.resident_granules <= 4
+
+
+def test_lru_cyclic_overflow_thrashes():
+    """Classic LRU pathology: cyclic scan one past capacity misses 100%."""
+    cache = make_cache(capacity_granules=4, policy="lru")
+    for _ in range(5):
+        for granule in range(5):
+            cache.access(1, granule)
+    assert cache.stats.hits == 0
+
+
+def test_random_cyclic_overflow_degrades_gracefully():
+    cache = make_cache(capacity_granules=40, policy="random")
+    for _ in range(20):
+        for granule in range(44):  # 10% overflow
+            cache.access(1, granule)
+    assert 0.5 < cache.stats.hits / cache.stats.accesses < 0.99
+
+
+def test_access_range_counts_faults():
+    cache = make_cache(capacity_granules=8)
+    faults = cache.access_range(1, 0, 3 * GRANULE)
+    assert faults == 3
+    assert cache.access_range(1, 0, 3 * GRANULE) == 0
+    # Range straddling a granule boundary touches both granules.
+    assert cache.access_range(1, 3 * GRANULE - 1, 2) == 1
+
+
+def test_access_range_validation():
+    cache = make_cache()
+    with pytest.raises(EnclaveError):
+        cache.access_range(1, 0, -1)
+    assert cache.access_range(1, 0, 0) == 0
+
+
+def test_multiple_enclaves_share_capacity():
+    cache = make_cache(capacity_granules=4)
+    cache.access_range(1, 0, 3 * GRANULE)
+    cache.access_range(2, 0, 3 * GRANULE)
+    assert cache.resident_granules == 4
+    assert cache.resident_granules_of(1) + cache.resident_granules_of(2) == 4
+
+
+def test_evict_enclave_frees_only_its_granules():
+    cache = make_cache(capacity_granules=8)
+    cache.access_range(1, 0, 2 * GRANULE)
+    cache.access_range(2, 0, 3 * GRANULE)
+    freed = cache.evict_enclave(1)
+    assert freed == 2
+    assert cache.resident_granules_of(1) == 0
+    assert cache.resident_granules_of(2) == 3
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        make_cache(policy="fifo")
+    with pytest.raises(EnclaveError):
+        EpcCache(DEFAULT_COST_MODEL, SimClock(), capacity_bytes=0)
+    with pytest.raises(EnclaveError):
+        EpcCache(DEFAULT_COST_MODEL, SimClock(), granule_size=4096 + 1)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 3), st.integers(0, 30)), min_size=1, max_size=200
+    ),
+    st.sampled_from(["lru", "random"]),
+)
+def test_accounting_invariants_property(accesses, policy):
+    cache = make_cache(capacity_granules=6, policy=policy)
+    for enclave_id, granule in accesses:
+        cache.access(enclave_id, granule)
+    stats = cache.stats
+    assert stats.hits + stats.faults == len(accesses)
+    assert stats.faults - stats.evictions == cache.resident_granules
+    assert sum(stats.per_enclave_resident.values()) == cache.resident_granules
+    assert cache.resident_granules <= cache.capacity_granules
+    assert stats.fault_time == pytest.approx(
+        stats.fault_pages * DEFAULT_COST_MODEL.epc_page_fault_cost
+    )

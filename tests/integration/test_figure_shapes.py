@@ -1,0 +1,135 @@
+"""Fast, test-suite-resident versions of each figure's shape assertions.
+
+The full regenerations live in benchmarks/; these scaled-down versions
+run inside ``pytest tests/`` so a mechanism regression breaks the normal
+test run, not just the (slower) benchmark pass.
+"""
+
+import pytest
+
+from repro._sim import EventTrace
+from repro.cas import Policy
+from repro.cas.client import RemoteCasClient
+from repro.core.inference import (
+    InferenceService,
+    deploy_encrypted_model,
+    service_runtime_config,
+)
+from repro.core.platform import PlatformConfig, SecureTFPlatform
+from repro.core.training import TrainingJob, TrainingJobConfig
+from repro.data import synthetic_cifar10, synthetic_mnist
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.enclave.ias import IntelAttestationService
+from repro.enclave.sgx import SgxMode
+from repro.models import pretrained_lite_model
+from repro.runtime.scone import RuntimeConfig, SconeRuntime
+from repro.tensor.engine import FULL_TF_PROFILE, LITE_PROFILE
+
+
+@pytest.fixture(scope="module")
+def cifar_image():
+    _, test = synthetic_cifar10(n_train=5, n_test=2, seed=33)
+    return test.images[0]
+
+
+def _inference_latency(model, image, mode, engine=LITE_PROFILE, runs=4, threads=1):
+    platform = SecureTFPlatform(PlatformConfig(n_nodes=2, seed=34))
+    platform.register_session(
+        "fig",
+        [
+            service_runtime_config("svc", m, engine=e)
+            for m in (SgxMode.HW, SgxMode.SIM)
+            for e in (LITE_PROFILE, FULL_TF_PROFILE)
+        ],
+        accept_debug=True,
+    )
+    path = deploy_encrypted_model(platform, "fig", platform.node(1), model)
+    service = InferenceService(
+        platform, "fig", platform.node(1), path, mode=mode, name="svc",
+        engine=engine, threads=threads,
+    )
+    service.start()
+    service.classify(image)
+    before = service.node.clock.now
+    for _ in range(runs):
+        service.classify(image)
+    return (service.node.clock.now - before) / runs
+
+
+def test_fig4_shape_cas_beats_ias():
+    platform = SecureTFPlatform(PlatformConfig(n_nodes=2, seed=35))
+    node = platform.node(1)
+    runtime = SconeRuntime(
+        RuntimeConfig(
+            name="w", mode=SgxMode.HW, binary_size=LITE_PROFILE.binary_size,
+            fs_shield_enabled=False,
+        ),
+        node.vfs, CM, node.clock, cpu=node.cpu, rng=node.rng.child("w"),
+    )
+    platform.cas.register_policy(Policy("s", [runtime.measurement]))
+    before = node.clock.now
+    RemoteCasClient(platform.network, node, "cas").provision(runtime, "s")
+    cas_time = node.clock.now - before
+
+    ias = IntelAttestationService(platform.provisioning.public_key(), CM, node.clock)
+    before = node.clock.now
+    ias.verify_quote(runtime.attest(b"\x00" * 32))
+    ias_time = node.clock.now - before
+    assert ias_time / cas_time > 8  # paper: ~19x
+
+
+def test_fig5_shape_hw_tax_and_epc_crossover(cifar_image):
+    small = pretrained_lite_model("densenet", seed=0)
+    large = pretrained_lite_model("inception_v4", seed=0)
+    for model in (small, large):
+        sim = _inference_latency(model, cifar_image, SgxMode.SIM)
+        hw = _inference_latency(model, cifar_image, SgxMode.HW)
+        assert 1.0 < hw / sim < 1.6
+    # Bigger model, bigger HW tax (EPC crossover).
+    small_tax = _inference_latency(small, cifar_image, SgxMode.HW) / (
+        _inference_latency(small, cifar_image, SgxMode.SIM)
+    )
+    large_tax = _inference_latency(large, cifar_image, SgxMode.HW) / (
+        _inference_latency(large, cifar_image, SgxMode.SIM)
+    )
+    assert large_tax > small_tax
+
+
+def test_fig7_shape_hw_stops_scaling_past_physical_cores(cifar_image):
+    model = pretrained_lite_model("inception_v4", seed=0)
+    hw4 = _inference_latency(model, cifar_image, SgxMode.HW, threads=4)
+    hw8 = _inference_latency(model, cifar_image, SgxMode.HW, threads=8)
+    sim4 = _inference_latency(model, cifar_image, SgxMode.SIM, threads=4)
+    sim8 = _inference_latency(model, cifar_image, SgxMode.SIM, threads=8)
+    assert hw8 >= hw4 * 0.98   # HW stalls or regresses
+    assert sim8 < sim4         # SIM keeps gaining
+
+
+def test_tf_vs_lite_shape(cifar_image):
+    model = pretrained_lite_model("inception_v3", seed=0)
+    lite = _inference_latency(model, cifar_image, SgxMode.HW, engine=LITE_PROFILE)
+    full = _inference_latency(model, cifar_image, SgxMode.HW, engine=FULL_TF_PROFILE)
+    assert full / lite > 8  # paper: 71x; mechanism check only
+
+
+def test_fig8_shape_training_tax():
+    train, _ = synthetic_mnist(n_train=400, n_test=10, seed=36)
+    batches = list(train.batches(100))
+
+    def run(mode, shield):
+        platform = SecureTFPlatform(PlatformConfig(n_nodes=2, seed=37))
+        job = TrainingJob(
+            platform,
+            TrainingJobConfig(
+                session="t", mode=mode, network_shield=shield,
+                learning_rate=0.0005,
+            ),
+        )
+        job.start()
+        result = job.train(batches)
+        job.stop()
+        return result.wall_clock
+
+    native = run(SgxMode.NATIVE, False)
+    hw = run(SgxMode.HW, True)
+    assert 8 < hw / native < 25  # paper: ~14x

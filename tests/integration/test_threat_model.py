@@ -1,0 +1,229 @@
+"""Threat-model test suite: every §2.3 attack is mounted and detected.
+
+The adversary controls the OS, hypervisor, storage, and network
+(Dolev-Yao).  Each test below plays one attack from the paper's threat
+model against the protected system and asserts detection or refusal —
+never silent acceptance.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import SecureTFPlatform
+from repro.core.inference import (
+    InferenceService,
+    deploy_encrypted_model,
+    service_runtime_config,
+)
+from repro.core.platform import PlatformConfig
+from repro.data import synthetic_cifar10
+from repro.enclave.sgx import SgxMode
+from repro.errors import (
+    AttestationError,
+    FreshnessError,
+    IagoError,
+    RpcError,
+    SecurityError,
+    ShieldError,
+)
+from repro.models import pretrained_lite_model
+
+
+@pytest.fixture
+def deployment():
+    platform = SecureTFPlatform(PlatformConfig(n_nodes=2, seed=20))
+    model = pretrained_lite_model("densenet", seed=0)
+    session = "prod"
+    platform.register_session(
+        session, [service_runtime_config("svc", SgxMode.HW)]
+    )
+    path = deploy_encrypted_model(platform, session, platform.node(1), model)
+    return platform, model, session, path
+
+
+def test_attack_model_theft_from_storage(deployment):
+    """A cloud admin reads the model file: sees only ciphertext."""
+    platform, model, _, path = deployment
+    stolen = platform.node(1).vfs.read(path).content
+    assert model.graph_blob[:256] not in stolen
+    # Even the canonical prefix of the serialized model is absent.
+    assert model.to_bytes()[:64] not in stolen
+
+
+def test_attack_model_file_tampering(deployment):
+    """The OS flips bytes in the encrypted model: startup refuses."""
+    platform, _, session, path = deployment
+    raw = platform.node(1).vfs.read(path).content
+    corrupted = bytearray(raw)
+    corrupted[len(corrupted) // 2] ^= 0x01
+    platform.node(1).vfs.tamper(path, bytes(corrupted))
+    service = InferenceService(
+        platform, session, platform.node(1), path, mode=SgxMode.HW, name="svc"
+    )
+    with pytest.raises((ShieldError, FreshnessError)):
+        service.start()
+
+
+def test_attack_model_rollback(deployment):
+    """The OS restores an older (validly encrypted) model version:
+    CAS's audit service catches the rollback."""
+    platform, model, session, path = deployment
+    node = platform.node(1)
+    snapshot = copy.deepcopy(node.vfs.read(path))
+    deploy_encrypted_model(platform, session, node, model, path=path)  # v1
+    node.vfs.rollback(path, snapshot)
+    service = InferenceService(
+        platform, session, node, path, mode=SgxMode.HW, name="svc"
+    )
+    with pytest.raises(FreshnessError):
+        service.start()
+
+
+def test_attack_wrong_binary_cannot_join_session(deployment):
+    """A trojaned service binary has a different measurement: CAS
+    refuses to provision it with the session keys."""
+    platform, _, session, path = deployment
+    trojan = InferenceService(
+        platform, session, platform.node(1), path, mode=SgxMode.HW,
+        name="svc-trojan",  # different binary identity -> measurement
+    )
+    with pytest.raises((RpcError, SecurityError)):
+        trojan.start()
+
+
+def test_attack_simulation_mode_downgrade(deployment):
+    """Running the right binary OUTSIDE real hardware (debug quote) is
+    rejected by an HW-only policy — the attacker cannot strip SGX."""
+    platform, _, session, path = deployment
+    platform.register_session(
+        "hw-and-sim",
+        [service_runtime_config("svc", SgxMode.SIM)],
+        accept_debug=False,  # policy demands hardware
+    )
+    downgraded = InferenceService(
+        platform, "hw-and-sim", platform.node(1), path, mode=SgxMode.SIM,
+        name="svc",
+    )
+    with pytest.raises((RpcError, AttestationError)):
+        downgraded.start()
+
+
+def test_attack_network_tampering_detected(deployment):
+    """Dolev-Yao on the LAN: bit-flips on provisioning traffic are
+    detected, not silently accepted."""
+    platform, _, session, path = deployment
+
+    def tamper(src, dst, data):
+        if dst == "cas" and len(data) > 600:
+            corrupted = bytearray(data)
+            corrupted[-3] ^= 0x10
+            return bytes(corrupted)
+        return data
+
+    platform.network.adversary = tamper
+    service = InferenceService(
+        platform, session, platform.node(1), path, mode=SgxMode.HW, name="svc"
+    )
+    with pytest.raises((RpcError, SecurityError)):
+        service.start()
+    platform.network.adversary = None
+
+
+def test_attack_network_eavesdropping_sees_no_plaintext(deployment):
+    """Everything on the wire during provisioning is either protocol
+    framing or ciphertext — never the session secrets."""
+    platform, _, session, path = deployment
+    wire = []
+    platform.network.adversary = lambda s, d, data: (wire.append(data), data)[1]
+    service = InferenceService(
+        platform, session, platform.node(1), path, mode=SgxMode.HW, name="svc"
+    )
+    service.start()
+    platform.network.adversary = None
+    fs_key = service.identity.fs_key
+    tls_key = service.identity.tls_signing_key
+    assert all(fs_key not in msg for msg in wire)
+    assert all(tls_key not in msg for msg in wire)
+
+
+def test_attack_hostile_kernel_iago(deployment):
+    """The kernel lies about syscall results: Iago checks fire."""
+    platform, _, session, path = deployment
+    service = InferenceService(
+        platform, session, platform.node(1), path, mode=SgxMode.HW, name="svc"
+    )
+    service.start()
+    syscalls = service.runtime.syscalls
+    syscalls.hostile_hook = lambda name, res: -7 if name == "stat" else res
+    with pytest.raises(IagoError):
+        syscalls.stat(path)
+    syscalls.hostile_hook = None
+
+
+def test_attack_forged_cas(deployment):
+    """A fake CAS (attacker-run, no genuine enclave) fails the user's
+    attestation step because its quote has no hardware root."""
+    import dataclasses
+
+    platform, _, _, _ = deployment
+    genuine = platform.cas.attest()
+    forged = dataclasses.replace(
+        genuine,
+        report=dataclasses.replace(
+            genuine.report, attributes={"name": "cas", "mode": "hw"},
+            measurement=b"\x66" * 32,
+        ),
+    )
+    from repro.enclave.attestation import AttestationVerifier
+
+    verifier = AttestationVerifier(platform.provisioning.public_key())
+    with pytest.raises(AttestationError):
+        verifier.verify(forged)
+
+
+def test_attack_replay_of_provisioning_bundle(deployment):
+    """Replaying a captured provisioning bundle to a different enclave
+    is useless: the bundle is sealed to the original quote-bound key."""
+    platform, _, session, path = deployment
+    service = InferenceService(
+        platform, session, platform.node(1), path, mode=SgxMode.HW, name="svc"
+    )
+    service.start()  # legitimate provisioning happened
+
+    # Attacker captured the bundle; tries to open it with fresh keys.
+    from repro.cas.service import derive_provision_key
+    from repro.crypto.x25519 import X25519PrivateKey, X25519PublicKey
+    from repro.errors import IntegrityError
+
+    # The enclave's quote binds a key whose private half the attacker
+    # never sees.
+    enclave_public = (
+        X25519PrivateKey.generate(b"\x77" * 32).public_key().public_bytes()
+    )
+    quote = service.runtime.attest(report_data=enclave_public)
+    bundle = platform.cas.provision(session, quote)
+    attacker_key = X25519PrivateKey.generate(b"\xab" * 32)
+    shared = attacker_key.exchange(X25519PublicKey(bundle.ephemeral_public))
+    opener = derive_provision_key(
+        shared, quote.report.measurement + enclave_public
+    )
+    with pytest.raises(IntegrityError):
+        opener.open(bundle.sealed_identity)
+
+
+def test_accuracy_is_not_traded_for_security(deployment):
+    """Design goal 3: protected and unprotected outputs are identical."""
+    platform, model, session, path = deployment
+    _, test = synthetic_cifar10(n_train=5, n_test=8, seed=5)
+    from repro.tensor.lite import Interpreter
+
+    service = InferenceService(
+        platform, session, platform.node(1), path, mode=SgxMode.HW, name="svc"
+    )
+    service.start()
+    reference = Interpreter(model)
+    reference.allocate_tensors()
+    for image in test.images:
+        assert service.classify(image) == reference.classify(image[None])

@@ -1,0 +1,78 @@
+"""Model zoo: specs, calibration scales, frozen/Lite artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import MODEL_ZOO, build_model, get_spec, pretrained_lite_model
+from repro.tensor.lite import Interpreter
+
+
+def test_zoo_contains_paper_models():
+    assert {"densenet", "inception_v3", "inception_v4", "mnist_cnn"} <= set(
+        MODEL_ZOO
+    )
+    # Paper-declared file sizes (§5.3): 42 / 91 / 163 MB.
+    assert get_spec("densenet").declared_size_bytes == 42 * 1024 * 1024
+    assert get_spec("inception_v3").declared_size_bytes == 91 * 1024 * 1024
+    assert get_spec("inception_v4").declared_size_bytes == 163 * 1024 * 1024
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ConfigurationError):
+        get_spec("resnet-9000")
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+def test_build_calibrates_scales(name):
+    built = build_model(name, seed=0)
+    spec = built.spec
+    graph = built.graph
+    assert built.actual_weight_bytes * graph.weight_scale == pytest.approx(
+        spec.declared_size_bytes, rel=0.01
+    )
+    assert built.actual_flops * graph.cost_scale == pytest.approx(
+        spec.declared_flops, rel=0.01
+    )
+    assert built.actual_ops * graph.op_scale == pytest.approx(
+        spec.declared_ops, rel=0.01
+    )
+
+
+def test_build_is_deterministic_per_seed():
+    a = build_model("densenet", seed=5)
+    b = build_model("densenet", seed=5)
+    va = a.graph.get_collection("global_variables")[0].value
+    vb = b.graph.get_collection("global_variables")[0].value
+    np.testing.assert_array_equal(va, vb)
+
+
+def test_model_ordering_by_declared_size():
+    sizes = [
+        get_spec(n).declared_size_bytes
+        for n in ("densenet", "inception_v3", "inception_v4")
+    ]
+    assert sizes == sorted(sizes)
+
+
+def test_pretrained_lite_model_runs():
+    model = pretrained_lite_model("densenet")
+    assert model.size_bytes == 42 * 1024 * 1024
+    assert len(model.to_bytes()) < 5_000_000  # real payload stays small
+    interp = Interpreter(model)
+    interp.allocate_tensors()
+    out = interp.invoke(np.zeros((2, 32, 32, 3), np.float32))
+    assert out[0].shape == (2, 10)
+
+
+def test_lite_and_graph_outputs_agree():
+    import repro.tensor as tf
+
+    built = build_model("inception_v3", seed=1)
+    data = np.random.default_rng(0).normal(size=(2, 32, 32, 3)).astype(np.float32)
+    reference = tf.Session(graph=built.graph).run(
+        built.logits, {built.input: data}
+    )
+    interp = Interpreter(built.to_lite())
+    interp.allocate_tensors()
+    np.testing.assert_allclose(interp.invoke(data)[0], reference, rtol=1e-4)

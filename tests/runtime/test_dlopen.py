@@ -1,0 +1,102 @@
+"""Authenticated dlopen (paper §4.1 — what makes the Python API safe)."""
+
+import pytest
+
+from repro._sim import DeterministicRng, SimClock
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.enclave.sgx import SgxMode
+from repro.errors import SecurityError, ShieldError
+from repro.runtime.fs_shield import (
+    FileSystemShield,
+    PathRule,
+    ShieldPolicy,
+)
+from repro.runtime.scone import RuntimeConfig, SconeRuntime
+from repro.runtime.syscall import SyscallInterface
+from repro.runtime.vfs import VirtualFileSystem
+
+LIB = b"\x7fELF python-extension .so bytes"
+RULES = [PathRule("/usr/lib/python/", ShieldPolicy.AUTHENTICATE)]
+
+
+def make_runtime(cpu, allow_dlopen=True, fs_key=bytes(32), rules=RULES,
+                 mode=SgxMode.HW):
+    vfs = VirtualFileSystem()
+    runtime = SconeRuntime(
+        RuntimeConfig(
+            name="python-app",
+            mode=mode,
+            fs_shield_enabled=mode is not SgxMode.NATIVE,
+            fs_rules=rules,
+            fs_key=fs_key if mode is not SgxMode.NATIVE else None,
+            allow_dlopen=allow_dlopen,
+        ),
+        vfs,
+        CM,
+        cpu.clock,
+        cpu=cpu if mode is not SgxMode.NATIVE else None,
+        rng=DeterministicRng(0),
+    )
+    return runtime, vfs
+
+
+def install_library(runtime, path="/usr/lib/python/_numpy.so"):
+    """The image builder writes the library through the shield (so it
+    carries authentication tags), as the secureTF packaging does."""
+    runtime.fs.write_file(path, LIB)
+    return path
+
+
+def test_dlopen_disabled_by_default(cpu):
+    runtime, _ = make_runtime(cpu, allow_dlopen=False)
+    path = install_library(runtime)
+    with pytest.raises(SecurityError):
+        runtime.dlopen(path)
+
+
+def test_dlopen_authenticated_library_loads(cpu):
+    runtime, _ = make_runtime(cpu)
+    path = install_library(runtime)
+    assert runtime.dlopen(path) == LIB
+    assert runtime.loaded_libraries == [path]
+
+
+def test_dlopen_tampered_library_rejected(cpu):
+    runtime, vfs = make_runtime(cpu)
+    path = install_library(runtime)
+    raw = bytearray(vfs.read(path).content)
+    raw[-1] ^= 1
+    vfs.tamper(path, bytes(raw))
+    with pytest.raises(ShieldError):
+        runtime.dlopen(path)
+    assert runtime.loaded_libraries == []
+
+
+def test_dlopen_unprotected_path_rejected(cpu):
+    """A library outside any authenticated prefix is unverified code:
+    loading it would let the OS inject arbitrary logic into the enclave."""
+    runtime, vfs = make_runtime(cpu)
+    vfs.write("/tmp/evil.so", LIB)
+    with pytest.raises(SecurityError):
+        runtime.dlopen("/tmp/evil.so")
+
+
+def test_dlopen_without_shield_rejected(cpu):
+    runtime, vfs = make_runtime(cpu, fs_key=None)  # key never provisioned
+    vfs.write("/usr/lib/python/_numpy.so", LIB)
+    with pytest.raises(SecurityError):
+        runtime.dlopen("/usr/lib/python/_numpy.so")
+
+
+def test_dlopen_native_is_unchecked(cpu):
+    runtime, vfs = make_runtime(cpu, mode=SgxMode.NATIVE)
+    vfs.write("/anywhere.so", LIB)
+    assert runtime.dlopen("/anywhere.so") == LIB
+
+
+def test_dlopen_encrypted_library_decrypts(cpu):
+    rules = [PathRule("/secure/libs/", ShieldPolicy.ENCRYPT)]
+    runtime, vfs = make_runtime(cpu, rules=rules)
+    runtime.fs.write_file("/secure/libs/model_ops.so", LIB)
+    assert LIB not in vfs.read("/secure/libs/model_ops.so").content
+    assert runtime.dlopen("/secure/libs/model_ops.so") == LIB

@@ -1,0 +1,202 @@
+"""File-system shield: policies, integrity, freshness, cost accounting."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._sim import SimClock
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.enclave.sgx import SgxMode
+from repro.errors import FreshnessError, ShieldError
+from repro.runtime.fs_shield import (
+    FileSystemShield,
+    LocalFreshnessTracker,
+    PathRule,
+    ShieldPolicy,
+)
+from repro.runtime.syscall import SyscallInterface
+from repro.runtime.vfs import VirtualFileSystem
+
+RULES = [
+    PathRule("/secure/", ShieldPolicy.ENCRYPT),
+    PathRule("/secure/public/", ShieldPolicy.AUTHENTICATE),
+    PathRule("/auth/", ShieldPolicy.AUTHENTICATE),
+]
+
+
+def make_shield(freshness=None, chunk_size=1024, rules=RULES, key=None):
+    vfs = VirtualFileSystem()
+    clock = SimClock()
+    syscalls = SyscallInterface(vfs, CM, clock, mode=SgxMode.NATIVE)
+    shield = FileSystemShield(
+        syscalls,
+        key or bytes(range(32)),
+        rules,
+        CM,
+        clock,
+        chunk_size=chunk_size,
+        freshness=freshness,
+    )
+    return shield, vfs, clock
+
+
+def test_longest_prefix_policy_resolution():
+    shield, _, _ = make_shield()
+    assert shield.policy_for("/secure/model.bin") is ShieldPolicy.ENCRYPT
+    assert shield.policy_for("/secure/public/readme") is ShieldPolicy.AUTHENTICATE
+    assert shield.policy_for("/auth/log") is ShieldPolicy.AUTHENTICATE
+    assert shield.policy_for("/tmp/scratch") is ShieldPolicy.PASSTHROUGH
+
+
+def test_encrypt_roundtrip_and_ciphertext_on_disk():
+    shield, vfs, _ = make_shield()
+    plaintext = b"model weights " * 500
+    shield.write_file("/secure/m", plaintext)
+    assert shield.read_file("/secure/m") == plaintext
+    raw = vfs.read("/secure/m").content
+    assert b"model weights" not in raw
+
+
+def test_authenticate_keeps_plaintext_but_detects_tamper():
+    shield, vfs, _ = make_shield()
+    shield.write_file("/auth/data", b"public but authenticated")
+    raw = vfs.read("/auth/data").content
+    assert b"public but authenticated" in raw
+    vfs.tamper("/auth/data", raw.replace(b"public", b"forged"))
+    with pytest.raises(ShieldError):
+        shield.read_file("/auth/data")
+
+
+def test_passthrough_untouched():
+    shield, vfs, _ = make_shield()
+    shield.write_file("/tmp/x", b"raw")
+    assert vfs.read("/tmp/x").content == b"raw"
+    assert shield.read_file("/tmp/x") == b"raw"
+
+
+def test_every_chunk_tamper_detected():
+    shield, vfs, _ = make_shield(chunk_size=64)
+    shield.write_file("/secure/f", bytes(range(256)) * 2)
+    raw = vfs.read("/secure/f").content
+    for position in range(0, len(raw), 97):
+        corrupted = bytearray(raw)
+        corrupted[position] ^= 0xA5
+        vfs.tamper("/secure/f", bytes(corrupted))
+        with pytest.raises(ShieldError):
+            shield.read_file("/secure/f")
+        vfs.tamper("/secure/f", raw)
+
+
+def test_chunk_swap_between_files_detected():
+    """AAD binds path: moving a validly encrypted chunk across files fails."""
+    shield, vfs, _ = make_shield(chunk_size=64)
+    shield.write_file("/secure/a", b"A" * 200)
+    shield.write_file("/secure/b", b"B" * 200)
+    vfs.tamper("/secure/b", vfs.read("/secure/a").content)
+    with pytest.raises(ShieldError):
+        shield.read_file("/secure/b")
+
+
+def test_cross_version_chunk_splice_detected():
+    """Splicing an old version's chunks into the new envelope fails: the
+    file version is bound into every chunk's AAD."""
+    from repro.crypto import encoding
+
+    shield, vfs, _ = make_shield(chunk_size=64)
+    shield.write_file("/secure/f", b"version-zero" * 30)
+    old_envelope = encoding.decode(vfs.read("/secure/f").content)
+    shield.write_file("/secure/f", b"version-one!" * 30)
+    new_envelope = encoding.decode(vfs.read("/secure/f").content)
+    new_envelope["chunks"] = old_envelope["chunks"]
+    vfs.tamper("/secure/f", encoding.encode(new_envelope))
+    with pytest.raises(ShieldError):
+        shield.read_file("/secure/f")
+
+
+def test_rollback_detected_with_freshness_tracker():
+    tracker = LocalFreshnessTracker()
+    shield, vfs, _ = make_shield(freshness=tracker)
+    shield.write_file("/secure/state", b"v0")
+    snapshot = copy.deepcopy(vfs.read("/secure/state"))
+    shield.write_file("/secure/state", b"v1")
+    vfs.rollback("/secure/state", snapshot)
+    with pytest.raises(FreshnessError):
+        shield.read_file("/secure/state")
+
+
+def test_rollback_undetected_without_tracker():
+    """Documents the paper's layering: AEAD alone cannot stop rollback;
+    that is exactly CAS's audit-service job."""
+    shield, vfs, _ = make_shield(freshness=None)
+    shield.write_file("/secure/state", b"v0")
+    snapshot = copy.deepcopy(vfs.read("/secure/state"))
+    shield.write_file("/secure/state", b"v1")
+    vfs.rollback("/secure/state", snapshot)
+    assert shield.read_file("/secure/state") == b"v0"  # silently stale
+
+
+def test_local_tracker_monotonicity():
+    tracker = LocalFreshnessTracker()
+    tracker.commit("/f", 0, b"d0")
+    tracker.commit("/f", 1, b"d1")
+    with pytest.raises(FreshnessError):
+        tracker.commit("/f", 1, b"d1-again")
+    with pytest.raises(FreshnessError):
+        tracker.verify("/f", 0, b"d0")
+    with pytest.raises(FreshnessError):
+        tracker.verify("/unknown", 0, b"")
+    tracker.verify("/f", 1, b"d1")
+
+
+def test_wrong_key_cannot_read():
+    shield_a, vfs, clock = make_shield(key=b"a" * 32)
+    shield_a.write_file("/secure/f", b"secret")
+    syscalls = shield_a._syscalls
+    shield_b = FileSystemShield(syscalls, b"b" * 32, RULES, CM, clock)
+    with pytest.raises(ShieldError):
+        shield_b.read_file("/secure/f")
+
+
+def test_declared_size_charges_crypto_time():
+    shield, _, clock = make_shield()
+    before = clock.now
+    shield.write_file("/secure/big", b"tiny", declared_size=40_000_000)
+    elapsed = clock.now - before
+    assert elapsed >= 40_000_000 / CM.fs_shield_crypto_bandwidth
+    assert shield.stats.crypto_bytes >= 40_000_000
+
+
+def test_empty_file_roundtrip():
+    shield, _, _ = make_shield()
+    shield.write_file("/secure/empty", b"")
+    assert shield.read_file("/secure/empty") == b""
+
+
+def test_shield_validation():
+    vfs = VirtualFileSystem()
+    clock = SimClock()
+    syscalls = SyscallInterface(vfs, CM, clock)
+    with pytest.raises(ShieldError):
+        FileSystemShield(syscalls, bytes(16), RULES, CM, clock)
+    with pytest.raises(ShieldError):
+        FileSystemShield(syscalls, bytes(32), RULES, CM, clock, chunk_size=0)
+
+
+def test_stat_and_exists_passthrough():
+    shield, _, _ = make_shield()
+    shield.write_file("/secure/f", b"x", declared_size=500)
+    assert shield.stat("/secure/f") == 500
+    assert shield.exists("/secure/f")
+    assert not shield.exists("/secure/missing")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.binary(min_size=0, max_size=5000),
+    st.integers(min_value=16, max_value=512),
+)
+def test_roundtrip_property(content, chunk_size):
+    shield, _, _ = make_shield(chunk_size=chunk_size)
+    shield.write_file("/secure/f", content)
+    assert shield.read_file("/secure/f") == content

@@ -1,0 +1,176 @@
+"""VFS semantics and the syscall layer (costs, Iago defences)."""
+
+import pytest
+
+from repro._sim import SimClock
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.enclave.sgx import EnclaveImage, Segment, SgxMode
+from repro.errors import IagoError, SyscallError
+from repro.runtime.syscall import IO_CHUNK, SyscallInterface
+from repro.runtime.vfs import VirtualFile, VirtualFileSystem
+
+
+@pytest.fixture
+def vfs():
+    return VirtualFileSystem()
+
+
+def make_syscalls(vfs, mode=SgxMode.NATIVE, cpu=None, asynchronous=True):
+    clock = cpu.clock if cpu is not None else SimClock()
+    enclave = None
+    if mode is SgxMode.HW:
+        image = EnclaveImage("app", [Segment.from_content("b", b"x", "code")])
+        enclave = cpu.create_enclave(image, SgxMode.HW)
+    return (
+        SyscallInterface(
+            vfs, CM, clock, mode=mode, enclave=enclave, asynchronous=asynchronous
+        ),
+        clock,
+    )
+
+
+# --- VFS -------------------------------------------------------------------
+
+
+def test_vfs_write_read_delete(vfs):
+    vfs.write("/a", b"data")
+    assert vfs.read("/a").content == b"data"
+    vfs.delete("/a")
+    assert not vfs.exists("/a")
+    with pytest.raises(SyscallError):
+        vfs.read("/a")
+    with pytest.raises(SyscallError):
+        vfs.delete("/a")
+
+
+def test_vfs_versions_increment(vfs):
+    assert vfs.write("/a", b"v0").version == 0
+    assert vfs.write("/a", b"v1").version == 1
+
+
+def test_vfs_declared_size(vfs):
+    file = vfs.write("/model", b"tiny", declared_size=1000)
+    assert file.size == 1000
+    with pytest.raises(SyscallError):
+        vfs.write("/bad", b"longer content", declared_size=3)
+
+
+def test_vfs_listdir_prefix(vfs):
+    vfs.write("/a/1", b"")
+    vfs.write("/a/2", b"")
+    vfs.write("/b/1", b"")
+    assert vfs.listdir("/a/") == ["/a/1", "/a/2"]
+    assert len(vfs) == 3
+
+
+# --- Syscall layer -----------------------------------------------------------
+
+
+def test_read_write_roundtrip(vfs):
+    syscalls, _ = make_syscalls(vfs)
+    syscalls.write_file("/f", b"payload")
+    assert syscalls.read_file("/f").content == b"payload"
+    assert syscalls.stat("/f") == 7
+    assert syscalls.exists("/f")
+    syscalls.unlink("/f")
+    assert not syscalls.exists("/f")
+
+
+def test_io_stats_accumulate(vfs):
+    syscalls, _ = make_syscalls(vfs)
+    syscalls.write_file("/f", b"x" * 100)
+    syscalls.read_file("/f")
+    assert syscalls.stats.bytes_written == 100
+    assert syscalls.stats.bytes_read == 100
+    assert syscalls.stats.by_name["open"] == 2
+
+
+def test_large_io_uses_multiple_syscalls(vfs):
+    syscalls, _ = make_syscalls(vfs)
+    small_calls = None
+    syscalls.write_file("/small", b"x")
+    small_calls = syscalls.stats.calls
+    syscalls.write_file("/large", b"x" * (3 * IO_CHUNK))
+    assert syscalls.stats.calls - small_calls > 3
+
+
+def test_hw_sync_costs_more_than_async(vfs, cpu):
+    sync, clock = make_syscalls(vfs, SgxMode.HW, cpu, asynchronous=False)
+    base = clock.now
+    for _ in range(100):
+        sync.nop_syscall()
+    sync_cost = clock.now - base
+
+    vfs2 = VirtualFileSystem()
+    async_calls, clock = make_syscalls(vfs2, SgxMode.HW, cpu, asynchronous=True)
+    base = clock.now
+    for _ in range(100):
+        async_calls.nop_syscall()
+    async_cost = clock.now - base
+    assert async_cost < sync_cost
+
+
+def test_sim_mode_handles_some_calls_in_userspace(vfs):
+    syscalls, _ = make_syscalls(vfs, SgxMode.SIM)
+    for _ in range(100):
+        syscalls.nop_syscall()
+    assert 0 < syscalls.stats.userspace_handled < 100
+
+
+def test_hw_mode_requires_enclave(vfs):
+    with pytest.raises(SyscallError):
+        SyscallInterface(vfs, CM, SimClock(), mode=SgxMode.HW, enclave=None)
+
+
+# --- Iago defences -----------------------------------------------------------
+
+
+def test_iago_negative_stat_rejected(vfs):
+    syscalls, _ = make_syscalls(vfs)
+    vfs.write("/f", b"data")
+    syscalls.hostile_hook = lambda name, res: -1 if name == "stat" else res
+    with pytest.raises(IagoError):
+        syscalls.stat("/f")
+
+
+def test_iago_oversized_read_rejected(vfs):
+    syscalls, _ = make_syscalls(vfs)
+    vfs.write("/f", b"data")
+
+    def hostile(name, result):
+        if name == "read":
+            return VirtualFile("/f", content=b"data" * 100, declared_size=4)
+        return result
+
+    # declared size 4 but 400 bytes returned -> read check fires
+    syscalls.hostile_hook = hostile
+    with pytest.raises(IagoError):
+        syscalls.read_file("/f")
+
+
+def test_iago_write_overclaim_rejected(vfs):
+    syscalls, _ = make_syscalls(vfs)
+    syscalls.hostile_hook = lambda name, res: (
+        res + 100 if name == "write" else res
+    )
+    with pytest.raises(IagoError):
+        syscalls.write_file("/f", b"data")
+
+
+def test_iago_listing_outside_prefix_rejected(vfs):
+    syscalls, _ = make_syscalls(vfs)
+    vfs.write("/dir/a", b"")
+    syscalls.hostile_hook = lambda name, res: (
+        res + ["/etc/shadow"] if name == "getdents" else res
+    )
+    with pytest.raises(IagoError):
+        syscalls.list_dir("/dir/")
+
+
+def test_iago_non_string_listing_rejected(vfs):
+    syscalls, _ = make_syscalls(vfs)
+    syscalls.hostile_hook = lambda name, res: (
+        [42] if name == "getdents" else res
+    )
+    with pytest.raises(IagoError):
+        syscalls.list_dir("")

@@ -1,0 +1,60 @@
+"""Array codec property tests (checkpoints/PS/CAS all depend on it)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.errors import CheckpointError
+from repro.tensor.arrays import (
+    decode_array,
+    decode_array_dict,
+    encode_array,
+    encode_array_dict,
+)
+
+
+@settings(max_examples=40)
+@given(
+    st.sampled_from([np.float32, np.int64, np.uint8]).flatmap(
+        lambda dtype: arrays(
+            dtype=dtype,
+            shape=array_shapes(max_dims=3, max_side=6),
+            elements={
+                np.float32: st.floats(-1e6, 1e6, width=32),
+                np.int64: st.integers(-(2**40), 2**40),
+                np.uint8: st.integers(0, 255),
+            }[dtype],
+        )
+    )
+)
+def test_array_roundtrip_property(array):
+    restored = decode_array(encode_array(array))
+    assert restored.dtype == array.dtype
+    np.testing.assert_array_equal(restored, array)
+
+
+def test_non_contiguous_arrays_roundtrip():
+    base = np.arange(24, dtype=np.float32).reshape(4, 6)
+    view = base[::2, ::3]  # non-contiguous
+    np.testing.assert_array_equal(decode_array(encode_array(view)), view)
+
+
+def test_array_dict_roundtrip():
+    original = {
+        "w": np.ones((2, 3), np.float32),
+        "b": np.zeros(3, np.float32),
+    }
+    restored = decode_array_dict(encode_array_dict(original))
+    assert set(restored) == {"w", "b"}
+    for name in original:
+        np.testing.assert_array_equal(restored[name], original[name])
+
+
+def test_malformed_inputs_rejected():
+    with pytest.raises(CheckpointError):
+        decode_array({"__ndarray__": True, "dtype": "float32"})
+    with pytest.raises(CheckpointError):
+        decode_array(
+            {"__ndarray__": True, "dtype": "float32", "shape": [4], "data": b"xx"}
+        )

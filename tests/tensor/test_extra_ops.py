@@ -1,0 +1,157 @@
+"""Extra ops: forwards, gradients, and pipeline (freeze/Lite) support."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as tf
+from repro.errors import ShapeError
+from repro.tensor.graph import Graph
+from repro.tensor.lite import Interpreter, LiteConverter
+from repro.tensor.saver import export_graph, freeze_graph, import_graph
+
+from tests.tensor.test_gradients import check_gradient
+
+RNG = np.random.default_rng(77)
+X = RNG.normal(size=(3, 4)).astype(np.float32)
+
+
+def run(builder, value):
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", value.shape, name="x")
+        y = builder(x)
+    return tf.Session(graph=g).run(y, {x: value})
+
+
+# --- forwards -----------------------------------------------------------------
+
+
+def test_abs_forward():
+    np.testing.assert_allclose(run(tf.abs_, X), np.abs(X))
+
+
+def test_leaky_relu_forward():
+    out = run(lambda x: tf.leaky_relu(x, alpha=0.1), X)
+    np.testing.assert_allclose(out, np.where(X > 0, X, 0.1 * X), rtol=1e-6)
+
+
+def test_softplus_forward_and_stability():
+    np.testing.assert_allclose(
+        run(tf.softplus, X), np.log1p(np.exp(X)), rtol=1e-5
+    )
+    big = np.full((2, 2), 500.0, np.float32)
+    assert np.isfinite(run(tf.softplus, big)).all()
+
+
+def test_clip_forward_and_validation():
+    out = run(lambda x: tf.clip_by_value(x, -0.5, 0.5), X)
+    np.testing.assert_allclose(out, np.clip(X, -0.5, 0.5))
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (2,), name="x")
+        with pytest.raises(ShapeError):
+            tf.clip_by_value(x, 1.0, -1.0)
+
+
+def test_squeeze_forward_and_validation():
+    value = X[:, None, :]
+    out = run(lambda x: tf.squeeze(x, 1), value)
+    np.testing.assert_array_equal(out, X)
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (3, 4), name="x")
+        with pytest.raises(ShapeError):
+            tf.squeeze(x, 0)
+
+
+def test_slice_forward_and_validation():
+    out = run(lambda x: tf.slice_(x, (1, 0), (2, 3)), X)
+    np.testing.assert_array_equal(out, X[1:3, 0:3])
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (3, 4), name="x")
+        with pytest.raises(ShapeError):
+            tf.slice_(x, (2, 0), (2, 4))
+        with pytest.raises(ShapeError):
+            tf.slice_(x, (0,), (3,))
+
+
+def test_log_softmax_forward():
+    out = run(tf.log_softmax, X)
+    np.testing.assert_allclose(np.exp(out).sum(axis=-1), np.ones(3), rtol=1e-5)
+    big = (X * 500).astype(np.float32)
+    assert np.isfinite(run(tf.log_softmax, big)).all()
+
+
+def test_one_hot_forward():
+    g = Graph()
+    with g.as_default():
+        idx = tf.placeholder("int64", (4,), name="idx")
+        out = tf.one_hot(idx, 3)
+    result = tf.Session(graph=g).run(out, {idx: np.array([0, 2, 1, 0])})
+    np.testing.assert_array_equal(result, np.eye(3, dtype=np.float32)[[0, 2, 1, 0]])
+    with g.as_default():
+        with pytest.raises(ShapeError):
+            tf.one_hot(idx, 0)
+
+
+# --- gradients -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,builder,value",
+    [
+        ("abs", tf.abs_, X + np.sign(X) * 0.1),  # away from the kink
+        ("leaky_relu", lambda x: tf.leaky_relu(x, 0.3), X + 0.05),
+        ("softplus", tf.softplus, X),
+        ("clip", lambda x: tf.clip_by_value(x, -10, 10), X),  # inside range
+        ("squeeze", lambda x: tf.squeeze(tf.expand_dims(x, 1), 1), X),
+        ("slice", lambda x: tf.slice_(x, (0, 1), (3, 2)), X),
+        ("log_softmax", tf.log_softmax, X),
+    ],
+)
+def test_extra_op_gradients(name, builder, value):
+    check_gradient(builder, value)
+
+
+def test_clip_gradient_zero_outside_range():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (3,), name="x")
+        loss = tf.reduce_sum(tf.clip_by_value(x, -1.0, 1.0))
+        (grad,) = tf.gradients(loss, [x])
+    out = tf.Session(graph=g).run(
+        grad, {x: np.array([-5.0, 0.0, 5.0], np.float32)}
+    )
+    np.testing.assert_allclose(out, [0.0, 1.0, 0.0])
+
+
+# --- pipeline ------------------------------------------------------------------
+
+
+def test_extra_ops_survive_freeze_and_lite():
+    g = Graph()
+    rng = np.random.default_rng(3)
+    with g.as_default():
+        x = tf.placeholder("float32", (None, 4), name="x")
+        h = tf.layers.dense(x, 6, name="fc", rng=rng)
+        h = tf.leaky_relu(h, 0.1)
+        h = tf.clip_by_value(h, -3.0, 3.0)
+        out = tf.log_softmax(h)
+    for var in g.get_collection("global_variables"):
+        var.initialize()
+    data = RNG.normal(size=(2, 4)).astype(np.float32)
+    reference = tf.Session(graph=g).run(out, {x: data})
+
+    frozen = freeze_graph([out], inputs=[x])
+    imported = import_graph(frozen)
+    np.testing.assert_array_equal(
+        tf.Session(graph=imported.graph).run(
+            imported.outputs[0], {imported.inputs[0]: data}
+        ),
+        reference,
+    )
+    model = LiteConverter("extra").convert(frozen)
+    interp = Interpreter(model)
+    interp.allocate_tensors()
+    np.testing.assert_array_equal(interp.invoke(data)[0], reference)

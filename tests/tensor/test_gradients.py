@@ -1,0 +1,194 @@
+"""Autodiff correctness: analytic vs central-difference gradients.
+
+Every differentiable op gets a numeric gradient check through a scalar
+loss ``sum(op(x) * weights)`` so that non-uniform output gradients are
+exercised too.
+"""
+
+import numpy as np
+import pytest
+
+import repro.tensor as tf
+from repro.errors import GraphError
+from repro.tensor.graph import Graph
+from repro.tensor.ops.core import minimum, tile
+
+RNG = np.random.default_rng(11)
+
+
+def numeric_gradient(f, x, eps=1e-3):
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        grad[idx] = (f(xp) - f(xm)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(builder, x_value, rtol=0.05, atol=5e-3):
+    """Compare tf.gradients against central differences."""
+    x_value = x_value.astype(np.float32)
+    weights = RNG.normal(size=()).astype(np.float32)
+
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", x_value.shape, name="x")
+        y = builder(x)
+        mixer = tf.constant(
+            RNG.normal(size=tuple(d for d in y.shape)).astype(np.float32)
+            if None not in y.shape
+            else 1.0
+        )
+        loss = tf.reduce_sum(tf.mul(y, mixer))
+        (grad,) = tf.gradients(loss, [x])
+    sess = tf.Session(graph=g)
+    analytic = np.asarray(sess.run(grad, {x: x_value}), dtype=np.float64)
+
+    def scalar_loss(value):
+        return float(sess.run(loss, {x: value.astype(np.float32)}))
+
+    numeric = numeric_gradient(scalar_loss, x_value.astype(np.float64))
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+X = RNG.normal(size=(3, 4)).astype(np.float32)
+POS = np.abs(X) + 0.5
+
+
+@pytest.mark.parametrize(
+    "name,builder,value",
+    [
+        ("neg", tf.neg, X),
+        ("square", tf.square, X),
+        ("sqrt", tf.sqrt, POS),
+        ("exp", lambda x: tf.exp(tf.mul(x, tf.constant(0.3))), X),
+        ("log", tf.log, POS),
+        ("relu", tf.relu, X + 0.05),  # keep away from the kink
+        ("sigmoid", tf.sigmoid, X),
+        ("tanh", tf.tanh, X),
+        ("identity", tf.identity, X),
+        ("softmax", tf.softmax, X),
+        ("reduce_sum", lambda x: tf.reduce_sum(x, axis=1), X),
+        ("reduce_sum_all", tf.reduce_sum, X),
+        ("reduce_mean", lambda x: tf.reduce_mean(x, axis=0, keepdims=True), X),
+        ("reshape", lambda x: tf.reshape(x, (4, 3)), X),
+        ("transpose", lambda x: tf.transpose(x, (1, 0)), X),
+        ("pad", lambda x: tf.pad(x, [(1, 0), (0, 2)]), X),
+        ("expand_dims", lambda x: tf.expand_dims(x, 1), X),
+        ("tile", lambda x: tile(x, (2, 3)), X),
+        ("cast_noop", lambda x: tf.cast(x, "float32"), X),
+    ],
+)
+def test_unary_gradients(name, builder, value):
+    check_gradient(builder, value)
+
+
+def test_reduce_max_gradient():
+    # Distinct values so the argmax mask is unambiguous.
+    value = np.arange(12, dtype=np.float32).reshape(3, 4) * 0.37
+    check_gradient(lambda x: tf.reduce_max(x, axis=1), value)
+
+
+@pytest.mark.parametrize(
+    "name,builder",
+    [
+        ("add", tf.add),
+        ("sub", tf.sub),
+        ("mul", tf.mul),
+        ("div", lambda a, b: tf.div(a, tf.add(tf.square(b), tf.constant(0.5)))),
+        ("matmul", None),
+        ("maximum", tf.maximum),
+        ("minimum", minimum),
+    ],
+)
+def test_binary_gradients_both_inputs(name, builder):
+    a_value = RNG.normal(size=(3, 4)).astype(np.float32)
+    if name == "matmul":
+        b_value = RNG.normal(size=(4, 2)).astype(np.float32)
+        builder = tf.matmul
+    else:
+        b_value = RNG.normal(size=(3, 4)).astype(np.float32) + (
+            0.3 if name in ("maximum", "minimum") else 0.0
+        )
+
+    for side in (0, 1):
+        fixed = [a_value, b_value][1 - side]
+        free = [a_value, b_value][side]
+
+        def partial(x, side=side, fixed=fixed, builder=builder):
+            const = tf.constant(fixed)
+            return builder(x, const) if side == 0 else builder(const, x)
+
+        check_gradient(partial, free)
+
+
+def test_broadcast_gradient_unbroadcasts():
+    bias = RNG.normal(size=(4,)).astype(np.float32)
+    check_gradient(lambda b: tf.add(tf.constant(X), b), bias)
+    check_gradient(lambda b: tf.mul(tf.constant(X), b), bias)
+
+
+def test_concat_gradient():
+    a = RNG.normal(size=(3, 2)).astype(np.float32)
+    b = RNG.normal(size=(3, 5)).astype(np.float32)
+    check_gradient(lambda x: tf.concat([x, tf.constant(b)], axis=1), a)
+    check_gradient(lambda x: tf.concat([tf.constant(a), x], axis=1), b)
+
+
+def test_fanout_accumulates():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (2,), name="x")
+        y = tf.add(tf.square(x), tf.mul(x, tf.constant(3.0)))  # x² + 3x
+        loss = tf.reduce_sum(y)
+        (grad,) = tf.gradients(loss, [x])
+    value = np.array([1.0, 2.0], dtype=np.float32)
+    out = tf.Session(graph=g).run(grad, {x: value})
+    np.testing.assert_allclose(out, 2 * value + 3.0, rtol=1e-5)
+
+
+def test_stop_gradient_blocks_flow():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (2,), name="x")
+        blocked = tf.square(tf.stop_gradient(x))
+        passed = tf.square(x)
+        loss = tf.reduce_sum(tf.add(blocked, passed))
+        (grad,) = tf.gradients(loss, [x])
+    value = np.array([1.0, 2.0], dtype=np.float32)
+    out = tf.Session(graph=g).run(grad, {x: value})
+    np.testing.assert_allclose(out, 2 * value, rtol=1e-5)  # only `passed`
+
+
+def test_gradient_of_unrelated_tensor_is_none():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (2,), name="x")
+        z = tf.placeholder("float32", (2,), name="z")
+        loss = tf.reduce_sum(tf.square(x))
+        grads = tf.gradients(loss, [x, z])
+    assert grads[0] is not None
+    assert grads[1] is None
+
+
+def test_gradients_requires_ys():
+    with pytest.raises(GraphError):
+        tf.gradients([], [])
+
+
+def test_second_application_builds_on_same_graph():
+    """gradients() twice (e.g. two optimizers) must not corrupt state."""
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (2,), name="x")
+        loss = tf.reduce_sum(tf.square(x))
+        (g1,) = tf.gradients(loss, [x])
+        (g2,) = tf.gradients(loss, [x])
+    value = np.array([3.0, -1.0], dtype=np.float32)
+    sess = tf.Session(graph=g)
+    np.testing.assert_allclose(sess.run(g1, {x: value}), sess.run(g2, {x: value}))

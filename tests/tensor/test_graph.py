@@ -1,0 +1,76 @@
+"""Graph core: naming, lookup, collections, operator sugar."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as tf
+from repro.errors import GraphError
+from repro.tensor.graph import Graph, get_default_graph, reset_default_graph
+
+
+def test_unique_names():
+    g = Graph()
+    with g.as_default():
+        a = tf.constant(1.0, name="c")
+        b = tf.constant(2.0, name="c")
+    assert a.op.name == "c"
+    assert b.op.name == "c_1"
+
+
+def test_default_graph_stack():
+    outer = get_default_graph()
+    g = Graph()
+    with g.as_default():
+        assert get_default_graph() is g
+        inner = Graph()
+        with inner.as_default():
+            assert get_default_graph() is inner
+        assert get_default_graph() is g
+    assert get_default_graph() is outer
+
+
+def test_get_tensor_by_name():
+    g = Graph()
+    with g.as_default():
+        c = tf.constant([1.0, 2.0], name="vals")
+    assert g.get_tensor("vals") is c
+    assert g.get_tensor("vals:0") is c
+    with pytest.raises(GraphError):
+        g.get_tensor("vals:3")
+    with pytest.raises(GraphError):
+        g.get_tensor("missing")
+
+
+def test_collections():
+    g = Graph()
+    g.add_to_collection("things", 1)
+    g.add_to_collection("things", 2)
+    assert g.get_collection("things") == [1, 2]
+    assert g.get_collection("empty") == []
+
+
+def test_operator_sugar_builds_graph():
+    g = Graph()
+    with g.as_default():
+        x = tf.constant([2.0, 3.0])
+        y = ((x + 1.0) * 2.0 - 0.5) / 2.0
+        z = -y
+    sess = tf.Session(graph=g)
+    np.testing.assert_allclose(sess.run(y), [2.75, 3.75])
+    np.testing.assert_allclose(sess.run(z), [-2.75, -3.75])
+
+
+def test_matmul_operator():
+    g = Graph()
+    with g.as_default():
+        a = tf.constant(np.eye(2, dtype=np.float32))
+        b = tf.constant([[1.0, 2.0], [3.0, 4.0]])
+        c = a @ b
+    np.testing.assert_allclose(tf.Session(graph=g).run(c), [[1, 2], [3, 4]])
+
+
+def test_reset_default_graph():
+    before = get_default_graph()
+    after = reset_default_graph()
+    assert after is not before
+    assert get_default_graph() is after

@@ -1,0 +1,121 @@
+"""Model optimization (§7.2): quantization and pruning."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as tf
+from repro.data import synthetic_mnist
+from repro.errors import LiteConversionError
+from repro.models import build_model
+from repro.tensor.lite import Interpreter, LiteModel, prune, quantize
+from repro.tensor.lite.optimize import (
+    dequantize_array,
+    optimization_report,
+    quantize_array,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    """A genuinely trained MNIST model (so accuracy deltas are real)."""
+    train, test = synthetic_mnist(n_train=1500, n_test=400, seed=30)
+    built = build_model("mnist_cnn", seed=30)
+    with built.graph.as_default():
+        labels = tf.placeholder("float32", (None, 10), name="labels")
+        loss = tf.losses.softmax_cross_entropy(labels, built.logits)
+        step = tf.optimizers.Adam(0.005).minimize(loss)
+        init = tf.global_variables_initializer(built.graph)
+    sess = tf.Session(graph=built.graph)
+    sess.run(init)
+    for epoch in range(2):
+        for bx, by in train.batches(64, shuffle_seed=epoch):
+            sess.run(step, {built.input: bx, labels: by})
+    return built.to_lite("mnist"), test
+
+
+def _accuracy(model: LiteModel, test, n=200) -> float:
+    interp = Interpreter(model)
+    interp.allocate_tensors()
+    outputs = interp.invoke(test.images[:n])[0]
+    return float((np.argmax(outputs, axis=1) == test.labels[:n]).mean())
+
+
+def test_quantize_array_roundtrip_error_is_bounded():
+    rng = np.random.default_rng(0)
+    array = rng.normal(size=(64, 32)).astype(np.float32)
+    q, scale, zero_point = quantize_array(array)
+    assert q.dtype == np.int8
+    restored = dequantize_array(q, scale, zero_point)
+    # Max error bounded by half a quantization step.
+    assert np.abs(restored - array).max() <= scale * 0.51
+
+
+def test_quantize_covers_zero():
+    array = np.linspace(2.0, 3.0, 128, dtype=np.float32)  # all-positive
+    q, scale, zero_point = quantize_array(array)
+    restored = dequantize_array(q, scale, zero_point)
+    assert np.abs(restored - array).max() <= scale * 0.51
+
+
+def test_quantized_model_shrinks_4x_and_keeps_accuracy(trained_model):
+    model, test = trained_model
+    quantized = quantize(model)
+    report = optimization_report(model, quantized)
+    assert 3.2 < report["shrink_factor"] < 4.2
+    baseline = _accuracy(model, test)
+    quantized_accuracy = _accuracy(quantized, test)
+    assert baseline > 0.9
+    assert quantized_accuracy > baseline - 0.05  # near-lossless
+
+
+def test_quantized_weight_scale_shrinks(trained_model):
+    model, _ = trained_model
+    quantized = quantize(model)
+    assert (
+        quantized.scales["weight_scale"]
+        < model.scales["weight_scale"] * 0.3
+    )
+
+
+def test_pruned_model_accuracy_degrades_gracefully(trained_model):
+    model, test = trained_model
+    baseline = _accuracy(model, test)
+    light = prune(model, 0.3)
+    heavy = prune(model, 0.95)
+    assert _accuracy(light, test) > baseline - 0.1
+    assert _accuracy(heavy, test) < _accuracy(light, test) + 0.02
+    assert light.size_bytes < model.size_bytes
+    assert heavy.size_bytes < light.size_bytes
+
+
+def test_prune_validation(trained_model):
+    model, _ = trained_model
+    with pytest.raises(LiteConversionError):
+        prune(model, 1.0)
+    with pytest.raises(LiteConversionError):
+        prune(model, -0.1)
+
+
+def test_optimized_models_run_on_plain_interpreter(trained_model):
+    model, test = trained_model
+    for optimized in (quantize(model), prune(model, 0.5)):
+        restored = LiteModel.from_bytes(optimized.to_bytes())
+        interp = Interpreter(restored)
+        interp.allocate_tensors()
+        label = interp.classify(test.images[:1])
+        assert 0 <= label < 10
+
+
+def test_unquantizable_model_rejected():
+    g = tf.Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (None, 2), name="x")
+        y = tf.square(x)
+    from repro.tensor.lite import LiteConverter
+    from repro.tensor.saver import export_graph
+
+    model = LiteConverter("noweights").convert(export_graph([y], inputs=[x]))
+    with pytest.raises(LiteConversionError):
+        quantize(model)
+    with pytest.raises(LiteConversionError):
+        prune(model, 0.5)

@@ -1,0 +1,192 @@
+"""Forward semantics of every op versus plain numpy."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as tf
+from repro.errors import GraphError, ShapeError
+from repro.tensor.graph import Graph
+from repro.tensor.ops.core import (
+    broadcast_shape,
+    greater,
+    minimum,
+    tile,
+    unbroadcast_to,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def run(builder, *arrays):
+    """Build a graph applying ``builder`` to placeholders, run it."""
+    g = Graph()
+    with g.as_default():
+        placeholders = [
+            tf.placeholder("float32", a.shape, name=f"in{i}")
+            for i, a in enumerate(arrays)
+        ]
+        out = builder(*placeholders)
+    feed = dict(zip(placeholders, arrays))
+    return tf.Session(graph=g).run(out, feed)
+
+
+A = RNG.normal(size=(3, 4)).astype(np.float32)
+B = RNG.normal(size=(3, 4)).astype(np.float32) + 2.0
+POS = np.abs(A) + 0.5
+
+
+@pytest.mark.parametrize(
+    "builder,reference",
+    [
+        (tf.neg, lambda a: -a),
+        (tf.square, np.square),
+        (tf.relu, lambda a: np.maximum(a, 0)),
+        (tf.tanh, np.tanh),
+        (tf.sigmoid, lambda a: 1 / (1 + np.exp(-a))),
+        (tf.exp, np.exp),
+        (tf.identity, lambda a: a),
+        (tf.stop_gradient, lambda a: a),
+    ],
+)
+def test_unary_ops(builder, reference):
+    np.testing.assert_allclose(run(builder, A), reference(A), rtol=1e-5)
+
+
+def test_sqrt_and_log_on_positive():
+    np.testing.assert_allclose(run(tf.sqrt, POS), np.sqrt(POS), rtol=1e-5)
+    np.testing.assert_allclose(run(tf.log, POS), np.log(POS), rtol=1e-5)
+
+
+@pytest.mark.parametrize(
+    "builder,reference",
+    [
+        (tf.add, np.add),
+        (tf.sub, np.subtract),
+        (tf.mul, np.multiply),
+        (tf.div, np.divide),
+        (tf.maximum, np.maximum),
+        (minimum, np.minimum),
+    ],
+)
+def test_binary_ops(builder, reference):
+    np.testing.assert_allclose(run(builder, A, B), reference(A, B), rtol=1e-5)
+
+
+def test_broadcasting_binary():
+    bias = RNG.normal(size=(4,)).astype(np.float32)
+    np.testing.assert_allclose(
+        run(tf.add, A, bias), A + bias, rtol=1e-5
+    )
+
+
+def test_comparisons():
+    assert (run(tf.equal, A, A) == np.equal(A, A)).all()
+    assert (run(greater, A, B) == np.greater(A, B)).all()
+
+
+def test_cast():
+    out = run(lambda x: tf.cast(x, "int64"), A * 10)
+    assert out.dtype == np.int64
+
+
+def test_matmul_and_shape_errors():
+    a = RNG.normal(size=(2, 3)).astype(np.float32)
+    b = RNG.normal(size=(3, 5)).astype(np.float32)
+    np.testing.assert_allclose(run(tf.matmul, a, b), a @ b, rtol=1e-5)
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (2, 3))
+        y = tf.placeholder("float32", (4, 5))
+        with pytest.raises(ShapeError):
+            tf.matmul(x, y)
+        with pytest.raises(ShapeError):
+            tf.matmul(x, tf.placeholder("float32", (3,)))
+
+
+@pytest.mark.parametrize("axis", [None, 0, 1, -1])
+@pytest.mark.parametrize("keepdims", [False, True])
+def test_reductions(axis, keepdims):
+    for builder, reference in [
+        (tf.reduce_sum, np.sum),
+        (tf.reduce_mean, np.mean),
+        (tf.reduce_max, np.max),
+    ]:
+        out = run(lambda x: builder(x, axis=axis, keepdims=keepdims), A)
+        np.testing.assert_allclose(
+            out, reference(A, axis=axis, keepdims=keepdims), rtol=1e-5
+        )
+
+
+def test_softmax_rows_sum_to_one():
+    out = run(tf.softmax, A)
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(3), rtol=1e-5)
+    # Stability under large logits.
+    big = (A * 1000).astype(np.float32)
+    assert np.isfinite(run(tf.softmax, big)).all()
+
+
+def test_argmax():
+    out = run(lambda x: tf.argmax(x, axis=1), A)
+    np.testing.assert_array_equal(out, np.argmax(A, axis=1))
+
+
+def test_reshape_with_none_batch():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (None, 4))
+        y = tf.reshape(x, (None, 2, 2))
+    out = tf.Session(graph=g).run(y, {x: A[:2]})
+    assert out.shape == (2, 2, 2)
+
+
+def test_transpose_and_validation():
+    np.testing.assert_array_equal(
+        run(lambda x: tf.transpose(x, (1, 0)), A), A.T
+    )
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (2, 3))
+        with pytest.raises(ShapeError):
+            tf.transpose(x, (0, 0))
+
+
+def test_concat():
+    out = run(lambda x, y: tf.concat([x, y], axis=1), A, B)
+    np.testing.assert_array_equal(out, np.concatenate([A, B], axis=1))
+    with pytest.raises(GraphError):
+        tf.concat([], axis=0)
+
+
+def test_pad():
+    out = run(lambda x: tf.pad(x, [(1, 2), (0, 1)]), A)
+    np.testing.assert_array_equal(out, np.pad(A, [(1, 2), (0, 1)]))
+
+
+def test_expand_dims_and_tile():
+    out = run(lambda x: tf.expand_dims(x, 0), A)
+    assert out.shape == (1, 3, 4)
+    out = run(lambda x: tile(x, (2, 1)), A)
+    np.testing.assert_array_equal(out, np.tile(A, (2, 1)))
+
+
+def test_unbroadcast_to():
+    g = Graph()
+    with g.as_default():
+        grad = tf.placeholder("float32", (3, 4))
+        ref = tf.placeholder("float32", (4,))
+        out = unbroadcast_to(grad, ref)
+    result = tf.Session(graph=g).run(out, {grad: A, ref: A[0]})
+    np.testing.assert_allclose(result, A.sum(axis=0), rtol=1e-5)
+
+
+def test_broadcast_shape_static():
+    assert broadcast_shape((3, 4), (4,)) == (3, 4)
+    assert broadcast_shape((None, 4), (4,)) == (None, 4)
+    assert broadcast_shape((3, 1), (1, 5)) == (3, 5)
+    with pytest.raises(ShapeError):
+        broadcast_shape((3, 4), (5,))
+
+
+def test_constant_dtype_coercion():
+    c = tf.constant(1.5, graph=Graph())
+    assert c.dtype == "float32"

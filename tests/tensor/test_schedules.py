@@ -1,0 +1,111 @@
+"""Learning-rate schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as tf
+from repro.errors import GraphError
+from repro.tensor.graph import Graph
+from repro.tensor.schedules import (
+    ExponentialDecay,
+    clip_by_global_norm,
+    global_norm,
+)
+
+
+def test_exponential_decay_halves_on_schedule():
+    g = Graph()
+    schedule = ExponentialDecay(0.8, 0.5, decay_steps=4, graph=g)
+    sess = tf.Session(graph=g)
+    schedule.step.initialize()
+    assert sess.run(schedule.tensor) == pytest.approx(0.8)
+    for _ in range(4):
+        sess.run(schedule.step_op())
+    assert sess.run(schedule.tensor) == pytest.approx(0.4)
+    for _ in range(4):
+        sess.run(schedule.step_op())
+    assert sess.run(schedule.tensor) == pytest.approx(0.2)
+
+
+def test_schedule_validation():
+    g = Graph()
+    with pytest.raises(GraphError):
+        ExponentialDecay(0.0, 0.5, 10, graph=g)
+    with pytest.raises(GraphError):
+        ExponentialDecay(0.1, 0.5, 0, graph=g)
+
+
+def test_global_norm_value():
+    g = Graph()
+    with g.as_default():
+        a = tf.constant([3.0, 0.0])
+        b = tf.constant([[0.0, 4.0]])
+        norm = global_norm([a, b])
+    assert tf.Session(graph=g).run(norm) == pytest.approx(5.0)
+    with pytest.raises(GraphError):
+        global_norm([])
+
+
+def test_clip_by_global_norm_scales_down_only_when_needed():
+    g = Graph()
+    with g.as_default():
+        big = tf.constant([6.0, 8.0])      # norm 10
+        (clipped_big,), norm = clip_by_global_norm([big], 5.0)
+        small = tf.constant([0.3, 0.4])    # norm 0.5
+        (clipped_small,), _ = clip_by_global_norm([small], 5.0)
+    sess = tf.Session(graph=g)
+    np.testing.assert_allclose(sess.run(clipped_big), [3.0, 4.0], rtol=1e-5)
+    np.testing.assert_allclose(sess.run(clipped_small), [0.3, 0.4], rtol=1e-5)
+    assert sess.run(norm) == pytest.approx(10.0)
+    with g.as_default():
+        with pytest.raises(GraphError):
+            clip_by_global_norm([big], 0.0)
+
+
+def test_scheduled_sgd_trains_and_decays():
+    g = Graph()
+    rng = np.random.default_rng(0)
+    with g.as_default():
+        x = tf.placeholder("float32", (None, 4), name="x")
+        y = tf.placeholder("float32", (None, 1), name="y")
+        pred = tf.layers.dense(x, 1, name="lin", rng=rng)
+        loss = tf.losses.mean_squared_error(y, pred)
+        schedule = ExponentialDecay(0.2, 0.5, decay_steps=10, graph=g)
+        opt = tf.optimizers.GradientDescent(schedule.tensor)
+        pairs = opt.compute_gradients(loss)
+        clipped, _ = clip_by_global_norm([p[0] for p in pairs], 1.0)
+        train = opt.apply_gradients(
+            list(zip(clipped, [p[1] for p in pairs]))
+        )
+        init = tf.global_variables_initializer(g)
+    sess = tf.Session(graph=g)
+    sess.run(init)
+    X = rng.normal(size=(32, 4)).astype(np.float32)
+    Y = (X[:, :1] * 2).astype(np.float32)
+    initial_lr = sess.run(schedule.tensor)
+    initial_loss = sess.run(loss, {x: X, y: Y})
+    for _ in range(30):
+        sess.run([train, schedule.step_op()], {x: X, y: Y})
+    assert sess.run(schedule.tensor) < initial_lr / 3
+    assert sess.run(loss, {x: X, y: Y}) < initial_loss / 5
+
+
+def test_adam_accepts_schedule_tensor():
+    g = Graph()
+    rng = np.random.default_rng(1)
+    with g.as_default():
+        x = tf.placeholder("float32", (None, 3), name="x")
+        y = tf.placeholder("float32", (None, 1), name="y")
+        pred = tf.layers.dense(x, 1, name="lin", rng=rng)
+        loss = tf.losses.mean_squared_error(y, pred)
+        schedule = ExponentialDecay(0.05, 0.9, decay_steps=5, graph=g)
+        train = tf.optimizers.Adam(schedule.tensor).minimize(loss)
+        init = tf.global_variables_initializer(g)
+    sess = tf.Session(graph=g)
+    sess.run(init)
+    X = rng.normal(size=(16, 3)).astype(np.float32)
+    Y = X[:, :1].astype(np.float32)
+    before = sess.run(loss, {x: X, y: Y})
+    for _ in range(40):
+        sess.run([train, schedule.step_op()], {x: X, y: Y})
+    assert sess.run(loss, {x: X, y: Y}) < before / 2

@@ -1,0 +1,182 @@
+"""Session execution semantics and variable state."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as tf
+from repro.errors import GraphError
+from repro.tensor.graph import Graph
+from repro.tensor.variables import global_variables, trainable_variables
+
+
+def test_placeholder_must_be_fed():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (2,), name="x")
+        y = tf.square(x)
+    with pytest.raises(GraphError):
+        tf.Session(graph=g).run(y)
+
+
+def test_feed_shape_validation():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (None, 4), name="x")
+        y = tf.identity(x)
+    sess = tf.Session(graph=g)
+    sess.run(y, {x: np.zeros((7, 4), np.float32)})  # None batch ok
+    with pytest.raises(GraphError):
+        sess.run(y, {x: np.zeros((7, 5), np.float32)})
+    with pytest.raises(GraphError):
+        sess.run(y, {x: np.zeros((4,), np.float32)})
+
+
+def test_feed_by_string_name_and_float64_coercion():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (2,), name="x")
+        y = tf.mul(x, tf.constant(2.0))
+    out = tf.Session(graph=g).run(y, {"x": np.array([1.0, 2.0])})
+    assert out.dtype == np.float32
+    np.testing.assert_allclose(out, [2.0, 4.0])
+
+
+def test_fetch_structures():
+    g = Graph()
+    with g.as_default():
+        a = tf.constant(1.0, name="a")
+        b = tf.constant(2.0, name="b")
+    sess = tf.Session(graph=g)
+    assert sess.run([a, b]) == [1.0, 2.0]
+    assert sess.run((a, b)) == (1.0, 2.0)
+    assert sess.run({"x": a, "y": [b]}) == {"x": 1.0, "y": [2.0]}
+    assert sess.run("a") == 1.0
+    with pytest.raises(GraphError):
+        sess.run(3.14)
+
+
+def test_feeding_intermediate_tensor_short_circuits():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (2,), name="x")
+        h = tf.square(x)
+        y = tf.mul(h, tf.constant(10.0))
+    out = tf.Session(graph=g).run(y, {h: np.array([5.0, 6.0], np.float32)})
+    np.testing.assert_allclose(out, [50.0, 60.0])
+
+
+def test_each_run_recomputes():
+    g = Graph()
+    with g.as_default():
+        v = tf.variable(np.array([1.0], np.float32), name="v")
+        bump = v.assign_add(tf.constant(np.array([1.0], np.float32)))
+    sess = tf.Session(graph=g)
+    v.initialize()
+    sess.run(bump)
+    sess.run(bump)
+    np.testing.assert_allclose(v.value, [3.0])
+
+
+def test_op_runs_once_per_run_despite_fanout():
+    g = Graph()
+    with g.as_default():
+        v = tf.variable(np.array([0.0], np.float32), name="v")
+        bump = v.assign_add(tf.constant(np.array([1.0], np.float32)))
+        double_use = tf.add(bump, bump)
+    v.initialize()
+    out = tf.Session(graph=g).run(double_use)
+    np.testing.assert_allclose(out, [2.0])
+    np.testing.assert_allclose(v.value, [1.0])  # one increment only
+
+
+def test_control_dependencies_order():
+    g = Graph()
+    with g.as_default():
+        v = tf.variable(np.array([0.0], np.float32), name="v")
+        bump = v.assign_add(tf.constant(np.array([5.0], np.float32)))
+        read = tf.identity(v.tensor, name="read")
+        read.op.add_control_input(bump.op)
+    v.initialize()
+    out = tf.Session(graph=g).run(read)
+    np.testing.assert_allclose(out, [5.0])
+
+
+def test_run_stats_accounting():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (4, 8), name="x")
+        w = tf.variable(np.zeros((8, 2), np.float32), name="w")
+        y = tf.matmul(x, w.tensor)
+    w.initialize()
+    sess = tf.Session(graph=g)
+    sess.run(y, {x: np.zeros((4, 8), np.float32)})
+    stats = sess.last_stats
+    assert stats.flops == 2 * 4 * 8 * 2
+    assert stats.weight_bytes == 8 * 2 * 4
+    assert stats.activation_bytes == 4 * 2 * 4  # the matmul output
+
+
+# --- variables ----------------------------------------------------------------
+
+
+def test_variable_lifecycle():
+    g = Graph()
+    with g.as_default():
+        v = tf.variable(np.ones((2, 2), np.float32), name="w")
+    assert not v.initialized
+    with pytest.raises(GraphError):
+        _ = v.value
+    v.initialize()
+    np.testing.assert_allclose(v.value, np.ones((2, 2)))
+    assert v.nbytes == 16
+
+
+def test_variable_read_before_init_fails_in_session():
+    g = Graph()
+    with g.as_default():
+        v = tf.variable(np.ones((2,), np.float32), name="w")
+        y = tf.square(v.tensor)
+    with pytest.raises(GraphError):
+        tf.Session(graph=g).run(y)
+
+
+def test_variable_load_shape_check():
+    g = Graph()
+    with g.as_default():
+        v = tf.variable(np.ones((2, 2), np.float32))
+    with pytest.raises(GraphError):
+        v.load(np.ones((3, 3), np.float32))
+
+
+def test_collections_and_trainable_flag():
+    g = Graph()
+    with g.as_default():
+        a = tf.variable(np.ones(1, np.float32), name="a")
+        b = tf.variable(np.ones(1, np.float32), name="b", trainable=False)
+    assert set(v.name for v in global_variables(g)) == {"a", "b"}
+    assert [v.name for v in trainable_variables(g)] == ["a"]
+
+
+def test_global_variables_initializer():
+    g = Graph()
+    with g.as_default():
+        a = tf.variable(np.ones(1, np.float32), name="a")
+        b = tf.variable(np.zeros(1, np.float32), name="b")
+        init = tf.global_variables_initializer(g)
+    count = tf.Session(graph=g).run(init)
+    assert count == 2
+    assert a.initialized and b.initialized
+
+
+def test_assign_ops():
+    g = Graph()
+    with g.as_default():
+        v = tf.variable(np.array([10.0], np.float32))
+        set_op = v.assign(tf.constant(np.array([1.0], np.float32)))
+        sub_op = v.assign_sub(tf.constant(np.array([0.5], np.float32)))
+    v.initialize()
+    sess = tf.Session(graph=g)
+    sess.run(set_op)
+    np.testing.assert_allclose(v.value, [1.0])
+    sess.run(sub_op)
+    np.testing.assert_allclose(v.value, [0.5])

@@ -1,0 +1,235 @@
+"""Layers, losses, metrics, optimizers: end-to-end learning behaviour."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as tf
+from repro.errors import GraphError, ShapeError
+from repro.tensor.graph import Graph
+
+RNG = np.random.default_rng(21)
+
+
+def _toy_classification(n=128):
+    x = RNG.normal(size=(n, 6)).astype(np.float32)
+    labels = ((x[:, 0] + x[:, 1] > 0).astype(int) + (x[:, 2] > 0.5).astype(int))
+    y = np.eye(3, dtype=np.float32)[labels]
+    return x, y
+
+
+def _build_classifier(optimizer):
+    g = Graph()
+    rng = np.random.default_rng(5)
+    with g.as_default():
+        x = tf.placeholder("float32", (None, 6), name="x")
+        y = tf.placeholder("float32", (None, 3), name="y")
+        h = tf.layers.dense(x, 16, activation="relu", name="h", rng=rng)
+        logits = tf.layers.dense(h, 3, name="logits", rng=rng)
+        loss = tf.losses.softmax_cross_entropy(y, logits)
+        acc = tf.metrics.accuracy(y, logits)
+        train = optimizer.minimize(loss)
+        init = tf.global_variables_initializer(g)
+    return g, x, y, loss, acc, train, init
+
+
+@pytest.mark.parametrize(
+    "optimizer",
+    [
+        tf.optimizers.GradientDescent(0.5),
+        tf.optimizers.Momentum(0.1, momentum=0.9),
+        tf.optimizers.Adam(0.02),
+    ],
+    ids=["sgd", "momentum", "adam"],
+)
+def test_optimizers_reduce_loss_and_reach_high_accuracy(optimizer):
+    data_x, data_y = _toy_classification()
+    g, x, y, loss, acc, train, init = _build_classifier(optimizer)
+    sess = tf.Session(graph=g)
+    sess.run(init)
+    initial = sess.run(loss, {x: data_x, y: data_y})
+    for _ in range(150):
+        sess.run(train, {x: data_x, y: data_y})
+    final_loss, final_acc = sess.run([loss, acc], {x: data_x, y: data_y})
+    assert final_loss < initial * 0.5
+    assert final_acc > 0.9
+
+
+def test_learning_rate_validation():
+    with pytest.raises(GraphError):
+        tf.optimizers.GradientDescent(0.0)
+
+
+def test_minimize_without_variables_fails():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (2,), name="x")
+        loss = tf.reduce_sum(tf.square(x))
+        with pytest.raises(GraphError):
+            tf.optimizers.GradientDescent(0.1).minimize(loss)
+
+
+def test_loss_must_depend_on_all_variables():
+    g = Graph()
+    with g.as_default():
+        used = tf.variable(np.ones(1, np.float32), name="used")
+        tf.variable(np.ones(1, np.float32), name="unused")
+        loss = tf.reduce_sum(tf.square(used.tensor))
+        with pytest.raises(GraphError):
+            tf.optimizers.GradientDescent(0.1).minimize(loss)
+
+
+def test_mse_loss():
+    g = Graph()
+    with g.as_default():
+        a = tf.placeholder("float32", (4,), name="a")
+        b = tf.placeholder("float32", (4,), name="b")
+        loss = tf.losses.mean_squared_error(a, b)
+    out = tf.Session(graph=g).run(
+        loss, {a: np.zeros(4, np.float32), b: np.full(4, 2.0, np.float32)}
+    )
+    assert out == pytest.approx(4.0)
+
+
+def test_l2_regularization():
+    g = Graph()
+    with g.as_default():
+        v = tf.variable(np.array([3.0, 4.0], np.float32), name="v")
+        reg = tf.losses.l2_regularization([v], scale=0.1)
+    v.initialize()
+    assert tf.Session(graph=g).run(reg) == pytest.approx(2.5)
+
+
+def test_accuracy_metric():
+    g = Graph()
+    with g.as_default():
+        labels = tf.placeholder("float32", (None, 3), name="l")
+        logits = tf.placeholder("float32", (None, 3), name="p")
+        acc = tf.metrics.accuracy(labels, logits)
+    out = tf.Session(graph=g).run(
+        acc,
+        {
+            labels: np.eye(3, dtype=np.float32),
+            logits: np.array(
+                [[9, 0, 0], [0, 9, 0], [9, 0, 0]], dtype=np.float32
+            ),
+        },
+    )
+    assert out == pytest.approx(2 / 3)
+
+
+def test_top_k_accuracy():
+    g = Graph()
+    with g.as_default():
+        labels = tf.placeholder("float32", (None, 4), name="l")
+        logits = tf.placeholder("float32", (None, 4), name="p")
+        top2 = tf.metrics.top_k_accuracy(labels, logits, k=2)
+    out = tf.Session(graph=g).run(
+        top2,
+        {
+            labels: np.eye(4, dtype=np.float32)[[0, 1]],
+            logits: np.array(
+                [[5, 4, 0, 0], [5, 4, 0, 0]], dtype=np.float32
+            ),
+        },
+    )
+    assert out == pytest.approx(1.0)
+
+
+def test_layers_shape_validation():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (None, 3, 3, 2), name="x")
+        with pytest.raises(ShapeError):
+            tf.layers.dense(x, 5)
+        flat = tf.layers.flatten(x)
+        assert flat.shape == (None, 18)
+        with pytest.raises(ShapeError):
+            tf.layers.conv2d(tf.layers.flatten(x), 4)
+
+
+def test_batch_norm_normalizes_with_loaded_stats():
+    g = Graph()
+    rng = np.random.default_rng(0)
+    with g.as_default():
+        x = tf.placeholder("float32", (None, 4), name="x")
+        y = tf.layers.batch_norm(x, name="bn")
+        init = tf.global_variables_initializer(g)
+    sess = tf.Session(graph=g)
+    sess.run(init)
+    data = rng.normal(loc=5.0, scale=2.0, size=(256, 4)).astype(np.float32)
+    # Load moving statistics as a framework user would after training.
+    for var in g.get_collection("global_variables"):
+        if var.name.endswith("moving_mean"):
+            var.load(data.mean(axis=0))
+        if var.name.endswith("moving_var"):
+            var.load(data.var(axis=0))
+    out = sess.run(y, {x: data})
+    assert abs(out.mean()) < 0.05
+    assert abs(out.std() - 1.0) < 0.05
+
+
+def test_mnist_cnn_learns_on_synthetic_data():
+    from repro.data import synthetic_mnist
+    from repro.models import mnist_cnn
+
+    train, test = synthetic_mnist(n_train=1500, n_test=300, seed=3)
+    graph, images, logits = mnist_cnn(np.random.default_rng(1))
+    with graph.as_default():
+        labels = tf.placeholder("float32", (None, 10), name="labels")
+        loss = tf.losses.softmax_cross_entropy(labels, logits)
+        acc = tf.metrics.accuracy(labels, logits)
+        train_op = tf.optimizers.Adam(0.005).minimize(loss)
+        init = tf.global_variables_initializer(graph)
+    sess = tf.Session(graph=graph)
+    sess.run(init)
+    for epoch in range(2):
+        for batch_x, batch_y in train.batches(64, shuffle_seed=epoch):
+            sess.run(train_op, {images: batch_x, labels: batch_y})
+    test_acc = sess.run(
+        acc, {images: test.images, labels: test.one_hot_labels}
+    )
+    assert test_acc > 0.9
+
+
+def test_batch_norm_training_mode_normalizes_and_updates_moving_stats():
+    g = Graph()
+    rng = np.random.default_rng(4)
+    with g.as_default():
+        x = tf.placeholder("float32", (None, 4), name="x")
+        y = tf.layers.batch_norm(x, training=True, momentum=0.5, name="bn")
+        init = tf.global_variables_initializer(g)
+    sess = tf.Session(graph=g)
+    sess.run(init)
+    data = rng.normal(loc=3.0, scale=2.0, size=(512, 4)).astype(np.float32)
+    out = sess.run(y, {x: data})
+    # Batch statistics normalize the output directly in training mode.
+    assert abs(out.mean()) < 0.05
+    assert abs(out.std() - 1.0) < 0.05
+    # Running the registered update ops moves the moving statistics
+    # toward the batch statistics.
+    updates = g.get_collection("update_ops")
+    assert len(updates) == 2
+    sess.run(updates, {x: data})
+    moving_mean = next(
+        v for v in g.get_collection("global_variables")
+        if v.name.endswith("moving_mean")
+    )
+    np.testing.assert_allclose(
+        moving_mean.value, 0.5 * data.mean(axis=0), rtol=0.05
+    )
+
+
+def test_batch_norm_training_gradients_flow_through_stats():
+    g = Graph()
+    with g.as_default():
+        x = tf.placeholder("float32", (None, 3), name="x")
+        y = tf.layers.batch_norm(x, training=True, name="bn")
+        loss = tf.reduce_sum(tf.square(y))
+        (grad,) = tf.gradients(loss, [x])
+        init = tf.global_variables_initializer(g)
+    sess = tf.Session(graph=g)
+    sess.run(init)
+    data = np.random.default_rng(5).normal(size=(8, 3)).astype(np.float32)
+    out = sess.run(grad, {x: data})
+    assert out.shape == data.shape
+    assert np.isfinite(out).all()
