@@ -10,7 +10,13 @@ the simulated metrics recorded in ``benchmark.extra_info``.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
+
+#: Durable benchmark record, tracked in git so the perf trajectory of
+#: the repo is visible PR over PR.
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH.json"
 
 #: Reference values lifted from the paper's evaluation (§5).
 PAPER = {
@@ -68,6 +74,22 @@ def record(benchmark, **metrics: object) -> None:
     if benchmark is not None:
         for key, value in metrics.items():
             benchmark.extra_info[key] = value
+
+
+def save_bench(section: str, metrics: Dict[str, object]) -> None:
+    """Merge ``metrics`` into ``BENCH.json`` under ``section``.
+
+    Existing sections are replaced wholesale (a rerun supersedes its old
+    numbers); other sections are left untouched.
+    """
+    data: Dict[str, object] = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except (OSError, ValueError):
+            data = {}
+    data[section] = metrics
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def run_once(benchmark, fn):

@@ -23,6 +23,8 @@ from repro.runtime.net_shield import (
     NetworkShield,
     ServerHandshake,
     charge_record_crypto,
+    protect_timed,
+    unprotect_timed,
 )
 
 #: method handler: fn(payload_bytes, peer_subject) -> response_bytes
@@ -164,7 +166,7 @@ class SecureRpcServer(RpcServer):
                     raise RpcError(f"unknown secure connection {conn}")
                 records, peer = session
                 declared = msg.get("declared_request")
-                inner_raw = records.unprotect(msg["record"])
+                inner_raw = unprotect_timed(records, self._shield.stats, msg["record"])
                 charge_record_crypto(
                     self._node.cost_model,
                     self._node.clock,
@@ -181,7 +183,10 @@ class SecureRpcServer(RpcServer):
                     self._shield.stats,
                     declared_resp if declared_resp is not None else len(reply),
                 )
-                return _envelope("secure_reply", record=records.protect(reply))
+                return _envelope(
+                    "secure_reply",
+                    record=protect_timed(records, self._shield.stats, reply),
+                )
             raise RpcError(f"unexpected envelope kind {kind!r}")
         except (ReproError, KeyError) as exc:
             return _envelope("error", message=f"{type(exc).__name__}: {exc}")
@@ -222,7 +227,7 @@ class SecureConnection:
         request = _envelope(
             "secure_call",
             conn=self._conn,
-            record=self._records.protect(inner),
+            record=protect_timed(self._records, client._shield.stats, inner),
             declared_request=declared_request,
             declared_response=declared_response,
         )
@@ -236,7 +241,7 @@ class SecureConnection:
         )
         msg = _open_envelope(raw, "secure_reply")
         try:
-            reply_raw = self._records.unprotect(msg["record"])
+            reply_raw = unprotect_timed(self._records, client._shield.stats, msg["record"])
         except IntegrityError:
             client._network.stats.tampered_detected += 1
             raise

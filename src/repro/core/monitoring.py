@@ -11,10 +11,12 @@ network totals, audit-log health.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import Dict, List
 
 from repro.core.platform import SecureTFPlatform
+from repro.crypto.aead import aead_cache_stats
+from repro.runtime import stats_registry
 
 
 @dataclass
@@ -38,6 +40,29 @@ class NodeMetrics:
 
 
 @dataclass
+class ShieldMetrics:
+    """Data-plane counters aggregated over every shield on the platform."""
+
+    fs_files_written: int = 0
+    fs_files_read: int = 0
+    fs_crypto_bytes: int = 0
+    fs_crypto_time: float = 0.0
+    fs_real_crypto_time: float = 0.0
+    fs_key_cache_hits: int = 0
+    fs_key_cache_misses: int = 0
+    fs_chunk_cache_hits: int = 0
+    fs_chunk_cache_misses: int = 0
+    net_records_protected: int = 0
+    net_records_opened: int = 0
+    net_crypto_bytes: int = 0
+    net_crypto_time: float = 0.0
+    net_real_crypto_time: float = 0.0
+    aead_cache_hits: int = 0
+    aead_cache_misses: int = 0
+    bytes_by_cipher: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
 class PlatformMetrics:
     """One snapshot of the whole deployment."""
 
@@ -49,6 +74,7 @@ class PlatformMetrics:
     cas_secrets: int
     audit_records: int
     audit_chain_ok: bool
+    shields: ShieldMetrics = field(default_factory=ShieldMetrics)
 
     def to_rows(self) -> List[List[str]]:
         rows = []
@@ -85,6 +111,27 @@ class PlatformMetrics:
             f"records, audit log {self.audit_records} entries "
             f"({'chain OK' if self.audit_chain_ok else 'CHAIN BROKEN'})"
         )
+        s = self.shields
+        lines.append(
+            f"fs shield: {s.fs_files_written} written / {s.fs_files_read} read, "
+            f"{s.fs_crypto_bytes / 1e6:.1f} MB, sim {s.fs_crypto_time:.3f}s / "
+            f"real {s.fs_real_crypto_time:.3f}s, "
+            f"key cache {s.fs_key_cache_hits}/{s.fs_key_cache_hits + s.fs_key_cache_misses}, "
+            f"chunk cache {s.fs_chunk_cache_hits}/"
+            f"{s.fs_chunk_cache_hits + s.fs_chunk_cache_misses}"
+        )
+        lines.append(
+            f"net shield: {s.net_records_protected} protected / "
+            f"{s.net_records_opened} opened, {s.net_crypto_bytes / 1e6:.1f} MB, "
+            f"sim {s.net_crypto_time:.3f}s / real {s.net_real_crypto_time:.3f}s"
+        )
+        cipher_bytes = ", ".join(
+            f"{name}={n / 1e6:.1f}MB" for name, n in sorted(s.bytes_by_cipher.items())
+        )
+        lines.append(
+            f"aead cache: {s.aead_cache_hits} hits / {s.aead_cache_misses} misses"
+            + (f"; bytes by cipher: {cipher_bytes}" if cipher_bytes else "")
+        )
         return "\n".join(lines)
 
 
@@ -111,6 +158,31 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
         audit.verify_chain()
     except Exception:
         chain_ok = False
+    clocks = [node.clock for node in platform.nodes]
+    shields = ShieldMetrics()
+    for stats in stats_registry.fs_stats_for(clocks):
+        shields.fs_files_written += stats.files_written
+        shields.fs_files_read += stats.files_read
+        shields.fs_crypto_bytes += stats.crypto_bytes
+        shields.fs_crypto_time += stats.crypto_time
+        shields.fs_real_crypto_time += stats.real_crypto_time
+        shields.fs_key_cache_hits += stats.key_cache_hits
+        shields.fs_key_cache_misses += stats.key_cache_misses
+        shields.fs_chunk_cache_hits += stats.chunk_cache_hits
+        shields.fs_chunk_cache_misses += stats.chunk_cache_misses
+        for name, n in stats.bytes_by_cipher.items():
+            shields.bytes_by_cipher[name] = shields.bytes_by_cipher.get(name, 0) + n
+    for stats in stats_registry.net_stats_for(clocks):
+        shields.net_records_protected += stats.records_protected
+        shields.net_records_opened += stats.records_opened
+        shields.net_crypto_bytes += stats.crypto_bytes
+        shields.net_crypto_time += stats.crypto_time
+        shields.net_real_crypto_time += stats.real_crypto_time
+        for name, n in stats.bytes_by_cipher.items():
+            shields.bytes_by_cipher[name] = shields.bytes_by_cipher.get(name, 0) + n
+    aead_counters = aead_cache_stats()
+    shields.aead_cache_hits = aead_counters["hits"]
+    shields.aead_cache_misses = aead_counters["misses"]
     return PlatformMetrics(
         nodes=nodes,
         network_messages=platform.network.stats.messages,
@@ -120,4 +192,5 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
         cas_secrets=len(platform.cas.db),
         audit_records=len(audit.log),
         audit_chain_ok=chain_ok,
+        shields=shields,
     )

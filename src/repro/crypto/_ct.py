@@ -1,0 +1,19 @@
+"""Constant-time primitives shared by the AEAD implementations.
+
+Tag comparison must not leak *where* two MACs diverge: an early-exit
+``==`` lets a byte-at-a-time forgery attack time its way to a valid tag.
+Both AEADs (:mod:`repro.crypto.gcm`, :mod:`repro.crypto.chacha`) verify
+through this one helper so the property is enforced in a single place.
+"""
+
+from __future__ import annotations
+
+
+def ct_eq(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without early exit on mismatch."""
+    if len(a) != len(b):
+        return False
+    result = 0
+    for x, y in zip(a, b):
+        result |= x ^ y
+    return result == 0

@@ -4,12 +4,19 @@ The shields and CAS never call ciphers directly; they hold an
 :class:`AeadKey`, which owns a monotonically increasing nonce counter so
 that nonce reuse — the classic AEAD catastrophe — is impossible by
 construction within one key's lifetime.
+
+:func:`get_aead` memoizes cipher objects per ``(cipher, key)``.  AES-GCM
+in particular does real per-key setup (key schedule plus GHASH tables),
+so re-deriving the same object on every file read would dominate small
+operations.  Cipher objects are stateless after construction — nonces
+live in :class:`AeadKey` — which is what makes sharing them safe.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Dict, Protocol, Type
+from collections import OrderedDict
+from typing import Dict, Protocol, Tuple, Type
 
 from repro.crypto.chacha import ChaCha20Poly1305
 from repro.crypto.gcm import AesGcm
@@ -40,8 +47,17 @@ _KEY_SIZES: Dict[str, int] = {
 }
 
 
+# Process-wide cipher-object cache.  Bounded LRU so long-running
+# simulations with many ephemeral session keys can't grow it forever.
+_AEAD_CACHE: "OrderedDict[Tuple[str, bytes], Aead]" = OrderedDict()
+_AEAD_CACHE_CAPACITY = 64
+_aead_cache_hits = 0
+_aead_cache_misses = 0
+
+
 def get_aead(cipher: str, key: bytes) -> Aead:
-    """Instantiate a named AEAD cipher with ``key``."""
+    """Return a (cached) instance of a named AEAD cipher with ``key``."""
+    global _aead_cache_hits, _aead_cache_misses
     if cipher not in _CIPHERS:
         raise ConfigurationError(
             f"unknown AEAD cipher {cipher!r}; known: {sorted(_CIPHERS)}"
@@ -51,7 +67,35 @@ def get_aead(cipher: str, key: bytes) -> Aead:
         raise ConfigurationError(
             f"{cipher} needs a {expected}-byte key, got {len(key)}"
         )
-    return _CIPHERS[cipher](key)
+    cache_key = (cipher, key)
+    cached = _AEAD_CACHE.get(cache_key)
+    if cached is not None:
+        _AEAD_CACHE.move_to_end(cache_key)
+        _aead_cache_hits += 1
+        return cached
+    _aead_cache_misses += 1
+    aead = _CIPHERS[cipher](key)
+    _AEAD_CACHE[cache_key] = aead
+    while len(_AEAD_CACHE) > _AEAD_CACHE_CAPACITY:
+        _AEAD_CACHE.popitem(last=False)
+    return aead
+
+
+def aead_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters for the process-wide cipher cache."""
+    return {
+        "hits": _aead_cache_hits,
+        "misses": _aead_cache_misses,
+        "size": len(_AEAD_CACHE),
+    }
+
+
+def reset_aead_cache() -> None:
+    """Drop all cached cipher objects and zero the counters (test hook)."""
+    global _aead_cache_hits, _aead_cache_misses
+    _AEAD_CACHE.clear()
+    _aead_cache_hits = 0
+    _aead_cache_misses = 0
 
 
 def key_size(cipher: str) -> int:

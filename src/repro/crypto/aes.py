@@ -4,12 +4,22 @@ Supports 128/192/256-bit keys.  Used by :mod:`repro.crypto.gcm` for
 AES-GCM and directly by the secrets database for key wrapping.  Verified
 against FIPS 197 and NIST SP 800-38A vectors in the test suite.
 
+Single blocks go through the scalar byte-oriented rounds.  Bulk CTR mode
+is vectorized with numpy: the classic 32-bit encryption T-tables (each
+entry fuses SubBytes, ShiftRows, and MixColumns for one byte) are applied
+to *all* counter blocks of a message at once, which lifts pure-Python
+AES-CTR from ~0.2 MB/s to tens of MB/s.  The scalar CTR loop is kept as
+:meth:`AES.encrypt_ctr_reference` and the test suite asserts the two
+paths are byte-identical.
+
 Not constant-time; simulation use only.
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple
+
+import numpy as np
 
 _SBOX: Tuple[int, ...] = (
     0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
@@ -36,9 +46,11 @@ _SBOX: Tuple[int, ...] = (
     0xB0, 0x54, 0xBB, 0x16,
 )
 
-_INV_SBOX: Tuple[int, ...] = tuple(
-    _SBOX.index(i) for i in range(256)
-)
+_INV_SBOX_LIST = [0] * 256
+for _i, _s in enumerate(_SBOX):
+    _INV_SBOX_LIST[_s] = _i
+_INV_SBOX: Tuple[int, ...] = tuple(_INV_SBOX_LIST)
+del _INV_SBOX_LIST, _i, _s
 
 _RCON: Tuple[int, ...] = (
     0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8,
@@ -73,6 +85,21 @@ _MUL11 = tuple(_gmul(i, 11) for i in range(256))
 _MUL13 = tuple(_gmul(i, 13) for i in range(256))
 _MUL14 = tuple(_gmul(i, 14) for i in range(256))
 
+# 32-bit encryption T-tables for the vectorized CTR path.  Te0[b] packs
+# SubBytes + MixColumns for a byte landing in a column's first row; the
+# other three tables are byte rotations of it.
+_TE0 = np.array(
+    [
+        (_MUL2[_SBOX[b]] << 24) | (_SBOX[b] << 16) | (_SBOX[b] << 8) | _MUL3[_SBOX[b]]
+        for b in range(256)
+    ],
+    dtype=np.uint32,
+)
+_TE1 = ((_TE0 >> np.uint32(8)) | (_TE0 << np.uint32(24))).astype(np.uint32)
+_TE2 = ((_TE1 >> np.uint32(8)) | (_TE1 << np.uint32(24))).astype(np.uint32)
+_TE3 = ((_TE2 >> np.uint32(8)) | (_TE2 << np.uint32(24))).astype(np.uint32)
+_SBOX_U32 = np.array(_SBOX, dtype=np.uint32)
+
 
 class AES:
     """AES block cipher over 16-byte blocks."""
@@ -84,6 +111,14 @@ class AES:
             raise ValueError(f"AES key must be 16/24/32 bytes, got {len(key)}")
         self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
         self._round_keys = self._expand_key(key)
+        # Round keys as big-endian 32-bit words for the vectorized path.
+        self._rk_words = np.array(
+            [
+                [int.from_bytes(bytes(rk[4 * i: 4 * i + 4]), "big") for i in range(4)]
+                for rk in self._round_keys
+            ],
+            dtype=np.uint32,
+        )
 
     @property
     def rounds(self) -> int:
@@ -198,11 +233,68 @@ class AES:
         self._add_round_key(state, self._round_keys[0])
         return bytes(state)
 
+    def keystream_ctr(self, nonce: bytes, n_blocks: int, initial_counter: int = 1) -> np.ndarray:
+        """CTR keystream for ``n_blocks`` blocks as a flat uint8 array.
+
+        All blocks are encrypted at once: the state lives in four uint32
+        column vectors (one lane per block) and every round is table
+        lookups + XORs across the whole message.
+        """
+        if len(nonce) != 12:
+            raise ValueError(f"CTR nonce must be 12 bytes, got {len(nonce)}")
+        rks = self._rk_words
+        counters = (
+            (np.arange(n_blocks, dtype=np.uint64) + np.uint64(initial_counter))
+            & np.uint64(0xFFFFFFFF)
+        ).astype(np.uint32)
+        n0, n1, n2 = (int.from_bytes(nonce[i: i + 4], "big") for i in (0, 4, 8))
+        with np.errstate(over="ignore"):
+            c0 = np.full(n_blocks, n0, dtype=np.uint32) ^ rks[0, 0]
+            c1 = np.full(n_blocks, n1, dtype=np.uint32) ^ rks[0, 1]
+            c2 = np.full(n_blocks, n2, dtype=np.uint32) ^ rks[0, 2]
+            c3 = counters ^ rks[0, 3]
+            s8, s16, s24 = np.uint32(8), np.uint32(16), np.uint32(24)
+            mask = np.uint32(0xFF)
+            for r in range(1, self._rounds):
+                rk = rks[r]
+                b0 = _TE0[c0 >> s24] ^ _TE1[(c1 >> s16) & mask] ^ _TE2[(c2 >> s8) & mask] ^ _TE3[c3 & mask] ^ rk[0]
+                b1 = _TE0[c1 >> s24] ^ _TE1[(c2 >> s16) & mask] ^ _TE2[(c3 >> s8) & mask] ^ _TE3[c0 & mask] ^ rk[1]
+                b2 = _TE0[c2 >> s24] ^ _TE1[(c3 >> s16) & mask] ^ _TE2[(c0 >> s8) & mask] ^ _TE3[c1 & mask] ^ rk[2]
+                b3 = _TE0[c3 >> s24] ^ _TE1[(c0 >> s16) & mask] ^ _TE2[(c1 >> s8) & mask] ^ _TE3[c2 & mask] ^ rk[3]
+                c0, c1, c2, c3 = b0, b1, b2, b3
+            rk = rks[self._rounds]
+            b0 = ((_SBOX_U32[c0 >> s24] << s24) | (_SBOX_U32[(c1 >> s16) & mask] << s16)
+                  | (_SBOX_U32[(c2 >> s8) & mask] << s8) | _SBOX_U32[c3 & mask]) ^ rk[0]
+            b1 = ((_SBOX_U32[c1 >> s24] << s24) | (_SBOX_U32[(c2 >> s16) & mask] << s16)
+                  | (_SBOX_U32[(c3 >> s8) & mask] << s8) | _SBOX_U32[c0 & mask]) ^ rk[1]
+            b2 = ((_SBOX_U32[c2 >> s24] << s24) | (_SBOX_U32[(c3 >> s16) & mask] << s16)
+                  | (_SBOX_U32[(c0 >> s8) & mask] << s8) | _SBOX_U32[c1 & mask]) ^ rk[2]
+            b3 = ((_SBOX_U32[c3 >> s24] << s24) | (_SBOX_U32[(c0 >> s16) & mask] << s16)
+                  | (_SBOX_U32[(c1 >> s8) & mask] << s8) | _SBOX_U32[c2 & mask]) ^ rk[3]
+        out = np.empty((n_blocks, 4), dtype=">u4")
+        out[:, 0] = b0
+        out[:, 1] = b1
+        out[:, 2] = b2
+        out[:, 3] = b3
+        return out.view(np.uint8).reshape(-1)
+
     def encrypt_ctr(self, nonce: bytes, data: bytes, initial_counter: int = 1) -> bytes:
         """CTR mode with a 12-byte nonce and 32-bit big-endian counter.
 
         CTR is an involution, so this both encrypts and decrypts.
         """
+        if len(nonce) != 12:
+            raise ValueError(f"CTR nonce must be 12 bytes, got {len(nonce)}")
+        n = len(data)
+        if n == 0:
+            return b""
+        keystream = self.keystream_ctr(nonce, -(-n // 16), initial_counter)[:n]
+        return (np.frombuffer(data, dtype=np.uint8) ^ keystream).tobytes()
+
+    def encrypt_ctr_reference(
+        self, nonce: bytes, data: bytes, initial_counter: int = 1
+    ) -> bytes:
+        """Block-at-a-time CTR; the oracle the vectorized path is tested against."""
         if len(nonce) != 12:
             raise ValueError(f"CTR nonce must be 12 bytes, got {len(nonce)}")
         out = bytearray()

@@ -95,6 +95,8 @@ class RecordLayer:
     """
 
     def __init__(self, cipher: str, send: Tuple[bytes, bytes], recv: Tuple[bytes, bytes]):
+        #: Negotiated cipher name (for per-cipher accounting upstream).
+        self.cipher = cipher
         self._send_aead = get_aead(cipher, send[0])
         self._send_iv = send[1]
         self._recv_aead = get_aead(cipher, recv[0])

@@ -24,7 +24,9 @@ from __future__ import annotations
 import enum
 import hashlib
 import struct
-from dataclasses import dataclass
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro._sim.clock import SimClock
@@ -33,9 +35,14 @@ from repro.crypto.aead import get_aead
 from repro.crypto.kdf import hkdf
 from repro.enclave.cost_model import CostModel
 from repro.errors import FreshnessError, IntegrityError, ShieldError
+from repro.runtime import stats_registry
 from repro.runtime.syscall import SyscallInterface
 
 DEFAULT_CHUNK_SIZE = 64 * 1024
+
+# Decrypted chunks cached per shield, capped in bytes (not entries) so a
+# few huge model files can't pin unbounded plaintext.
+DEFAULT_CHUNK_CACHE_BYTES = 8 * 1024 * 1024
 
 
 class ShieldPolicy(enum.Enum):
@@ -93,7 +100,7 @@ class LocalFreshnessTracker:
             )
 
 
-@dataclass
+@dataclass(eq=False)
 class FsShieldStats:
     files_written: int = 0
     files_read: int = 0
@@ -101,6 +108,14 @@ class FsShieldStats:
     chunks_opened: int = 0
     crypto_bytes: int = 0
     crypto_time: float = 0.0
+    # Cache effectiveness and real (wall-clock) crypto cost, as opposed
+    # to the simulated time charged through the cost model above.
+    key_cache_hits: int = 0
+    key_cache_misses: int = 0
+    chunk_cache_hits: int = 0
+    chunk_cache_misses: int = 0
+    real_crypto_time: float = 0.0
+    bytes_by_cipher: Dict[str, int] = field(default_factory=dict)
 
 
 class FileSystemShield:
@@ -116,6 +131,7 @@ class FileSystemShield:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         cipher: str = "chacha20-poly1305",
         freshness: Optional[FreshnessTracker] = None,
+        chunk_cache_bytes: int = DEFAULT_CHUNK_CACHE_BYTES,
     ) -> None:
         if len(master_key) != 32:
             raise ShieldError("file-system shield needs a 32-byte master key")
@@ -130,7 +146,18 @@ class FileSystemShield:
         self._cipher = cipher
         self._freshness = freshness
         self._versions: Dict[str, int] = {}
+        self._file_keys: Dict[str, bytes] = {}
+        # Plaintext chunk cache.  The key binds (path, version, envelope
+        # digest, chunk index): any rewrite bumps the version and any
+        # tampering changes the digest, so stale or forged content can
+        # never be served — the cache fails closed to a decrypt+verify.
+        self._chunk_cache: "OrderedDict[Tuple[str, int, bytes, int], bytes]" = (
+            OrderedDict()
+        )
+        self._chunk_cache_capacity = max(0, chunk_cache_bytes)
+        self._chunk_cache_used = 0
         self.stats = FsShieldStats()
+        stats_registry.register_fs_stats(self.stats, clock)
 
     # ------------------------------------------------------------------
     # Policy resolution
@@ -150,12 +177,19 @@ class FileSystemShield:
     # ------------------------------------------------------------------
 
     def _file_key(self, path: str) -> bytes:
-        return hkdf(
+        key = self._file_keys.get(path)
+        if key is not None:
+            self.stats.key_cache_hits += 1
+            return key
+        self.stats.key_cache_misses += 1
+        key = hkdf(
             salt=b"securetf-fs-shield",
             ikm=self._master_key,
             info=path.encode("utf-8"),
             length=32 if self._cipher != "aes-128-gcm" else 16,
         )
+        self._file_keys[path] = key
+        return key
 
     @staticmethod
     def _chunk_nonce(version: int, index: int) -> bytes:
@@ -169,6 +203,43 @@ class FileSystemShield:
         self._clock.advance(duration)
         self.stats.crypto_bytes += simulated_bytes
         self.stats.crypto_time += duration
+
+    def _account_real_crypto(self, label: str, n_bytes: int, elapsed: float) -> None:
+        self.stats.real_crypto_time += elapsed
+        by_cipher = self.stats.bytes_by_cipher
+        by_cipher[label] = by_cipher.get(label, 0) + n_bytes
+
+    # ------------------------------------------------------------------
+    # Plaintext chunk cache
+    # ------------------------------------------------------------------
+
+    def _chunk_cache_get(
+        self, path: str, version: int, digest: bytes, index: int
+    ) -> Optional[bytes]:
+        entry = self._chunk_cache.get((path, version, digest, index))
+        if entry is None:
+            self.stats.chunk_cache_misses += 1
+            return None
+        self._chunk_cache.move_to_end((path, version, digest, index))
+        self.stats.chunk_cache_hits += 1
+        return entry
+
+    def _chunk_cache_put(
+        self, path: str, version: int, digest: bytes, index: int, plaintext: bytes
+    ) -> None:
+        if self._chunk_cache_capacity <= 0:
+            return
+        if len(plaintext) > self._chunk_cache_capacity:
+            return
+        key = (path, version, digest, index)
+        old = self._chunk_cache.pop(key, None)
+        if old is not None:
+            self._chunk_cache_used -= len(old)
+        self._chunk_cache[key] = plaintext
+        self._chunk_cache_used += len(plaintext)
+        while self._chunk_cache_used > self._chunk_cache_capacity:
+            _, evicted = self._chunk_cache.popitem(last=False)
+            self._chunk_cache_used -= len(evicted)
 
     # ------------------------------------------------------------------
     # Write path
@@ -200,6 +271,7 @@ class FileSystemShield:
         chunks = self._split(plaintext)
         n_chunks = max(1, -(-simulated // self._chunk_size))
         protected: List[bytes] = []
+        started = time.perf_counter()
         if policy is ShieldPolicy.ENCRYPT:
             aead = get_aead(self._cipher, self._file_key(path))
             for index, chunk in enumerate(chunks):
@@ -208,6 +280,7 @@ class FileSystemShield:
                     aead.encrypt(self._chunk_nonce(version, index), chunk, aad)
                 )
                 self.stats.chunks_sealed += 1
+            crypto_label = self._cipher
         else:  # AUTHENTICATE: plaintext chunks, keyed digests alongside
             key = self._file_key(path)
             for index, chunk in enumerate(chunks):
@@ -215,6 +288,10 @@ class FileSystemShield:
                 mac = hashlib.sha256(key + aad + chunk).digest()
                 protected.append(mac + chunk)
                 self.stats.chunks_sealed += 1
+            crypto_label = "sha256-auth"
+        self._account_real_crypto(
+            crypto_label, len(plaintext), time.perf_counter() - started
+        )
 
         envelope = encoding.encode(
             {
@@ -229,8 +306,13 @@ class FileSystemShield:
         self._charge_crypto(simulated, n_chunks)
         self._syscalls.write_file(path, envelope, declared_size=declared_size)
         self.stats.files_written += 1
+        digest = hashlib.sha256(envelope).digest()
         if self._freshness is not None:
-            self._freshness.commit(path, version, hashlib.sha256(envelope).digest())
+            self._freshness.commit(path, version, digest)
+        # Warm the chunk cache: an immediate read-back (model deploy
+        # followed by service start) then skips the decrypt entirely.
+        for index, chunk in enumerate(chunks):
+            self._chunk_cache_put(path, version, digest, index, chunk)
 
     # ------------------------------------------------------------------
     # Read path
@@ -262,38 +344,60 @@ class FileSystemShield:
         n_chunks = max(1, -(-simulated // self._chunk_size))
         self._charge_crypto(simulated, n_chunks)
 
+        digest = hashlib.sha256(file.content).digest()
         if self._freshness is not None:
-            self._freshness.verify(
-                path, version, hashlib.sha256(file.content).digest()
-            )
+            self._freshness.verify(path, version, digest)
 
         plaintext_parts: List[bytes] = []
+        real_bytes = 0
+        started = time.perf_counter()
         if policy is ShieldPolicy.ENCRYPT:
-            aead = get_aead(envelope["cipher"], self._file_key(path))
+            aead = None
             for index, chunk in enumerate(chunks):
+                cached = self._chunk_cache_get(path, version, digest, index)
+                if cached is not None:
+                    plaintext_parts.append(cached)
+                    continue
+                if aead is None:
+                    aead = get_aead(envelope["cipher"], self._file_key(path))
                 aad = self._aad(path, policy, version, index, len(chunks))
                 try:
-                    plaintext_parts.append(
-                        aead.decrypt(self._chunk_nonce(version, index), chunk, aad)
-                    )
+                    part = aead.decrypt(self._chunk_nonce(version, index), chunk, aad)
                 except IntegrityError as exc:
                     raise ShieldError(
                         f"chunk {index} of {path!r} failed authentication"
                     ) from exc
+                plaintext_parts.append(part)
+                real_bytes += len(part)
                 self.stats.chunks_opened += 1
+                self._chunk_cache_put(path, version, digest, index, part)
+            crypto_label = envelope["cipher"]
         else:
-            key = self._file_key(path)
+            key = None
             for index, chunk in enumerate(chunks):
+                cached = self._chunk_cache_get(path, version, digest, index)
+                if cached is not None:
+                    plaintext_parts.append(cached)
+                    continue
                 if len(chunk) < 32:
                     raise ShieldError(f"chunk {index} of {path!r} truncated")
                 mac, body = chunk[:32], chunk[32:]
+                if key is None:
+                    key = self._file_key(path)
                 aad = self._aad(path, policy, version, index, len(chunks))
                 if hashlib.sha256(key + aad + body).digest() != mac:
                     raise ShieldError(
                         f"chunk {index} of {path!r} failed authentication"
                     )
                 plaintext_parts.append(body)
+                real_bytes += len(body)
                 self.stats.chunks_opened += 1
+                self._chunk_cache_put(path, version, digest, index, body)
+            crypto_label = "sha256-auth"
+        if real_bytes:
+            self._account_real_crypto(
+                crypto_label, real_bytes, time.perf_counter() - started
+            )
 
         plaintext = b"".join(plaintext_parts)
         if len(plaintext) != envelope["plaintext_size"]:
@@ -302,6 +406,14 @@ class FileSystemShield:
                 f"{envelope['plaintext_size']} for {path!r}"
             )
         return plaintext
+
+    def drop_caches(self) -> None:
+        """Forget cached file keys and plaintext chunks (never required
+        for correctness — the caches are version- and digest-bound — but
+        lets tests and benchmarks force the cold path)."""
+        self._file_keys.clear()
+        self._chunk_cache.clear()
+        self._chunk_cache_used = 0
 
     def stat(self, path: str) -> int:
         return self._syscalls.stat(path)

@@ -21,9 +21,10 @@ parties and tests.
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Optional, Protocol
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Protocol
 
 from repro._sim.clock import SimClock
 from repro._sim.rng import DeterministicRng
@@ -31,6 +32,7 @@ from repro.crypto.ed25519 import Ed25519PublicKey
 from repro.crypto.tls import RecordLayer, TlsClient, TlsIdentity, TlsServer
 from repro.enclave.cost_model import CostModel
 from repro.errors import ShieldError
+from repro.runtime import stats_registry
 from repro.runtime.syscall import SyscallInterface
 
 #: TLS record payload ceiling; only affects per-record overhead charging.
@@ -68,13 +70,17 @@ def transport_pair() -> "tuple[QueueEndpoint, QueueEndpoint]":
     return QueueEndpoint(a_to_b, b_to_a), QueueEndpoint(b_to_a, a_to_b)
 
 
-@dataclass
+@dataclass(eq=False)
 class NetShieldStats:
     handshakes: int = 0
     records_protected: int = 0
     records_opened: int = 0
     crypto_bytes: int = 0
     crypto_time: float = 0.0
+    # Real (wall-clock) record cryptography, next to the simulated
+    # crypto_time charged through the cost model.
+    real_crypto_time: float = 0.0
+    bytes_by_cipher: Dict[str, int] = field(default_factory=dict)
 
 
 def charge_record_crypto(
@@ -92,6 +98,26 @@ def charge_record_crypto(
     clock.advance(duration)
     stats.crypto_bytes += n_bytes
     stats.crypto_time += duration
+
+
+def protect_timed(records: RecordLayer, stats: NetShieldStats, payload: bytes) -> bytes:
+    """Record-protect ``payload``, accounting real wall-clock crypto time."""
+    started = time.perf_counter()
+    record = records.protect(payload)
+    stats.real_crypto_time += time.perf_counter() - started
+    by_cipher = stats.bytes_by_cipher
+    by_cipher[records.cipher] = by_cipher.get(records.cipher, 0) + len(payload)
+    return record
+
+
+def unprotect_timed(records: RecordLayer, stats: NetShieldStats, record: bytes) -> bytes:
+    """Verify-and-open a record, accounting real wall-clock crypto time."""
+    started = time.perf_counter()
+    payload = records.unprotect(record)
+    stats.real_crypto_time += time.perf_counter() - started
+    by_cipher = stats.bytes_by_cipher
+    by_cipher[records.cipher] = by_cipher.get(records.cipher, 0) + len(payload)
+    return payload
 
 
 class ShieldedChannel:
@@ -125,7 +151,7 @@ class ShieldedChannel:
         self._charge_crypto(simulated)
         if self._syscalls is not None:
             self._syscalls.nop_syscall("sendmsg")
-        self._transport.send(self._records.protect(payload))
+        self._transport.send(protect_timed(self._records, self._stats, payload))
         self._stats.records_protected += 1
 
     def recv(self, declared_size: Optional[int] = None) -> bytes:
@@ -137,7 +163,7 @@ class ShieldedChannel:
         if self._syscalls is not None:
             self._syscalls.nop_syscall("recvmsg")
         record = self._transport.recv()
-        payload = self._records.unprotect(record)
+        payload = unprotect_timed(self._records, self._stats, record)
         simulated = declared_size if declared_size is not None else len(payload)
         self._charge_crypto(simulated)
         self._stats.records_opened += 1
@@ -265,6 +291,7 @@ class NetworkShield:
         self.rng = rng
         self.syscalls = syscalls
         self.stats = NetShieldStats()
+        stats_registry.register_net_stats(self.stats, clock)
 
     def charge_handshake(self) -> None:
         """Charge one handshake's cryptography (two signatures + ECDHE)."""

@@ -1,0 +1,54 @@
+"""Process-wide registry of shield statistics objects.
+
+The platform object doesn't own its shields — containers construct them
+inside :class:`~repro.runtime.scone.SconeRuntime`, handshakes mint
+:class:`~repro.runtime.net_shield.ShieldedChannel` pairs on the fly, and
+owner-side deploy helpers build throwaway shields — so monitoring has no
+object graph to walk to find shield counters.  Instead every shield
+registers its stats object here under the simulation clock of the node
+it runs on.  :func:`fs_stats_for`/:func:`net_stats_for` then filter by
+clock, which scopes aggregation to one platform even when several
+platforms live in the same test process.
+
+The registry is weakly keyed by *clock*: entries disappear when a
+platform (and its node clocks) is garbage-collected, but stats outlive
+their shield — a short-lived owner-side shield still shows up in the
+platform snapshot after the deploy helper returned.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Iterator, List
+
+from repro._sim.clock import SimClock
+
+_FS_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_NET_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def register_fs_stats(stats: object, clock: SimClock) -> None:
+    """Track a file-system shield's stats object under its node clock."""
+    _FS_STATS.setdefault(clock, []).append(stats)
+
+
+def register_net_stats(stats: object, clock: SimClock) -> None:
+    """Track a network shield's stats object under its node clock."""
+    _NET_STATS.setdefault(clock, []).append(stats)
+
+
+def _collect(
+    registry: "weakref.WeakKeyDictionary", clocks: List[SimClock]
+) -> Iterator[object]:
+    for clock in clocks:
+        yield from registry.get(clock, [])
+
+
+def fs_stats_for(clocks: List[SimClock]) -> List[object]:
+    """All registered fs-shield stats whose clock is in ``clocks``."""
+    return list(_collect(_FS_STATS, clocks))
+
+
+def net_stats_for(clocks: List[SimClock]) -> List[object]:
+    """All registered net-shield stats whose clock is in ``clocks``."""
+    return list(_collect(_NET_STATS, clocks))

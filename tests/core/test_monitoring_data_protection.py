@@ -57,6 +57,32 @@ def test_metrics_snapshot_after_workload():
     report = metrics.format()
     assert "node-1" in report and "chain OK" in report
 
+    # Data-plane counters: the model deploy + service start ran real
+    # shield crypto on this platform's nodes.
+    shields = metrics.shields
+    assert shields.fs_files_written >= 1
+    assert shields.fs_files_read >= 1
+    assert shields.fs_crypto_bytes > 0
+    assert shields.fs_real_crypto_time > 0.0
+    assert shields.fs_key_cache_misses >= 1
+    assert sum(shields.bytes_by_cipher.values()) > 0
+    assert shields.aead_cache_hits + shields.aead_cache_misses > 0
+    assert "fs shield:" in report and "net shield:" in report
+    assert "aead cache:" in report
+
+
+def test_metrics_scoped_to_platform():
+    # Two platforms in one process: each snapshot must only aggregate
+    # its own shields (the registry filters by node clock).
+    p1 = SecureTFPlatform(PlatformConfig(n_nodes=2, seed=70))
+    p2 = SecureTFPlatform(PlatformConfig(n_nodes=2, seed=71))
+    model = pretrained_lite_model("densenet", seed=0)
+    p1.register_session("m", [service_runtime_config("svc", SgxMode.HW)])
+    deploy_encrypted_model(p1, "m", p1.node(1), model)
+
+    assert collect_metrics(p1).shields.fs_files_written >= 1
+    assert collect_metrics(p2).shields.fs_files_written == 0
+
 
 def test_metrics_detect_broken_audit_chain():
     import dataclasses

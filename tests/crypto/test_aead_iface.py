@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.crypto.aead import AeadKey, get_aead, key_size
+from repro.crypto.aead import (
+    AeadKey,
+    aead_cache_stats,
+    get_aead,
+    key_size,
+    reset_aead_cache,
+)
 from repro.errors import ConfigurationError, IntegrityError
 
 
@@ -63,3 +69,55 @@ def test_aeadkey_short_message_rejected():
 def test_nonce_prefix_must_be_4_bytes():
     with pytest.raises(ConfigurationError):
         AeadKey("chacha20-poly1305", bytes(32), nonce_prefix=b"abc")
+
+
+# ---------------------------------------------------------------------------
+# Cipher-object cache
+# ---------------------------------------------------------------------------
+
+
+def test_aead_cache_returns_same_object_for_same_key():
+    reset_aead_cache()
+    key = bytes(range(32))
+    first = get_aead("chacha20-poly1305", key)
+    second = get_aead("chacha20-poly1305", key)
+    assert first is second
+    stats = aead_cache_stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+
+
+def test_aead_cache_distinguishes_cipher_and_key():
+    reset_aead_cache()
+    a = get_aead("aes-256-gcm", bytes(32))
+    b = get_aead("chacha20-poly1305", bytes(32))
+    c = get_aead("aes-256-gcm", bytes([1]) + bytes(31))
+    assert a is not b
+    assert a is not c
+    assert aead_cache_stats()["misses"] == 3
+
+
+def test_aead_cache_evicts_least_recently_used():
+    from repro.crypto import aead as aead_mod
+
+    reset_aead_cache()
+    capacity = aead_mod._AEAD_CACHE_CAPACITY
+    keys = [i.to_bytes(1, "big") + bytes(31) for i in range(capacity + 1)]
+    first = get_aead("chacha20-poly1305", keys[0])
+    for key in keys[1:]:
+        get_aead("chacha20-poly1305", key)
+    # keys[0] was the oldest entry; it must have been evicted.
+    assert get_aead("chacha20-poly1305", keys[0]) is not first
+    assert aead_cache_stats()["size"] <= capacity
+
+
+def test_cached_ciphers_are_nonce_stateless():
+    # Two AeadKeys sharing one cached cipher must not interfere: nonce
+    # counters live in the wrapper, not the cipher object.
+    reset_aead_cache()
+    k1 = AeadKey("chacha20-poly1305", bytes(32))
+    k2 = AeadKey("chacha20-poly1305", bytes(32))
+    assert k1._aead is k2._aead
+    sealed = k1.seal(b"one")
+    assert k2.open(sealed) == b"one"
+    assert k2.messages_sealed == 0

@@ -79,3 +79,42 @@ def test_rejects_bad_ctr_nonce():
 def test_ctr_roundtrip_property(data, key):
     aes = AES(key)
     assert aes.encrypt_ctr(b"n" * 12, aes.encrypt_ctr(b"n" * 12, data)) == data
+
+
+# ---------------------------------------------------------------------------
+# Vectorized CTR vs the scalar reference
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+@pytest.mark.parametrize("length", [0, 1, 15, 16, 17, 100, 1000, 1024])
+def test_vectorized_ctr_matches_reference(key_len, length):
+    aes = AES(bytes(range(key_len)))
+    data = bytes((i * 7 + 3) % 256 for i in range(length))
+    nonce = b"\x5a" * 12
+    assert aes.encrypt_ctr(nonce, data, initial_counter=2) == (
+        aes.encrypt_ctr_reference(nonce, data, initial_counter=2)
+    )
+
+
+def test_vectorized_ctr_counter_wraps_like_reference():
+    aes = AES(bytes(range(16)))
+    nonce = b"\x00" * 12
+    data = bytes(64)
+    start = 0xFFFFFFFE  # crosses the 32-bit counter wrap mid-message
+    assert aes.encrypt_ctr(nonce, data, initial_counter=start) == (
+        aes.encrypt_ctr_reference(nonce, data, initial_counter=start)
+    )
+
+
+@given(
+    st.binary(min_size=0, max_size=300),
+    st.binary(min_size=16, max_size=16),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_vectorized_ctr_equivalence_property(data, key, counter):
+    aes = AES(key)
+    nonce = b"\x11" * 12
+    assert aes.encrypt_ctr(nonce, data, initial_counter=counter) == (
+        aes.encrypt_ctr_reference(nonce, data, initial_counter=counter)
+    )

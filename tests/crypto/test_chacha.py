@@ -8,6 +8,7 @@ from repro.crypto.chacha import (
     chacha20_keystream,
     chacha20_xor,
     poly1305_mac,
+    poly1305_mac_reference,
 )
 from repro.errors import IntegrityError
 
@@ -105,3 +106,39 @@ def test_roundtrip_property(plaintext, key):
     aead = ChaCha20Poly1305(key)
     sealed = aead.encrypt(b"\x01" * 12, plaintext)
     assert aead.decrypt(b"\x01" * 12, sealed) == plaintext
+
+
+# ---------------------------------------------------------------------------
+# Vectorized Poly1305 vs the serial reference
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "length", [0, 1, 15, 16, 17, 63, 64, 65, 8191, 8192, 8193, 70000]
+)
+def test_poly1305_fast_matches_reference(length):
+    key = bytes((i * 11 + 2) % 256 for i in range(32))
+    message = bytes((i * 5 + 1) % 256 for i in range(length))
+    assert poly1305_mac(key, message) == poly1305_mac_reference(key, message)
+    # Force the striped bulk path even on short inputs.
+    assert poly1305_mac(key, message, _min_blocks=4) == (
+        poly1305_mac_reference(key, message)
+    )
+
+
+def test_poly1305_fast_degenerate_r_zero():
+    # r clamps to zero: the bulk path must not divide the message into
+    # stripes with a zero multiplier (it falls back to the serial loop).
+    key = b"\x00" * 16 + bytes(range(16))
+    message = b"\xaa" * 5000
+    assert poly1305_mac(key, message, _min_blocks=4) == (
+        poly1305_mac_reference(key, message)
+    )
+
+
+@given(st.binary(min_size=0, max_size=400), st.binary(min_size=32, max_size=32))
+def test_poly1305_equivalence_property(message, key):
+    assert poly1305_mac(key, message) == poly1305_mac_reference(key, message)
+    assert poly1305_mac(key, message, _min_blocks=1) == (
+        poly1305_mac_reference(key, message)
+    )

@@ -1,0 +1,51 @@
+"""Tier-2 perf smoke: the vectorized crypto must not regress to bigints.
+
+Excluded from tier-1 (see ``addopts`` in pyproject.toml); run with
+``pytest -m tier2 tests/perf``.  The floors are deliberately far below
+the measured numbers (ChaCha20-Poly1305 ~50 MB/s, AES-GCM ~15-20 MB/s on
+the dev container) so that machine variance never trips them — only a
+regression back toward the serial implementations (0.2-25 MB/s) will.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.crypto.chacha import ChaCha20Poly1305
+from repro.crypto.gcm import AesGcm
+
+MESSAGE_SIZE = 1 << 20
+REPEATS = 3
+
+#: MB/s floors: conservative, see module docstring.
+CHACHA_FLOOR = 30.0
+GCM_FLOOR = 5.0
+
+
+def _best_mb_s(fn) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return MESSAGE_SIZE / best / 1e6
+
+
+@pytest.mark.tier2
+@pytest.mark.slow
+def test_chacha20_poly1305_throughput_floor():
+    aead = ChaCha20Poly1305(bytes(range(32)))
+    payload = os.urandom(MESSAGE_SIZE)
+    rate = _best_mb_s(lambda: aead.encrypt(b"\x01" * 12, payload))
+    assert rate >= CHACHA_FLOOR, f"ChaCha20-Poly1305 at {rate:.1f} MB/s"
+
+
+@pytest.mark.tier2
+@pytest.mark.slow
+def test_aes_gcm_throughput_floor():
+    aead = AesGcm(bytes(range(16)))
+    payload = os.urandom(MESSAGE_SIZE)
+    aead.encrypt(b"\x01" * 12, payload)  # build stride tables outside timing
+    rate = _best_mb_s(lambda: aead.encrypt(b"\x01" * 12, payload))
+    assert rate >= GCM_FLOOR, f"AES-GCM at {rate:.1f} MB/s"

@@ -200,3 +200,105 @@ def test_roundtrip_property(content, chunk_size):
     shield, _, _ = make_shield(chunk_size=chunk_size)
     shield.write_file("/secure/f", content)
     assert shield.read_file("/secure/f") == content
+
+
+# ---------------------------------------------------------------------------
+# Plaintext chunk cache: hits, invalidation, fail-closed behavior
+# ---------------------------------------------------------------------------
+
+
+def test_chunk_cache_serves_repeat_reads():
+    shield, _, _ = make_shield()
+    plaintext = b"weights " * 1000
+    shield.write_file("/secure/m", plaintext)
+    shield.drop_caches()  # forget the write-warmed entries
+    assert shield.read_file("/secure/m") == plaintext
+    opened_after_first = shield.stats.chunks_opened
+    assert shield.stats.chunk_cache_hits == 0
+    assert shield.read_file("/secure/m") == plaintext
+    # Second read decrypted nothing: every chunk came from the cache.
+    assert shield.stats.chunks_opened == opened_after_first
+    assert shield.stats.chunk_cache_hits > 0
+
+
+def test_write_warms_chunk_cache():
+    shield, _, _ = make_shield()
+    plaintext = b"model " * 700
+    shield.write_file("/secure/m", plaintext)
+    assert shield.read_file("/secure/m") == plaintext
+    assert shield.stats.chunks_opened == 0
+    assert shield.stats.chunk_cache_hits > 0
+
+
+def test_chunk_cache_invalidated_by_rewrite():
+    shield, _, _ = make_shield()
+    shield.write_file("/secure/m", b"version one " * 300)
+    assert shield.read_file("/secure/m") == b"version one " * 300
+    shield.write_file("/secure/m", b"version two " * 300)
+    # The version bump changes the cache key: stale chunks must not
+    # leak into the new read.
+    assert shield.read_file("/secure/m") == b"version two " * 300
+
+
+def test_tampered_file_not_served_from_cache():
+    shield, vfs, _ = make_shield()
+    plaintext = b"sensitive " * 400
+    shield.write_file("/secure/m", plaintext)
+    assert shield.read_file("/secure/m") == plaintext  # caches chunks
+    raw = bytearray(vfs.read("/secure/m").content)
+    raw[len(raw) // 2] ^= 0x01
+    vfs.write("/secure/m", bytes(raw))
+    # The envelope digest differs, so cached plaintext cannot be used
+    # and decryption of the tampered chunk must fail.
+    with pytest.raises(ShieldError):
+        shield.read_file("/secure/m")
+
+
+def test_freshness_rejection_not_bypassed_by_cache():
+    tracker = LocalFreshnessTracker()
+    shield, vfs, _ = make_shield(freshness=tracker)
+    shield.write_file("/secure/m", b"v0 " * 400)
+    stale = vfs.read("/secure/m").content
+    assert shield.read_file("/secure/m") == b"v0 " * 400  # caches chunks
+    shield.write_file("/secure/m", b"v1 " * 400)
+    vfs.write("/secure/m", stale)  # roll the file back on disk
+    with pytest.raises(FreshnessError):
+        shield.read_file("/secure/m")
+
+
+def test_chunk_cache_respects_byte_capacity():
+    vfs = VirtualFileSystem()
+    clock = SimClock()
+    syscalls = SyscallInterface(vfs, CM, clock, mode=SgxMode.NATIVE)
+    shield = FileSystemShield(
+        syscalls,
+        bytes(range(32)),
+        RULES,
+        CM,
+        clock,
+        chunk_size=1024,
+        chunk_cache_bytes=3 * 1024,
+    )
+    shield.write_file("/secure/big", bytes(10 * 1024))
+    assert shield._chunk_cache_used <= 3 * 1024
+    shield.drop_caches()
+    shield.read_file("/secure/big")
+    assert shield._chunk_cache_used <= 3 * 1024
+
+
+def test_file_key_cached_per_path():
+    shield, _, _ = make_shield()
+    shield.write_file("/secure/a", b"x" * 100)
+    assert shield.stats.key_cache_misses == 1
+    shield.read_file("/secure/a")
+    shield.write_file("/secure/a", b"y" * 100)
+    assert shield.stats.key_cache_misses == 1
+    assert shield.stats.key_cache_hits >= 1
+
+
+def test_real_crypto_time_and_cipher_bytes_recorded():
+    shield, _, _ = make_shield()
+    plaintext = b"p" * 5000
+    shield.write_file("/secure/m", plaintext)
+    assert shield.stats.real_crypto_time > 0.0
+    assert shield.stats.bytes_by_cipher.get("chacha20-poly1305") == len(plaintext)
