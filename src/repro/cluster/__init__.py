@@ -13,17 +13,39 @@ synchronous data-parallel training behaves on real clusters.
 
 The network carries opaque bytes and exposes a Dolev-Yao adversary hook
 (drop/tamper/replay); every protected channel in the test suite must
-detect its interference.
+detect its interference.  A second, separately-accounted interception
+layer — the seeded chaos plane of :mod:`repro.cluster.faults` — models
+the *cloud* misbehaving (message loss, latency spikes, duplicate
+delivery, transient partitions, container crashes), and
+:mod:`repro.cluster.retry` provides the client-side resilience policy
+(backoff, deadlines, circuit breaking) that keeps training running
+through it.
 """
 
-from repro.cluster.network import Network, NetworkStats
+from repro.cluster.network import FaultAction, Network, NetworkStats
 from repro.cluster.node import Node, make_cluster
 from repro.cluster.container import Container, ContainerState
+from repro.cluster.faults import (
+    CrashFault,
+    FaultCounters,
+    FaultPlan,
+    FaultSpec,
+    TransientPartition,
+)
+from repro.cluster.retry import (
+    BreakerRegistry,
+    CircuitBreaker,
+    RecoveryStats,
+    RetryPolicy,
+    RetryingExecutor,
+)
 from repro.cluster.rpc import RpcClient, RpcServer, SecureRpcClient, SecureRpcServer
 from repro.cluster.orchestrator import Orchestrator, ContainerSpec
 from repro.cluster.parameter_server import (
     AsyncTrainer,
+    InMemoryCheckpointStore,
     ParameterServer,
+    PSCheckpoint,
     ShardedParameterService,
     SyncTrainer,
 )
@@ -32,10 +54,21 @@ from repro.cluster.worker import TrainingWorker
 __all__ = [
     "Network",
     "NetworkStats",
+    "FaultAction",
     "Node",
     "make_cluster",
     "Container",
     "ContainerState",
+    "CrashFault",
+    "FaultCounters",
+    "FaultPlan",
+    "FaultSpec",
+    "TransientPartition",
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "RecoveryStats",
+    "RetryPolicy",
+    "RetryingExecutor",
     "RpcClient",
     "RpcServer",
     "SecureRpcClient",
@@ -43,6 +76,8 @@ __all__ = [
     "Orchestrator",
     "ContainerSpec",
     "ParameterServer",
+    "PSCheckpoint",
+    "InMemoryCheckpointStore",
     "ShardedParameterService",
     "SyncTrainer",
     "AsyncTrainer",

@@ -1,4 +1,4 @@
-"""The simulated LAN: latency, bandwidth, and a Dolev-Yao adversary.
+"""The simulated LAN: latency, bandwidth, faults, and a Dolev-Yao adversary.
 
 Endpoints are named addresses backed by synchronous request handlers.
 ``Network.call`` implements RPC timing across per-node clocks:
@@ -10,19 +10,31 @@ Endpoints are named addresses backed by synchronous request handlers.
 so a saturated callee delays its callers, and parallel callers of
 different nodes overlap — no threads required.
 
-The adversary hook sees (and may mutate, drop, or replay) every payload:
-the paper's threat model (§2.3) is an attacker who controls the network,
-and the test suite uses this hook to mount those attacks.
+Two interception layers run on every payload, in order:
+
+- the **fault chain** (``Network.faults``): composable injectors — the
+  seeded chaos plane of :mod:`repro.cluster.faults` — that may drop a
+  message, add a latency spike, or duplicate its delivery.  Faults model
+  the *cloud* misbehaving (paper challenge ❹: containers and links come
+  and go), so they are counted separately from adversarial drops.
+- the **adversary hook** (``Network.adversary``): sees (and may mutate,
+  drop, or replay) every payload — the paper's threat model (§2.3) is
+  an attacker who controls the network, and the test suite uses this
+  hook to mount those attacks.
+
+Lost messages raise :class:`~repro.errors.RpcTransportError` (the one
+retryable RPC failure); ``NetworkStats`` counts only *delivered* bytes,
+so dropped traffic never inflates ``bytes_transferred``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro._sim.clock import SimClock
 from repro.enclave.cost_model import CostModel
-from repro.errors import RpcError
+from repro.errors import RpcError, RpcTransportError
 
 #: handler(request_bytes) -> response_bytes
 Handler = Callable[[bytes], bytes]
@@ -32,11 +44,37 @@ Adversary = Callable[[str, str, bytes], Optional[bytes]]
 
 
 @dataclass
+class FaultAction:
+    """What the fault chain decided for one message leg."""
+
+    drop: bool = False
+    delay: float = 0.0
+    duplicate: bool = False
+    reason: str = ""
+
+    def merge(self, other: Optional["FaultAction"]) -> "FaultAction":
+        if other is None:
+            return self
+        return FaultAction(
+            drop=self.drop or other.drop,
+            delay=self.delay + other.delay,
+            duplicate=self.duplicate or other.duplicate,
+            reason=self.reason or other.reason,
+        )
+
+
+#: fault injector: (src, dst, n_bytes, now) -> FaultAction or None
+FaultInjector = Callable[[str, str, int, float], Optional[FaultAction]]
+
+
+@dataclass
 class NetworkStats:
     messages: int = 0
     bytes_transferred: int = 0
     dropped: int = 0
     tampered_detected: int = 0
+    duplicated: int = 0
+    delayed: int = 0
 
 
 @dataclass
@@ -54,6 +92,7 @@ class Network:
         self._endpoints: Dict[str, _Endpoint] = {}
         self._partitioned: Set[str] = set()
         self.adversary: Optional[Adversary] = None
+        self.faults: List[FaultInjector] = []
         self.stats = NetworkStats()
 
     def register(self, address: str, clock: SimClock, handler: Handler) -> None:
@@ -77,6 +116,14 @@ class Network:
     def heal(self, address: str) -> None:
         self._partitioned.discard(address)
 
+    def _apply_faults(
+        self, src: str, dst: str, n_bytes: int, now: float
+    ) -> FaultAction:
+        action = FaultAction()
+        for injector in self.faults:
+            action = action.merge(injector(src, dst, n_bytes, now))
+        return action
+
     # -- transfer --------------------------------------------------------
 
     def _transfer_time(self, n_bytes: int) -> float:
@@ -94,37 +141,71 @@ class Network:
         """Synchronous RPC from ``src`` to ``dst``; returns the response."""
         endpoint = self._endpoints.get(dst)
         if endpoint is None or dst in self._partitioned or src in self._partitioned:
-            raise RpcError(f"endpoint {dst!r} is unreachable from {src!r}")
+            raise RpcTransportError(f"endpoint {dst!r} is unreachable from {src!r}")
 
         request_size = declared_request if declared_request is not None else len(request)
-        self.stats.messages += 1
-        self.stats.bytes_transferred += request_size
-
+        action = self._apply_faults(src, dst, request_size, src_clock.now)
+        if action.drop:
+            self.stats.dropped += 1
+            raise RpcTransportError(
+                f"request from {src!r} to {dst!r} was lost"
+                + (f" ({action.reason})" if action.reason else "")
+            )
         if self.adversary is not None:
             mutated = self.adversary(src, dst, request)
             if mutated is None:
                 self.stats.dropped += 1
-                raise RpcError(f"request from {src!r} to {dst!r} was lost")
+                raise RpcTransportError(f"request from {src!r} to {dst!r} was lost")
             request = mutated
 
-        arrival = src_clock.now + self._transfer_time(request_size)
+        self.stats.messages += 1
+        self.stats.bytes_transferred += request_size
+        if action.delay:
+            self.stats.delayed += 1
+
+        arrival = src_clock.now + self._transfer_time(request_size) + action.delay
         endpoint.clock.advance_to(arrival)
         response = endpoint.handler(request)
+        if action.duplicate:
+            # The copy arrives too and is handled; its response is
+            # discarded (the transport keeps the first).  At-most-once
+            # semantics are the *endpoint's* job (call-ID dedup).
+            self.stats.duplicated += 1
+            self.stats.messages += 1
+            self.stats.bytes_transferred += request_size
+            endpoint.handler(request)
 
         response_size = (
             declared_response if declared_response is not None else len(response)
         )
-        self.stats.messages += 1
-        self.stats.bytes_transferred += response_size
-
+        r_action = self._apply_faults(dst, src, response_size, endpoint.clock.now)
+        if r_action.drop:
+            self.stats.dropped += 1
+            raise RpcTransportError(
+                f"response from {dst!r} to {src!r} was lost"
+                + (f" ({r_action.reason})" if r_action.reason else "")
+            )
         if self.adversary is not None:
             mutated = self.adversary(dst, src, response)
             if mutated is None:
                 self.stats.dropped += 1
-                raise RpcError(f"response from {dst!r} to {src!r} was lost")
+                raise RpcTransportError(f"response from {dst!r} to {src!r} was lost")
             response = mutated
 
-        src_clock.advance_to(endpoint.clock.now + self._transfer_time(response_size))
+        self.stats.messages += 1
+        self.stats.bytes_transferred += response_size
+        if r_action.duplicate:
+            # A duplicated response is delivered twice on the wire but the
+            # caller consumes one copy; count the extra traffic only.
+            self.stats.duplicated += 1
+            self.stats.messages += 1
+            self.stats.bytes_transferred += response_size
+        if r_action.delay:
+            self.stats.delayed += 1
+
+        src_clock.advance_to(
+            endpoint.clock.now + self._transfer_time(response_size) + r_action.delay
+        )
         return response
 
     def barrier(self, clocks) -> float:

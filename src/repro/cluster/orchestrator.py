@@ -6,6 +6,15 @@ join.  The orchestrator handles the mechanical part — placement,
 lifecycle, failure handling — and exposes an ``on_start`` hook where the
 secureTF platform layer attaches attestation + secret provisioning
 (:mod:`repro.core.platform`), keeping the layering of Fig. 2.
+
+Supervision: :meth:`Orchestrator.supervise` sweeps a service for failed
+replicas and restarts each on its original node, re-running the
+``on_start`` hooks so a *replacement* container is attested and
+provisioned exactly like the original — a restarted enclave has fresh
+memory and must re-prove itself.  Restarts are budgeted per replica
+lineage (a crash-looping container is quarantined, not restarted
+forever), and every supervision decision is appended to
+:attr:`Orchestrator.events` for the monitoring plane.
 """
 
 from __future__ import annotations
@@ -36,13 +45,26 @@ class ContainerSpec:
 class Orchestrator:
     """Places containers on nodes round-robin; supports elastic scaling."""
 
-    def __init__(self, nodes: List[Node]) -> None:
+    def __init__(self, nodes: List[Node], restart_budget: int = 3) -> None:
         if not nodes:
             raise ClusterError("orchestrator needs at least one node")
         self._nodes = list(nodes)
         self._next_placement = 0
         self._replicas: Dict[str, List[Container]] = {}
         self.on_start: List[StartHook] = []
+        #: Max restarts per replica lineage before quarantine.
+        self.restart_budget = restart_budget
+        #: container name -> replica index it descends from (lineage root).
+        self._lineage: Dict[str, int] = {}
+        #: (spec name, lineage root index) -> restarts consumed.
+        self._restarts: Dict[tuple, int] = {}
+        #: Monotonic per-spec replica counter, so a replacement never
+        #: reuses a crashed replica's name (names are identities in the
+        #: network and the CAS session registry).
+        self._spec_indices: Dict[str, int] = {}
+        self._quarantined: Dict[str, List[Container]] = {}
+        #: Supervision decisions, in order (restart/quarantine).
+        self.events: List[str] = []
 
     @property
     def nodes(self) -> List[Node]:
@@ -57,6 +79,18 @@ class Orchestrator:
     def all_containers(self) -> List[Container]:
         return [c for group in self._replicas.values() for c in group]
 
+    def quarantined(self, spec_name: str) -> List[Container]:
+        """Replicas whose lineage exhausted its restart budget."""
+        return list(self._quarantined.get(spec_name, []))
+
+    @property
+    def restarts_total(self) -> int:
+        return sum(self._restarts.values())
+
+    @property
+    def quarantined_total(self) -> int:
+        return sum(len(group) for group in self._quarantined.values())
+
     # ------------------------------------------------------------------
 
     def _place(self, node: Optional[Node]) -> Node:
@@ -69,7 +103,8 @@ class Orchestrator:
     def launch(self, spec: ContainerSpec, node: Optional[Node] = None) -> Container:
         """Start one replica (attestation hooks run before it is visible)."""
         group = self._replicas.setdefault(spec.name, [])
-        index = len(group)
+        index = self._spec_indices.get(spec.name, 0)
+        self._spec_indices[spec.name] = index + 1
         target = self._place(node)
         container = Container(
             f"{spec.name}-{index}", target, spec.config_factory(target, index)
@@ -78,6 +113,7 @@ class Orchestrator:
         for hook in self.on_start:
             hook(container)
         group.append(container)
+        self._lineage[container.name] = index
         return container
 
     def scale_to(self, spec: ContainerSpec, replicas: int) -> List[Container]:
@@ -97,14 +133,74 @@ class Orchestrator:
         """Inject a crash."""
         container.fail()
 
-    def recover(self, spec: ContainerSpec) -> List[Container]:
-        """Replace every failed replica with a fresh attested container."""
-        replaced = []
+    # -- supervision ----------------------------------------------------
+
+    def health(self, spec_name: str) -> Dict[str, ContainerState]:
+        """Probe every tracked replica: name -> lifecycle state."""
+        return {c.name: c.state for c in self._replicas.get(spec_name, [])}
+
+    def probe(self, spec_name: str) -> bool:
+        """True when no tracked replica of the service is failed."""
+        return all(
+            c.state is not ContainerState.FAILED
+            for c in self._replicas.get(spec_name, [])
+        )
+
+    def restart(
+        self, spec: ContainerSpec, container: Container
+    ) -> Optional[Container]:
+        """Replace one failed replica, consuming its lineage's budget.
+
+        Returns the replacement (attested and provisioned via the
+        ``on_start`` hooks), or ``None`` when the lineage is out of
+        budget and the replica was quarantined instead.
+        """
+        if container.state is not ContainerState.FAILED:
+            raise ClusterError(
+                f"container {container.name!r} is {container.state.name}, "
+                "not FAILED"
+            )
+        group = self._replicas.setdefault(spec.name, [])
+        if container in group:
+            group.remove(container)
+        root = self._lineage.get(container.name, 0)
+        key = (spec.name, root)
+        used = self._restarts.get(key, 0)
+        if used >= self.restart_budget:
+            self._quarantined.setdefault(spec.name, []).append(container)
+            self.events.append(
+                f"quarantine {container.name} restarts={used}"
+            )
+            return None
+        self._restarts[key] = used + 1
+        replacement = self.launch(spec, node=container.node)
+        # The replacement continues the crashed replica's lineage: its
+        # future crashes draw down the same budget.
+        self._lineage[replacement.name] = root
+        self.events.append(
+            f"restart {container.name} -> {replacement.name} "
+            f"budget={self.restart_budget - used - 1}"
+        )
+        return replacement
+
+    def supervise(self, spec: ContainerSpec) -> Dict[str, Optional[Container]]:
+        """One supervision pass: restart (or quarantine) failed replicas.
+
+        Returns failed-name -> replacement container (None = quarantined).
+        """
+        outcome: Dict[str, Optional[Container]] = {}
         for container in list(self._replicas.get(spec.name, [])):
             if container.state is ContainerState.FAILED:
-                self._replicas[spec.name].remove(container)
-                replaced.append(self.launch(spec, node=container.node))
-        return replaced
+                outcome[container.name] = self.restart(spec, container)
+        return outcome
+
+    def recover(self, spec: ContainerSpec) -> List[Container]:
+        """Replace every failed replica with a fresh attested container."""
+        return [
+            replacement
+            for replacement in self.supervise(spec).values()
+            if replacement is not None
+        ]
 
     def stop_all(self) -> None:
         for container in self.all_containers():

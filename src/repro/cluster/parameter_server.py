@@ -10,6 +10,15 @@ Synchronous rounds with per-node clocks: each worker's pull→compute→push
 advances its own clock, the PS clock serializes the applies, and a
 barrier ends the round — so adding workers shortens the round wall-clock
 exactly as real synchronous data-parallelism does.
+
+Fault tolerance (paper challenge ❹): a :class:`ParameterServer` built
+with a checkpoint store snapshots weights *and* its RPC dedup window
+after every committed update, so a replacement PS resumes at the exact
+version the crashed one reached — a worker retrying a push against the
+replacement hits the restored dedup window instead of double-applying.
+:class:`SyncTrainer` accepts a retry policy (wired into every
+worker→PS session) and a recovery supervisor (duck-typed; see
+``TrainingJob``) that replaces crashed containers mid-run.
 """
 
 from __future__ import annotations
@@ -28,11 +37,54 @@ from repro.cluster.rpc import (
     SecureRpcClient,
     SecureRpcServer,
 )
+from repro.cluster.retry import RetryPolicy
 from repro.cluster.worker import TrainingWorker
 from repro.crypto import encoding
-from repro.errors import ClusterError, PolicyError
+from repro.errors import (
+    CircuitOpenError,
+    ClusterError,
+    PolicyError,
+    RpcTransportError,
+    StaleConnectionError,
+)
 from repro.runtime.net_shield import NetworkShield
 from repro.tensor.arrays import decode_array_dict, encode_array_dict
+
+
+@dataclass
+class PSCheckpoint:
+    """A resumable parameter-server snapshot (weights + dedup window).
+
+    The dedup entries travel with the weights because they are one
+    atomic state: restoring weights at version ``v`` without the call
+    IDs that produced ``v`` would let a retried push apply twice.
+    """
+
+    weights: Dict[str, np.ndarray]
+    version: int
+    updates_applied: int
+    dedup: list
+
+
+class InMemoryCheckpointStore:
+    """Checkpoint store surviving container crashes (models durable disk).
+
+    In the paper's deployment this is the file-system shield writing
+    encrypted checkpoints to a persistent volume; here an in-process dict
+    keyed by PS address stands in, since the simulated crash kills the
+    *container*, not the host storage.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[str, PSCheckpoint] = {}
+        self.saves = 0
+
+    def save(self, address: str, snapshot: PSCheckpoint) -> None:
+        self._snapshots[address] = snapshot
+        self.saves += 1
+
+    def load(self, address: str) -> Optional[PSCheckpoint]:
+        return self._snapshots.get(address)
 
 
 class ParameterServer:
@@ -46,6 +98,7 @@ class ParameterServer:
         learning_rate: float,
         shield: Optional[NetworkShield] = None,
         allowed_peers: Optional[List[str]] = None,
+        checkpoint_store: Optional[InMemoryCheckpointStore] = None,
     ) -> None:
         if learning_rate <= 0:
             raise ClusterError(f"learning rate must be positive: {learning_rate}")
@@ -67,11 +120,27 @@ class ParameterServer:
         self._server.register("push", self._handle_push)
         self._server.start()
 
+        self._store = checkpoint_store
+        self._checkpointed_version = -1
+        if self._store is not None:
+            snapshot = self._store.load(address)
+            if snapshot is not None:
+                # A predecessor at this address checkpointed: resume at
+                # its exact version, with its dedup window, so retried
+                # pushes stay at-most-once across the restart.
+                self._weights = {k: v.copy() for k, v in snapshot.weights.items()}
+                self._version = snapshot.version
+                self.updates_applied = snapshot.updates_applied
+                self._server.dedup_restore(snapshot.dedup)
+                self._checkpointed_version = snapshot.version
+            self._server.on_committed = self._maybe_checkpoint
+
     # ------------------------------------------------------------------
 
     def initialize(self, weights: Dict[str, np.ndarray]) -> None:
         self._weights = {k: np.array(v, dtype=np.float32) for k, v in weights.items()}
         self._version = 1
+        self._maybe_checkpoint()
 
     @property
     def weights(self) -> Dict[str, np.ndarray]:
@@ -122,8 +191,27 @@ class ParameterServer:
         self.updates_applied += 1
         return encoding.encode({"version": self._version})
 
+    def _maybe_checkpoint(self) -> None:
+        """Snapshot state after a committed call that changed the weights."""
+        if self._store is None or self._version == self._checkpointed_version:
+            return
+        self._store.save(
+            self.address,
+            PSCheckpoint(
+                weights={k: v.copy() for k, v in self._weights.items()},
+                version=self._version,
+                updates_applied=self.updates_applied,
+                dedup=self._server.dedup_snapshot(),
+            ),
+        )
+        self._checkpointed_version = self._version
+
     def stop(self) -> None:
         self._server.stop()
+
+    def crash(self) -> None:
+        """Simulated container crash: vanish mid-run, no clean teardown."""
+        self._server.abort()
 
 
 @dataclass
@@ -137,19 +225,33 @@ class TrainingResult:
 
 
 class SyncTrainer:
-    """Drives synchronous data-parallel rounds over PS + workers."""
+    """Drives synchronous data-parallel rounds over PS + workers.
+
+    With ``retry`` set, every worker→PS session retries transport
+    faults with backoff (and reconnects dead secure sessions); with
+    ``recovery`` set (a duck-typed supervisor exposing ``tick``,
+    ``worker_ok``, ``replace_worker``, ``ps_ok``, ``recover_ps``),
+    crashed containers are replaced mid-run and the round continues.
+    """
+
+    #: PS-level recovery attempts per call (beyond in-connection retries).
+    MAX_RECOVERIES_PER_CALL = 3
 
     def __init__(
         self,
         network: Network,
         ps: ParameterServer,
         workers: List[TrainingWorker],
+        retry: Optional[RetryPolicy] = None,
+        recovery: Optional[object] = None,
     ) -> None:
         if not workers:
             raise ClusterError("training needs at least one worker")
         self._network = network
         self._ps = ps
         self._workers = workers
+        self._retry = retry
+        self._recovery = recovery
         self._connections: Dict[str, Union[SecureConnection, RpcClient]] = {}
 
     def _connection(self, worker: TrainingWorker):
@@ -158,7 +260,11 @@ class SyncTrainer:
             return self._connections[worker.name]
         if worker.shield is not None:
             client = SecureRpcClient(
-                self._network, worker.address, worker.node, worker.shield
+                self._network,
+                worker.address,
+                worker.node,
+                worker.shield,
+                retry=self._retry,
             )
             # The PS certificate subject is CAS-assigned
             # ("session/name-index"); authenticity comes from the trusted
@@ -168,11 +274,53 @@ class SyncTrainer:
             )
         else:
             conn = _PlainConnection(
-                RpcClient(self._network, worker.address, worker.node),
+                RpcClient(
+                    self._network, worker.address, worker.node, retry=self._retry
+                ),
                 self._ps.address,
             )
         self._connections[worker.name] = conn
         return conn
+
+    # -- recovery hooks --------------------------------------------------
+
+    def _ensure_alive(self, slot: int) -> TrainingWorker:
+        """The worker for ``slot``, replacing it first if it crashed."""
+        worker = self._workers[slot]
+        if self._recovery is None or self._recovery.worker_ok(worker):
+            return worker
+        replacement = self._recovery.replace_worker(worker)
+        self._connections.pop(worker.name, None)
+        self._workers[slot] = replacement
+        return replacement
+
+    def _set_ps(self, ps: ParameterServer) -> None:
+        self._ps = ps
+        # The endpoint is back: stop shedding calls to it.
+        for conn in self._connections.values():
+            conn._client.reset_breaker(ps.address)
+
+    def _ps_call(self, worker: TrainingWorker, method: str, payload: bytes, **kw):
+        """One PS call, recovering a crashed PS between attempts."""
+        recoveries = 0
+        while True:
+            conn = self._connection(worker)
+            try:
+                return conn.call(method, payload, **kw)
+            except (RpcTransportError, StaleConnectionError, CircuitOpenError):
+                if self._recovery is None:
+                    raise
+                recoveries += 1
+                if recoveries > self.MAX_RECOVERIES_PER_CALL:
+                    raise
+                if not self._recovery.ps_ok():
+                    replacement = self._recovery.recover_ps()
+                    if replacement is None:
+                        raise
+                    self._set_ps(replacement)
+                # Either way the session state is suspect: rebuild the
+                # connection (full re-handshake in secure mode).
+                self._connections.pop(worker.name, None)
 
     def train(self, batches: List, steps: Optional[int] = None) -> TrainingResult:
         """Run synchronous rounds until batches (or ``steps``) run out.
@@ -188,22 +336,28 @@ class SyncTrainer:
         declared = self._workers[0].declared_model_bytes
 
         index = 0
+        round_index = 0
         while index < total_steps:
+            # Round boundary: scheduled container crashes fire here (and
+            # only here), so recovery traces are independent of how
+            # retries shifted the clock within the previous round.
+            if self._recovery is not None:
+                self._recovery.tick(round_index)
             round_workers = []
-            for worker in self._workers:
+            for slot in range(len(self._workers)):
                 if index >= total_steps:
                     break
-                round_workers.append((worker, batches[index]))
+                round_workers.append((self._ensure_alive(slot), batches[index]))
                 index += 1
+            round_index += 1
 
             # Phase 1: every worker pulls the current weights.  Pulls are
             # grouped before any compute so that the (cheap) PS handler
             # work does not artificially serialize the round — on a real
             # cluster the pulls overlap the same way.
             for worker, _ in round_workers:
-                conn = self._connection(worker)
                 pulled = encoding.decode(
-                    conn.call("pull", b"", declared_response=declared)
+                    self._ps_call(worker, "pull", b"", declared_response=declared)
                 )
                 worker.load_weights(decode_array_dict(pulled["weights"]))
 
@@ -215,16 +369,18 @@ class SyncTrainer:
                 losses.append(loss)
                 round_grads.append((worker, gradients))
 
-            # Phase 3: pushes; the PS serializes the applies.
+            # Phase 3: pushes; the PS serializes the applies (sequential
+            # in worker order, so float accumulation order — and hence
+            # the final weights — is identical run to run).
             for worker, gradients in round_grads:
-                conn = self._connection(worker)
                 push_payload = encoding.encode(
                     {
                         "gradients": encode_array_dict(gradients),
                         "declared_flops": 2 * declared // 4,
                     }
                 )
-                conn.call("push", push_payload, declared_request=declared)
+                self._ps_call(worker, "push", push_payload, declared_request=declared)
+            clocks = [w.node.clock for w in self._workers] + [self._ps.node.clock]
             self._network.barrier(clocks)
 
         wall = max(clock.now for clock in clocks) - start

@@ -1,0 +1,241 @@
+"""Retry/backoff, deadlines, and circuit breaking for cluster RPC.
+
+The chaos plane (:mod:`repro.cluster.faults`) makes message loss and
+transient partitions routine; this module is the client-side policy that
+turns them from run-ending crashes into bounded latency:
+
+- :class:`RetryPolicy` — exponential backoff with deterministic jitter
+  (seeded through :class:`~repro._sim.rng.DeterministicRng`) and a
+  per-call deadline in simulated seconds.
+- :class:`CircuitBreaker` / :class:`BreakerRegistry` — per-endpoint
+  failure shedding: after ``failure_threshold`` consecutive failures the
+  breaker opens and calls fail fast with
+  :class:`~repro.errors.CircuitOpenError` until ``reset_timeout``
+  elapses, then a half-open probe decides.
+- :class:`RetryingExecutor` — drives the loop: only *transport* faults
+  (:class:`~repro.errors.RpcTransportError` and friends) are retried;
+  security failures (``PolicyError``, ``IntegrityError``, …) and remote
+  application errors are never retried — a denied request does not
+  become allowed by asking again, and the paper's threat model requires
+  tampering to surface, not to be smoothed over.
+- :class:`RecoveryStats` — the counters every resilience layer (client
+  retries, server dedup, session reconnects) reports through
+  :mod:`repro.runtime.stats_registry` into ``collect_metrics``.
+
+Backoff advances the caller's *simulated* clock, so retry storms cost
+simulated time exactly like they cost wall-clock time in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, TypeVar
+
+from repro._sim.clock import SimClock
+from repro._sim.rng import DeterministicRng
+from repro.errors import (
+    CircuitOpenError,
+    RpcTransportError,
+    SecurityError,
+    StaleConnectionError,
+)
+
+T = TypeVar("T")
+
+#: Failures worth retrying: the message may simply not have arrived.
+RETRYABLE_ERRORS = (RpcTransportError, StaleConnectionError, CircuitOpenError)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Transport-level faults are retryable; security failures never are."""
+    if isinstance(exc, SecurityError):
+        return False
+    return isinstance(exc, RETRYABLE_ERRORS)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter and a per-call deadline."""
+
+    max_attempts: int = 5
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1            # ± fraction of the computed delay
+    deadline: Optional[float] = 30.0  # sim-seconds budget per call
+
+    def backoff(self, retry_index: int, rng: Optional[DeterministicRng] = None) -> float:
+        """Delay before retry number ``retry_index`` (0-based)."""
+        delay = min(self.base_delay * self.multiplier ** retry_index, self.max_delay)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * rng.uniform(-1.0, 1.0)
+        return delay
+
+
+@dataclass
+class RecoveryStats:
+    """Resilience counters, aggregated platform-wide by ``collect_metrics``."""
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    giveups: int = 0
+    backoff_time: float = 0.0
+    reconnects: int = 0
+    breaker_trips: int = 0
+    breaker_rejections: int = 0
+    dedup_hits: int = 0
+    handshakes_expired: int = 0
+
+
+class CircuitBreaker:
+    """Per-endpoint failure shedding (closed → open → half-open)."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 5.0,
+        stats: Optional[RecoveryStats] = None,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._stats = stats
+        self._consecutive_failures = 0
+        self._open_until: Optional[float] = None
+        self._half_open = False
+
+    @property
+    def state(self) -> str:
+        if self._open_until is None:
+            return "half-open" if self._half_open else "closed"
+        return "open"
+
+    def allow(self, now: float) -> bool:
+        if self._open_until is None:
+            return True
+        if now >= self._open_until:
+            # Cooldown elapsed: let one probe through.
+            self._open_until = None
+            self._half_open = True
+            return True
+        return False
+
+    def on_success(self) -> None:
+        self._consecutive_failures = 0
+        self._open_until = None
+        self._half_open = False
+
+    def on_failure(self, now: float) -> None:
+        self._consecutive_failures += 1
+        if self._half_open or self._consecutive_failures >= self.failure_threshold:
+            self._open_until = now + self.reset_timeout
+            self._half_open = False
+            if self._stats is not None:
+                self._stats.breaker_trips += 1
+
+    def reset(self) -> None:
+        self.on_success()
+
+
+class BreakerRegistry:
+    """One :class:`CircuitBreaker` per remote endpoint."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 5.0,
+        stats: Optional[RecoveryStats] = None,
+    ) -> None:
+        self._failure_threshold = failure_threshold
+        self._reset_timeout = reset_timeout
+        self._stats = stats
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def get(self, endpoint: str) -> CircuitBreaker:
+        breaker = self._breakers.get(endpoint)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self._failure_threshold, self._reset_timeout, stats=self._stats
+            )
+            self._breakers[endpoint] = breaker
+        return breaker
+
+    def reset(self, endpoint: str) -> None:
+        breaker = self._breakers.get(endpoint)
+        if breaker is not None:
+            breaker.reset()
+
+
+class RetryingExecutor:
+    """Runs an RPC attempt function under a retry policy and breaker."""
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        clock: SimClock,
+        rng: DeterministicRng,
+        breakers: Optional[BreakerRegistry] = None,
+        stats: Optional[RecoveryStats] = None,
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._rng = rng
+        self.stats = stats if stats is not None else RecoveryStats()
+        self.breakers = breakers if breakers is not None else BreakerRegistry(
+            stats=self.stats
+        )
+        self._on_event = on_event
+
+    def _event(self, message: str) -> None:
+        if self._on_event is not None:
+            self._on_event(message)
+
+    def run(self, endpoint: str, attempt_fn: Callable[[], T]) -> T:
+        policy = self.policy
+        breaker = self.breakers.get(endpoint)
+        deadline = (
+            self._clock.now + policy.deadline if policy.deadline is not None else None
+        )
+        self.stats.calls += 1
+        retry_index = 0
+        while True:
+            if not breaker.allow(self._clock.now):
+                self.stats.breaker_rejections += 1
+                failure: Exception = CircuitOpenError(
+                    f"circuit for endpoint {endpoint!r} is open"
+                )
+            else:
+                try:
+                    self.stats.attempts += 1
+                    result = attempt_fn()
+                    breaker.on_success()
+                    return result
+                except Exception as exc:
+                    if not is_retryable(exc):
+                        raise
+                    breaker.on_failure(self._clock.now)
+                    failure = exc
+            retry_index += 1
+            if retry_index >= policy.max_attempts:
+                self.stats.giveups += 1
+                raise failure
+            delay = policy.backoff(retry_index - 1, self._rng)
+            if deadline is not None and self._clock.now + delay > deadline:
+                self.stats.giveups += 1
+                raise failure
+            self.stats.retries += 1
+            self.stats.backoff_time += delay
+            self._event(f"retry {endpoint} attempt={retry_index + 1}")
+            self._clock.advance(delay)
+
+
+__all__ = [
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "RecoveryStats",
+    "RetryPolicy",
+    "RetryingExecutor",
+    "RETRYABLE_ERRORS",
+    "is_retryable",
+]

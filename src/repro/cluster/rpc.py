@@ -7,18 +7,52 @@ shield's TLS session over the same transport: a two-step handshake
 (carried as plain RPCs, as TLS handshakes are), then AEAD-protected
 records per call.  The paper's Fig. 8 contrast "with/without network
 shield" is exactly the choice between these two stacks.
+
+Resilience (paper challenge ❹ — elastic clouds kill containers and lose
+messages) is layered on without changing the wire protocol's shape:
+
+- **Typed remote errors**: the error envelope carries the exception
+  class name, and callers re-raise the matching :mod:`repro.errors`
+  type, so a remote ``PolicyError`` stays a policy decision (never
+  retried) instead of collapsing into a generic ``RpcError``.
+- **At-most-once calls**: clients built with a
+  :class:`~repro.cluster.retry.RetryPolicy` stamp each call with a
+  unique call ID; servers keep a bounded dedup window of (ID → reply),
+  so a retried or duplicate-delivered mutation executes exactly once
+  and the cached reply is returned.
+- **Retry/backoff + circuit breaking** on every client call, via
+  :class:`~repro.cluster.retry.RetryingExecutor`.
+- **Transparent secure-session reconnect**: a :class:`SecureConnection`
+  that hits a transport fault or a restarted server re-runs the full
+  TLS handshake (charged through the shield's cost model) and resends
+  under the same call ID — replay-safe because of the dedup window.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
+import repro.errors as _errors
 from repro.cluster.network import Network
 from repro.cluster.node import Node
+from repro.cluster.retry import (
+    BreakerRegistry,
+    RecoveryStats,
+    RetryPolicy,
+    RetryingExecutor,
+)
 from repro.crypto import encoding
 from repro.crypto.tls import RecordLayer
-from repro.errors import IntegrityError, ReproError, RpcError
+from repro.errors import (
+    IntegrityError,
+    ReproError,
+    RpcError,
+    RpcTransportError,
+    StaleConnectionError,
+)
+from repro.runtime import stats_registry
 from repro.runtime.net_shield import (
     NetworkShield,
     ServerHandshake,
@@ -30,9 +64,26 @@ from repro.runtime.net_shield import (
 #: method handler: fn(payload_bytes, peer_subject) -> response_bytes
 MethodHandler = Callable[[bytes, Optional[str]], bytes]
 
+#: Known error types a remote error envelope may name.
+_ERROR_TYPES = {
+    name: obj
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, ReproError)
+}
+
+#: Distinguishes client instances so call IDs never collide, even when a
+#: replacement worker reuses a crashed worker's address.
+_CLIENT_INSTANCES = itertools.count(1)
+
 
 def _envelope(kind: str, **fields: object) -> bytes:
     return encoding.encode({"kind": kind, **fields})
+
+
+def _raise_remote_error(msg: dict) -> None:
+    """Re-raise a remote failure as its original :mod:`repro.errors` type."""
+    error_cls = _ERROR_TYPES.get(msg.get("error"), RpcError)
+    raise error_cls(f"remote error: {msg.get('message', 'unknown')}")
 
 
 def _open_envelope(data: bytes, expected: Optional[str] = None) -> dict:
@@ -43,14 +94,18 @@ def _open_envelope(data: bytes, expected: Optional[str] = None) -> dict:
     if not isinstance(msg, dict) or "kind" not in msg:
         raise RpcError("RPC envelope missing kind")
     if msg["kind"] == "error":
-        raise RpcError(f"remote error: {msg.get('message', 'unknown')}")
+        _raise_remote_error(msg)
     if expected is not None and msg["kind"] != expected:
         raise RpcError(f"expected {expected!r} envelope, got {msg['kind']!r}")
     return msg
 
 
 class RpcServer:
-    """Cleartext RPC endpoint."""
+    """Cleartext RPC endpoint with an at-most-once dedup window."""
+
+    #: Bounds of the (call ID → cached reply) dedup window.
+    DEDUP_CAPACITY = 1024
+    DEDUP_TTL = 300.0  # sim-seconds
 
     def __init__(self, network: Network, address: str, node: Node) -> None:
         self._network = network
@@ -58,6 +113,13 @@ class RpcServer:
         self._node = node
         self._methods: Dict[str, MethodHandler] = {}
         self._started = False
+        self._dedup: "OrderedDict[str, Tuple[float, bytes]]" = OrderedDict()
+        self.stats = RecoveryStats()
+        stats_registry.register_recovery_stats(self.stats, node.clock)
+        #: Called after a call commits (dispatched + dedup-recorded);
+        #: lets stateful services checkpoint atomically with the dedup
+        #: window (see ``ParameterServer``).
+        self.on_committed: Optional[Callable[[], None]] = None
 
     def register(self, method: str, handler: MethodHandler) -> None:
         self._methods[method] = handler
@@ -73,38 +135,112 @@ class RpcServer:
             self._network.unregister(self.address)
             self._started = False
 
+    def abort(self) -> None:
+        """Crash the endpoint: vanish from the network, no teardown."""
+        if self._started:
+            self._network.unregister(self.address)
+            self._started = False
+
+    # -- dedup window ----------------------------------------------------
+
+    def _expire_dedup(self, now: float) -> None:
+        while self._dedup:
+            call_id, (stamp, _) = next(iter(self._dedup.items()))
+            if now - stamp < self.DEDUP_TTL:
+                break
+            del self._dedup[call_id]
+
+    def dedup_snapshot(self) -> list:
+        """The dedup window as re-loadable state (for checkpoints)."""
+        return [(cid, stamp, reply) for cid, (stamp, reply) in self._dedup.items()]
+
+    def dedup_restore(self, entries: list) -> None:
+        self._dedup = OrderedDict(
+            (cid, (stamp, reply)) for cid, stamp, reply in entries
+        )
+
     def _dispatch(self, method: str, payload: bytes, peer: Optional[str]) -> bytes:
         handler = self._methods.get(method)
         if handler is None:
             raise RpcError(f"unknown method {method!r} at {self.address!r}")
         return handler(payload, peer)
 
+    def _dispatch_call(self, msg: dict, peer: Optional[str]) -> bytes:
+        """Dispatch one call envelope with at-most-once semantics."""
+        call_id = msg.get("call_id")
+        now = self._node.clock.now
+        if call_id is not None:
+            self._expire_dedup(now)
+            hit = self._dedup.get(call_id)
+            if hit is not None:
+                self.stats.dedup_hits += 1
+                return hit[1]
+        response = self._dispatch(msg["method"], msg["payload"], peer)
+        if call_id is not None:
+            self._dedup[call_id] = (now, response)
+            while len(self._dedup) > self.DEDUP_CAPACITY:
+                self._dedup.popitem(last=False)
+        if self.on_committed is not None:
+            self.on_committed()
+        return response
+
     def _handle(self, request: bytes) -> bytes:
         try:
             msg = _open_envelope(request, "call")
-            response = self._dispatch(msg["method"], msg["payload"], None)
+            response = self._dispatch_call(msg, None)
             return _envelope("reply", payload=response)
         except (ReproError, KeyError) as exc:
-            return _envelope("error", message=f"{type(exc).__name__}: {exc}")
+            return _envelope(
+                "error",
+                message=f"{type(exc).__name__}: {exc}",
+                error=type(exc).__name__,
+            )
 
 
 class RpcClient:
-    """Cleartext RPC caller."""
+    """Cleartext RPC caller (optionally retrying with backoff)."""
 
-    def __init__(self, network: Network, address: str, node: Node) -> None:
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        node: Node,
+        retry: Optional[RetryPolicy] = None,
+        breakers: Optional[BreakerRegistry] = None,
+    ) -> None:
         self._network = network
         self.address = address
         self._node = node
+        self.stats = RecoveryStats()
+        self._executor: Optional[RetryingExecutor] = None
+        if retry is not None:
+            stats_registry.register_recovery_stats(self.stats, node.clock)
+            self._executor = RetryingExecutor(
+                retry,
+                node.clock,
+                node.rng.child(f"retry|{address}"),
+                breakers=breakers or BreakerRegistry(stats=self.stats),
+                stats=self.stats,
+            )
+        self._call_nonce = f"{address}#{next(_CLIENT_INSTANCES)}"
+        self._call_seq = itertools.count(1)
 
-    def call(
+    def next_call_id(self) -> str:
+        """A process-unique call ID (at-most-once dedup key)."""
+        return f"{self._call_nonce}/{next(self._call_seq)}"
+
+    def reset_breaker(self, dst: str) -> None:
+        """Forget accumulated failures for ``dst`` (after known recovery)."""
+        if self._executor is not None:
+            self._executor.breakers.reset(dst)
+
+    def _roundtrip(
         self,
         dst: str,
-        method: str,
-        payload: bytes,
-        declared_request: Optional[int] = None,
-        declared_response: Optional[int] = None,
+        request: bytes,
+        declared_request: Optional[int],
+        declared_response: Optional[int],
     ) -> bytes:
-        request = _envelope("call", method=method, payload=payload)
         raw = self._network.call(
             self.address,
             self._node.clock,
@@ -115,9 +251,34 @@ class RpcClient:
         )
         return _open_envelope(raw, "reply")["payload"]
 
+    def call(
+        self,
+        dst: str,
+        method: str,
+        payload: bytes,
+        declared_request: Optional[int] = None,
+        declared_response: Optional[int] = None,
+    ) -> bytes:
+        if self._executor is None:
+            request = _envelope("call", method=method, payload=payload)
+            return self._roundtrip(dst, request, declared_request, declared_response)
+        request = _envelope(
+            "call", method=method, payload=payload, call_id=self.next_call_id()
+        )
+        return self._executor.run(
+            dst,
+            lambda: self._roundtrip(dst, request, declared_request, declared_response),
+        )
+
 
 class SecureRpcServer(RpcServer):
     """RPC endpoint behind the network shield (TLS sessions per client)."""
+
+    #: Bounds on half-open handshakes: abandoned ``hs1`` state expires by
+    #: count and by clock age, so a flaky (or malicious) client cannot
+    #: pin server memory.
+    PENDING_CAPACITY = 64
+    PENDING_TTL = 60.0  # sim-seconds
 
     def __init__(
         self,
@@ -130,28 +291,50 @@ class SecureRpcServer(RpcServer):
         super().__init__(network, address, node)
         self._shield = shield
         self._require_client_cert = require_client_cert
-        self._pending: Dict[int, ServerHandshake] = {}
+        self._pending: "OrderedDict[int, Tuple[float, ServerHandshake]]" = OrderedDict()
         self._sessions: Dict[int, Tuple[RecordLayer, Optional[str]]] = {}
         self._conn_ids = itertools.count(1)
+
+    def abort(self) -> None:
+        super().abort()
+        self._pending.clear()
+        self._sessions.clear()
+
+    def _expire_pending(self, now: float) -> None:
+        while self._pending:
+            conn, (stamp, _) = next(iter(self._pending.items()))
+            if now - stamp < self.PENDING_TTL and len(self._pending) <= self.PENDING_CAPACITY:
+                break
+            del self._pending[conn]
+            self.stats.handshakes_expired += 1
 
     def _handle(self, request: bytes) -> bytes:
         try:
             msg = _open_envelope(request)
             kind = msg["kind"]
+            now = self._node.clock.now
             if kind == "hs1":
                 handshake = self._shield.server_handshake(
                     require_client_cert=self._require_client_cert,
-                    now=self._node.clock.now,
+                    now=now,
                 )
                 conn = next(self._conn_ids)
                 flight = handshake.respond(msg["hello"])
-                self._pending[conn] = handshake
+                self._pending[conn] = (now, handshake)
+                self._expire_pending(now)
                 return _envelope("hs1_reply", conn=conn, flight=flight)
             if kind == "hs2":
                 conn = msg["conn"]
-                handshake = self._pending.pop(conn, None)
-                if handshake is None:
-                    raise RpcError(f"no pending handshake for connection {conn}")
+                pending = self._pending.pop(conn, None)
+                if pending is None:
+                    if conn in self._sessions:
+                        # Duplicate/retried hs2 for an established
+                        # session: idempotent success.
+                        return _envelope("hs2_reply", conn=conn)
+                    raise StaleConnectionError(
+                        f"no pending handshake for connection {conn}"
+                    )
+                _, handshake = pending
                 handshake.complete(msg["client_flight"])
                 self._shield.charge_handshake()
                 self._sessions[conn] = (
@@ -163,7 +346,7 @@ class SecureRpcServer(RpcServer):
                 conn = msg["conn"]
                 session = self._sessions.get(conn)
                 if session is None:
-                    raise RpcError(f"unknown secure connection {conn}")
+                    raise StaleConnectionError(f"unknown secure connection {conn}")
                 records, peer = session
                 declared = msg.get("declared_request")
                 inner_raw = unprotect_timed(records, self._shield.stats, msg["record"])
@@ -174,7 +357,7 @@ class SecureRpcServer(RpcServer):
                     declared if declared is not None else len(inner_raw),
                 )
                 inner = _open_envelope(inner_raw, "call")
-                response = self._dispatch(inner["method"], inner["payload"], peer)
+                response = self._dispatch_call(inner, peer)
                 reply = _envelope("reply", payload=response)
                 declared_resp = msg.get("declared_response")
                 charge_record_crypto(
@@ -189,11 +372,22 @@ class SecureRpcServer(RpcServer):
                 )
             raise RpcError(f"unexpected envelope kind {kind!r}")
         except (ReproError, KeyError) as exc:
-            return _envelope("error", message=f"{type(exc).__name__}: {exc}")
+            return _envelope(
+                "error",
+                message=f"{type(exc).__name__}: {exc}",
+                error=type(exc).__name__,
+            )
 
 
 class SecureConnection:
-    """One established TLS session from a client to a secure server."""
+    """One established TLS session from a client to a secure server.
+
+    With a retrying client, the session is *self-healing*: a transport
+    fault, a desynced record layer, or a server restart triggers a full
+    re-handshake (re-attested identity, fresh keys — charged via the
+    shield's cost model) and the call is resent under its original call
+    ID, which the server's dedup window makes at-most-once.
+    """
 
     def __init__(
         self,
@@ -202,22 +396,33 @@ class SecureConnection:
         conn: int,
         records: RecordLayer,
         peer_subject: Optional[str],
+        expected_server: Optional[str] = None,
+        mutual: bool = True,
     ) -> None:
         self._client = client
         self._dst = dst
         self._conn = conn
         self._records = records
         self.peer_subject = peer_subject
+        self._expected_server = expected_server
+        self._mutual = mutual
 
-    def call(
+    def _reconnect(self) -> None:
+        conn, records, subject = self._client._handshake_once(
+            self._dst, self._expected_server, self._mutual
+        )
+        self._conn = conn
+        self._records = records
+        self.peer_subject = subject
+        self._client.stats.reconnects += 1
+
+    def _call_once(
         self,
-        method: str,
-        payload: bytes,
-        declared_request: Optional[int] = None,
-        declared_response: Optional[int] = None,
+        inner: bytes,
+        declared_request: Optional[int],
+        declared_response: Optional[int],
     ) -> bytes:
         client = self._client
-        inner = _envelope("call", method=method, payload=payload)
         charge_record_crypto(
             client._node.cost_model,
             client._node.clock,
@@ -253,6 +458,49 @@ class SecureConnection:
         )
         return _open_envelope(reply_raw, "reply")["payload"]
 
+    def call(
+        self,
+        method: str,
+        payload: bytes,
+        declared_request: Optional[int] = None,
+        declared_response: Optional[int] = None,
+    ) -> bytes:
+        client = self._client
+        if client._executor is None:
+            inner = _envelope("call", method=method, payload=payload)
+            return self._call_once(inner, declared_request, declared_response)
+
+        inner = _envelope(
+            "call", method=method, payload=payload, call_id=client.next_call_id()
+        )
+
+        def attempt() -> bytes:
+            try:
+                return self._call_once(inner, declared_request, declared_response)
+            except (RpcTransportError, StaleConnectionError, IntegrityError) as exc:
+                # The session may be dead (server restarted) or desynced
+                # (a record was lost or mangled in flight): TLS cannot
+                # resume a broken stream, so establish a fresh session
+                # before the next attempt resends under the same call ID.
+                self._try_reconnect()
+                if isinstance(exc, IntegrityError):
+                    raise StaleConnectionError(
+                        f"secure session to {self._dst!r} failed verification; "
+                        "re-established"
+                    ) from exc
+                raise
+
+        return client._executor.run(self._dst, attempt)
+
+    def _try_reconnect(self) -> None:
+        try:
+            self._reconnect()
+        except RpcError:
+            # Transport still down; the retry loop will back off and the
+            # next attempt re-triggers reconnection.  Security failures
+            # (bad certificate, tampered handshake) propagate.
+            pass
+
 
 class SecureRpcClient(RpcClient):
     """RPC caller that establishes network-shield TLS sessions."""
@@ -263,17 +511,19 @@ class SecureRpcClient(RpcClient):
         address: str,
         node: Node,
         shield: NetworkShield,
+        retry: Optional[RetryPolicy] = None,
+        breakers: Optional[BreakerRegistry] = None,
     ) -> None:
-        super().__init__(network, address, node)
+        super().__init__(network, address, node, retry=retry, breakers=breakers)
         self._shield = shield
 
-    def connect(
+    def _handshake_once(
         self,
         dst: str,
-        expected_server: Optional[str] = None,
-        mutual: bool = True,
-    ) -> SecureConnection:
-        """Run the TLS handshake with ``dst`` and return the session."""
+        expected_server: Optional[str],
+        mutual: bool,
+    ) -> Tuple[int, RecordLayer, Optional[str]]:
+        """One full TLS handshake with ``dst`` (fresh state each time)."""
         handshake = self._shield.client_handshake(
             expected_server=expected_server,
             mutual=mutual,
@@ -292,10 +542,32 @@ class SecureRpcClient(RpcClient):
         )
         _open_envelope(raw, "hs2_reply")
         self._shield.charge_handshake()
+        return msg["conn"], handshake.record_layer, handshake.peer_subject
+
+    def connect(
+        self,
+        dst: str,
+        expected_server: Optional[str] = None,
+        mutual: bool = True,
+    ) -> SecureConnection:
+        """Run the TLS handshake with ``dst`` and return the session.
+
+        With a retry policy, a handshake interrupted by loss or a
+        transient partition is restarted from ``hs1`` with fresh state
+        after backoff (abandoned server-side state expires).
+        """
+        if self._executor is None:
+            conn, records, subject = self._handshake_once(dst, expected_server, mutual)
+        else:
+            conn, records, subject = self._executor.run(
+                dst, lambda: self._handshake_once(dst, expected_server, mutual)
+            )
         return SecureConnection(
             self,
             dst,
-            msg["conn"],
-            handshake.record_layer,
-            handshake.peer_subject,
+            conn,
+            records,
+            subject,
+            expected_server=expected_server,
+            mutual=mutual,
         )

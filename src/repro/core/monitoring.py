@@ -63,6 +63,25 @@ class ShieldMetrics:
 
 
 @dataclass
+class RecoveryMetrics:
+    """Resilience counters aggregated across every RPC endpoint, plus the
+    orchestrator's supervision tallies."""
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    giveups: int = 0
+    backoff_time: float = 0.0
+    reconnects: int = 0
+    breaker_trips: int = 0
+    breaker_rejections: int = 0
+    dedup_hits: int = 0
+    handshakes_expired: int = 0
+    restarts: int = 0
+    quarantined: int = 0
+
+
+@dataclass
 class PlatformMetrics:
     """One snapshot of the whole deployment."""
 
@@ -75,6 +94,9 @@ class PlatformMetrics:
     audit_records: int
     audit_chain_ok: bool
     shields: ShieldMetrics = field(default_factory=ShieldMetrics)
+    network_duplicated: int = 0
+    network_delayed: int = 0
+    recovery: RecoveryMetrics = field(default_factory=RecoveryMetrics)
 
     def to_rows(self) -> List[List[str]]:
         rows = []
@@ -104,7 +126,8 @@ class PlatformMetrics:
             )
         lines.append(
             f"network: {self.network_messages} messages, "
-            f"{self.network_bytes / 1e6:.1f} MB, {self.network_dropped} dropped"
+            f"{self.network_bytes / 1e6:.1f} MB, {self.network_dropped} dropped, "
+            f"{self.network_duplicated} duplicated, {self.network_delayed} delayed"
         )
         lines.append(
             f"CAS: {self.cas_sessions} sessions, {self.cas_secrets} stored "
@@ -131,6 +154,14 @@ class PlatformMetrics:
         lines.append(
             f"aead cache: {s.aead_cache_hits} hits / {s.aead_cache_misses} misses"
             + (f"; bytes by cipher: {cipher_bytes}" if cipher_bytes else "")
+        )
+        r = self.recovery
+        lines.append(
+            f"recovery: {r.retries} retries ({r.backoff_time:.3f}s backoff), "
+            f"{r.giveups} giveups, {r.reconnects} reconnects, "
+            f"{r.dedup_hits} dedup hits, breakers {r.breaker_trips} trips/"
+            f"{r.breaker_rejections} rejections, "
+            f"{r.restarts} restarts, {r.quarantined} quarantined"
         )
         return "\n".join(lines)
 
@@ -183,6 +214,20 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
     aead_counters = aead_cache_stats()
     shields.aead_cache_hits = aead_counters["hits"]
     shields.aead_cache_misses = aead_counters["misses"]
+    recovery = RecoveryMetrics()
+    for stats in stats_registry.recovery_stats_for(clocks):
+        recovery.calls += stats.calls
+        recovery.attempts += stats.attempts
+        recovery.retries += stats.retries
+        recovery.giveups += stats.giveups
+        recovery.backoff_time += stats.backoff_time
+        recovery.reconnects += stats.reconnects
+        recovery.breaker_trips += stats.breaker_trips
+        recovery.breaker_rejections += stats.breaker_rejections
+        recovery.dedup_hits += stats.dedup_hits
+        recovery.handshakes_expired += stats.handshakes_expired
+    recovery.restarts = platform.orchestrator.restarts_total
+    recovery.quarantined = platform.orchestrator.quarantined_total
     return PlatformMetrics(
         nodes=nodes,
         network_messages=platform.network.stats.messages,
@@ -193,4 +238,7 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
         audit_records=len(audit.log),
         audit_chain_ok=chain_ok,
         shields=shields,
+        network_duplicated=platform.network.stats.duplicated,
+        network_delayed=platform.network.stats.delayed,
+        recovery=recovery,
     )

@@ -9,6 +9,17 @@ data-parallel rounds.  The Fig. 8 configurations map directly:
 - ``mode=HW`` with all features (the full secureTF stack).
 
 Training always uses the full TensorFlow engine: Lite cannot train.
+
+Containers are launched through the platform orchestrator, so elastic
+recovery applies: with a ``retry_policy`` configured, the job doubles as
+the :class:`~repro.cluster.parameter_server.SyncTrainer`'s recovery
+supervisor — crashed workers are restarted (re-attested and
+re-provisioned by the orchestrator's ``on_start`` hooks) and rejoin
+their round, and a crashed PS is rebuilt from its checkpoint store at
+the same network address, resuming at the exact version it reached.
+Chaos plans (:class:`~repro.cluster.faults.FaultPlan`) attach via
+:meth:`TrainingJob.attach_chaos`; their scheduled container crashes
+fire at round boundaries through the trainer's ``tick``.
 """
 
 from __future__ import annotations
@@ -18,12 +29,20 @@ from typing import Dict, List, Optional
 
 from repro.cluster.container import Container
 from repro.crypto import encoding
-from repro.cluster.parameter_server import ParameterServer, SyncTrainer, TrainingResult
+from repro.cluster.faults import FaultPlan
+from repro.cluster.orchestrator import ContainerSpec
+from repro.cluster.parameter_server import (
+    InMemoryCheckpointStore,
+    ParameterServer,
+    SyncTrainer,
+    TrainingResult,
+)
+from repro.cluster.retry import RetryPolicy
 from repro.cluster.worker import TrainingWorker
 from repro.core.platform import SecureTFPlatform
 from repro.crypto.ed25519 import Ed25519PublicKey
 from repro.enclave.sgx import SgxMode
-from repro.errors import ConfigurationError
+from repro.errors import ClusterError, ConfigurationError
 from repro.runtime.scone import RuntimeConfig
 from repro.tensor.engine import FULL_TF_PROFILE
 
@@ -55,6 +74,11 @@ class TrainingJobConfig:
     learning_rate: float = 0.0005  # the paper's §5.4 setting
     threads_per_worker: int = 4
     seed: int = 0
+    #: When set, worker→PS RPC retries with backoff AND the job
+    #: supervises recovery (PS checkpoint/restore, container restarts).
+    retry_policy: Optional[RetryPolicy] = None
+    #: Restarts allowed per container lineage before quarantine.
+    recovery_budget: int = 3
 
 
 class TrainingJob:
@@ -74,6 +98,19 @@ class TrainingJob:
         self.ps: Optional[ParameterServer] = None
         self.trainer: Optional[SyncTrainer] = None
         self._containers: List[Container] = []
+        self._ps_spec: Optional[ContainerSpec] = None
+        self._worker_spec: Optional[ContainerSpec] = None
+        self._ps_container: Optional[Container] = None
+        self._worker_containers: List[Container] = []
+        self._worker_slots: Dict[str, int] = {}
+        self._identities: Dict[str, object] = {}
+        self._ps_store: Optional[InMemoryCheckpointStore] = None
+        self._hook_installed = False
+        #: Attached chaos plan (None = fault-free run).
+        self.chaos: Optional[FaultPlan] = None
+        #: Recovery decisions, in order (also mirrored into the chaos
+        #: plan's trace so replay tests can compare one byte stream).
+        self.recovery_events: List[str] = []
 
     # ------------------------------------------------------------------
 
@@ -104,84 +141,186 @@ class TrainingJob:
             accept_debug=self.config.mode is not SgxMode.HW,
         )
 
+    def _on_container_start(self, container: Container) -> None:
+        """Orchestrator hook: attest + provision every container of this
+        job — including *replacement* containers launched by supervision
+        (a restarted enclave has fresh memory and must re-prove itself).
+        """
+        cfg = self.config
+        if cfg.mode is SgxMode.NATIVE:
+            return
+        if not container.name.startswith(f"{cfg.session}-"):
+            return
+        identity = self.platform.provision_runtime(
+            container.runtime, container.node, cfg.session
+        )
+        self._identities[container.name] = identity
+
+    def _shield_for(self, container: Container):
+        if not self.config.network_shield:
+            return None
+        identity = self._identities.get(container.name)
+        if identity is None:
+            return None
+        return container.runtime.make_net_shield(
+            identity.tls_identity(),
+            [Ed25519PublicKey(identity.trusted_root)],
+        )
+
+    def _build_ps(self, container: Container) -> ParameterServer:
+        """The PS service for ``container`` — a replacement restores from
+        the checkpoint store (same address → same snapshot key)."""
+        return ParameterServer(
+            container.node,
+            f"{self.config.session}-ps",
+            self.platform.network,
+            learning_rate=self.config.learning_rate,
+            shield=self._shield_for(container),
+            checkpoint_store=self._ps_store,
+        )
+
+    def _build_worker(self, slot: int, container: Container) -> TrainingWorker:
+        worker = TrainingWorker(
+            f"{self.config.session}-w{slot}",
+            container.node,
+            container.runtime,
+            model_name=self.config.model_name,
+            seed=self.config.seed,
+            threads=self.config.threads_per_worker,
+            shield=self._shield_for(container),
+        )
+        self._worker_slots[worker.name] = slot
+        return worker
+
     def start(self) -> None:
-        """Launch PS + workers; attest and provision each (unless NATIVE)."""
+        """Launch PS + workers via the orchestrator; attest and provision
+        each (unless NATIVE)."""
         cfg = self.config
         nodes = self.platform.nodes
-        secure = cfg.mode is not SgxMode.NATIVE
-        if secure:
+        orchestrator = self.platform.orchestrator
+        if cfg.mode is not SgxMode.NATIVE:
             self.register_session()
+        if not self._hook_installed:
+            orchestrator.on_start.append(self._on_container_start)
+            self._hook_installed = True
+        if cfg.retry_policy is not None:
+            self._ps_store = InMemoryCheckpointStore()
+            orchestrator.restart_budget = cfg.recovery_budget
+
+        self._ps_spec = ContainerSpec(
+            f"{cfg.session}-ps", lambda node, index: self._ps_config()
+        )
+        self._worker_spec = ContainerSpec(
+            f"{cfg.session}-worker", lambda node, index: self._worker_config()
+        )
 
         # Parameter server on the last node (paper runs PS/workers on the
         # same 3 machines; placement matches Fig. 2).
-        ps_node = nodes[-1]
-        ps_shield = None
-        if secure:
-            ps_container = Container(
-                f"{cfg.session}-ps", ps_node, self._ps_config()
-            )
-            ps_runtime = ps_container.start()
-            self._containers.append(ps_container)
-            identity = self.platform.provision_runtime(
-                ps_runtime, ps_node, cfg.session
-            )
-            if cfg.network_shield:
-                ps_shield = ps_runtime.make_net_shield(
-                    identity.tls_identity(),
-                    [Ed25519PublicKey(identity.trusted_root)],
-                )
-        self.ps = ParameterServer(
-            ps_node,
-            f"{cfg.session}-ps",
-            self.platform.network,
-            learning_rate=cfg.learning_rate,
-            shield=ps_shield if cfg.network_shield else None,
-        )
+        self._ps_container = orchestrator.launch(self._ps_spec, node=nodes[-1])
+        self._containers.append(self._ps_container)
+        self.ps = self._build_ps(self._ps_container)
 
         for index in range(cfg.n_workers):
             # One worker per node, wrapping (the paper's 3-machine cluster
             # colocates the PS with a worker; PS work is microseconds).
             node = nodes[index % len(nodes)]
-            worker_shield = None
-            if secure:
-                container = Container(
-                    f"{cfg.session}-worker-{index}", node, self._worker_config()
-                )
-                runtime = container.start()
-                self._containers.append(container)
-                identity = self.platform.provision_runtime(
-                    runtime, node, cfg.session
-                )
-                if cfg.network_shield:
-                    worker_shield = runtime.make_net_shield(
-                        identity.tls_identity(),
-                        [Ed25519PublicKey(identity.trusted_root)],
-                    )
-            else:
-                container = Container(
-                    f"{cfg.session}-worker-{index}", node, self._worker_config()
-                )
-                runtime = container.start()
-                self._containers.append(container)
-            self.workers.append(
-                TrainingWorker(
-                    f"{cfg.session}-w{index}",
-                    node,
-                    runtime,
-                    model_name=cfg.model_name,
-                    seed=cfg.seed,
-                    threads=cfg.threads_per_worker,
-                    shield=worker_shield,
-                )
-            )
+            container = orchestrator.launch(self._worker_spec, node=node)
+            self._containers.append(container)
+            self._worker_containers.append(container)
+            self.workers.append(self._build_worker(index, container))
 
         self.ps.initialize(self.workers[0].initial_weights())
-        self.trainer = SyncTrainer(self.platform.network, self.ps, self.workers)
+        self.trainer = SyncTrainer(
+            self.platform.network,
+            self.ps,
+            self.workers,
+            retry=cfg.retry_policy,
+            recovery=self if cfg.retry_policy is not None else None,
+        )
 
     def train(self, batches: List, steps: Optional[int] = None) -> TrainingResult:
         if self.trainer is None:
             raise ConfigurationError("start() the job before training")
         return self.trainer.train(batches, steps=steps)
+
+    # ------------------------------------------------------------------
+    # Chaos attachment + recovery supervision (SyncTrainer's ``recovery``
+    # protocol: tick / worker_ok / replace_worker / ps_ok / recover_ps).
+    # ------------------------------------------------------------------
+
+    def attach_chaos(self, plan: FaultPlan) -> None:
+        """Subject this job's traffic to ``plan`` (message faults now,
+        container crashes at the round boundaries the plan schedules)."""
+        self.chaos = plan
+        self.platform.network.faults.append(plan.inject)
+
+    def record_recovery(self, event: str) -> None:
+        self.recovery_events.append(event)
+        if self.chaos is not None:
+            self.chaos.record(event)
+
+    def tick(self, round_index: int) -> None:
+        """Round boundary: fire the chaos plan's scheduled crashes."""
+        if self.chaos is None:
+            return
+        for crash in self.chaos.due_crashes(round_index):
+            self._apply_crash(crash.target)
+
+    def _apply_crash(self, target: str) -> None:
+        if target == "ps":
+            if self._ps_container is not None and self._ps_container.running:
+                self.platform.orchestrator.fail_container(self._ps_container)
+                self.ps.crash()
+        elif target.startswith("worker-"):
+            slot = int(target.rsplit("-", 1)[1])
+            container = self._worker_containers[slot]
+            if container.running:
+                self.platform.orchestrator.fail_container(container)
+        else:
+            raise ConfigurationError(f"unknown crash target {target!r}")
+
+    def worker_ok(self, worker: TrainingWorker) -> bool:
+        slot = self._worker_slots.get(worker.name)
+        if slot is None:
+            return True
+        return self._worker_containers[slot].running
+
+    def replace_worker(self, worker: TrainingWorker) -> TrainingWorker:
+        slot = self._worker_slots[worker.name]
+        failed = self._worker_containers[slot]
+        replacement = self.platform.orchestrator.restart(self._worker_spec, failed)
+        if replacement is None:
+            raise ClusterError(
+                f"worker slot {slot} exhausted its restart budget"
+            )
+        self._containers.append(replacement)
+        self._worker_containers[slot] = replacement
+        new_worker = self._build_worker(slot, replacement)
+        self.workers[slot] = new_worker
+        self.record_recovery(
+            f"worker-restart slot={slot} container={replacement.name}"
+        )
+        return new_worker
+
+    def ps_ok(self) -> bool:
+        return self._ps_container is not None and self._ps_container.running
+
+    def recover_ps(self) -> Optional[ParameterServer]:
+        """Restart the PS container and resume from its checkpoint."""
+        if self.ps_ok():
+            return self.ps
+        replacement = self.platform.orchestrator.restart(
+            self._ps_spec, self._ps_container
+        )
+        if replacement is None:
+            return None
+        self._ps_container = replacement
+        self._containers.append(replacement)
+        self.ps = self._build_ps(replacement)
+        self.record_recovery(
+            f"ps-restart container={replacement.name} version={self.ps.version}"
+        )
+        return self.ps
 
     def weights(self) -> Dict:
         if self.ps is None:

@@ -80,3 +80,21 @@ class ClusterError(ReproError):
 
 class RpcError(ClusterError):
     """A simulated RPC failed (timeout, node down, channel closed)."""
+
+
+class RpcTransportError(RpcError):
+    """A message was lost in transit (drop, partition, dead endpoint).
+
+    The one *retryable* RPC failure: the operation may or may not have
+    executed remotely, so retries must be idempotent (call-ID dedup).
+    """
+
+
+class StaleConnectionError(RpcError):
+    """A secure session is no longer valid on the server (restart or
+    expiry); the client should re-handshake and resend."""
+
+
+class CircuitOpenError(RpcError):
+    """A circuit breaker is open: calls to the endpoint are being shed
+    until the cooldown elapses."""

@@ -25,6 +25,7 @@ from repro._sim.clock import SimClock
 
 _FS_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _NET_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_RECOVERY_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 def register_fs_stats(stats: object, clock: SimClock) -> None:
@@ -35,6 +36,11 @@ def register_fs_stats(stats: object, clock: SimClock) -> None:
 def register_net_stats(stats: object, clock: SimClock) -> None:
     """Track a network shield's stats object under its node clock."""
     _NET_STATS.setdefault(clock, []).append(stats)
+
+
+def register_recovery_stats(stats: object, clock: SimClock) -> None:
+    """Track an RPC endpoint's resilience counters under its node clock."""
+    _RECOVERY_STATS.setdefault(clock, []).append(stats)
 
 
 def _collect(
@@ -52,3 +58,8 @@ def fs_stats_for(clocks: List[SimClock]) -> List[object]:
 def net_stats_for(clocks: List[SimClock]) -> List[object]:
     """All registered net-shield stats whose clock is in ``clocks``."""
     return list(_collect(_NET_STATS, clocks))
+
+
+def recovery_stats_for(clocks: List[SimClock]) -> List[object]:
+    """All registered recovery stats whose clock is in ``clocks``."""
+    return list(_collect(_RECOVERY_STATS, clocks))

@@ -160,12 +160,14 @@ def test_remote_provision_over_network(cas, cluster):
     )
 
 
-def test_remote_provision_errors_travel_as_rpc_errors(cas, cluster):
+def test_remote_provision_errors_travel_typed(cas, cluster):
     network = Network(CM)
     serve_cas(network, cas, address="cas")
     runtime = make_runtime(cluster[1])
     client = RemoteCasClient(network, cluster[1], "cas")
-    with pytest.raises(RpcError):
+    # The CAS's policy decision keeps its type across the RPC boundary,
+    # so callers (and the retry layer) can tell "denied" from "lost".
+    with pytest.raises(PolicyError):
         client.provision(runtime, "never-registered")
 
 
@@ -176,6 +178,6 @@ def test_remote_freshness_tracker(cas, cluster):
     tracker.commit("/f", 0, b"d0")
     tracker.verify("/f", 0, b"d0")
     tracker.commit("/f", 1, b"d1")
-    with pytest.raises(RpcError):
+    with pytest.raises(FreshnessError):
         tracker.verify("/f", 0, b"d0")
     assert cas.audit.latest("sess", "/f").version == 1

@@ -113,3 +113,91 @@ def test_stop_all(cluster):
 def test_orchestrator_needs_nodes():
     with pytest.raises(ClusterError):
         Orchestrator([])
+
+
+# --- supervised recovery --------------------------------------------------------
+
+
+def test_replacement_names_are_monotonic(cluster):
+    """Satellite: a replacement never reuses a crashed replica's name —
+    names are identities in the network and the CAS session registry."""
+    orch = Orchestrator(cluster)
+    spec = ContainerSpec("svc", config_factory)
+    first, second = orch.scale_to(spec, 2)
+    assert (first.name, second.name) == ("svc-0", "svc-1")
+    orch.fail_container(first)
+    (replacement,) = orch.recover(spec)
+    assert replacement.name == "svc-2"
+    # Even after recovery, a further scale-up keeps counting upward.
+    orch.scale_to(spec, 3)
+    names = sorted(c.name for c in orch.replicas("svc"))
+    assert names == ["svc-1", "svc-2", "svc-3"]
+
+
+def test_supervise_restarts_within_budget_then_quarantines(cluster):
+    orch = Orchestrator(cluster, restart_budget=2)
+    spec = ContainerSpec("svc", config_factory)
+    container = orch.launch(spec)
+    for round_no in range(2):
+        orch.fail_container(orch.replicas("svc")[0])
+        outcome = orch.supervise(spec)
+        (replacement,) = outcome.values()
+        assert replacement is not None and replacement.running
+    # Third crash in the same lineage: budget exhausted -> quarantine.
+    orch.fail_container(orch.replicas("svc")[0])
+    outcome = orch.supervise(spec)
+    assert list(outcome.values()) == [None]
+    assert orch.replicas("svc") == []
+    assert len(orch.quarantined("svc")) == 1
+    assert orch.restarts_total == 2
+    assert orch.quarantined_total == 1
+    assert any(e.startswith("restart svc-0") for e in orch.events)
+    assert any(e.startswith("quarantine svc-2") for e in orch.events)
+
+
+def test_restart_reruns_attestation_hooks(cluster):
+    """A replacement enclave has fresh memory: it must re-attest and be
+    re-provisioned exactly like the original."""
+    orch = Orchestrator(cluster)
+    attested = []
+    orch.on_start.append(lambda c: attested.append(c.name))
+    spec = ContainerSpec("svc", config_factory)
+    container = orch.launch(spec)
+    assert attested == ["svc-0"]
+    orch.fail_container(container)
+    replacement = orch.restart(spec, container)
+    assert attested == ["svc-0", replacement.name]
+
+
+def test_restart_rejects_healthy_container(cluster):
+    orch = Orchestrator(cluster)
+    spec = ContainerSpec("svc", config_factory)
+    container = orch.launch(spec)
+    with pytest.raises(ClusterError):
+        orch.restart(spec, container)
+
+
+def test_health_and_probe(cluster):
+    orch = Orchestrator(cluster)
+    spec = ContainerSpec("svc", config_factory)
+    a, b = orch.scale_to(spec, 2)
+    assert orch.probe("svc")
+    assert orch.health("svc") == {
+        "svc-0": ContainerState.RUNNING,
+        "svc-1": ContainerState.RUNNING,
+    }
+    orch.fail_container(a)
+    assert not orch.probe("svc")
+    assert orch.health("svc")["svc-0"] is ContainerState.FAILED
+
+
+def test_budget_is_per_lineage_not_global(cluster):
+    orch = Orchestrator(cluster, restart_budget=1)
+    spec = ContainerSpec("svc", config_factory)
+    a, b = orch.scale_to(spec, 2)
+    orch.fail_container(a)
+    orch.fail_container(b)
+    outcome = orch.supervise(spec)
+    # Each lineage has its own budget of 1: both replaced.
+    assert all(c is not None for c in outcome.values())
+    assert len(orch.replicas("svc")) == 2

@@ -1,0 +1,186 @@
+"""Chaos plane: deterministic fault injection into the network."""
+
+import pytest
+
+from repro.cluster import Network, make_cluster
+from repro.cluster.faults import (
+    CrashFault,
+    FaultPlan,
+    FaultSpec,
+    TransientPartition,
+)
+from repro.cluster.rpc import RpcClient, RpcServer
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.errors import RpcTransportError
+
+
+@pytest.fixture
+def cluster(provisioning):
+    return make_cluster(2, CM, provisioning, seed=7)
+
+
+@pytest.fixture
+def network():
+    return Network(CM)
+
+
+def echo_server(network, node, address="echo"):
+    server = RpcServer(network, address, node)
+    server.register("echo", lambda payload, peer: payload)
+    server.start()
+    return server
+
+
+def drive(plan, legs=200, size=256):
+    """Feed ``legs`` message legs through a plan, off-network."""
+    outcomes = []
+    for i in range(legs):
+        outcomes.append(plan.inject("a", "b", size, float(i)))
+    return outcomes
+
+
+def test_same_seed_same_fault_sequence():
+    spec = FaultSpec(loss=0.1, delay=0.2, duplication=0.15)
+    plan_a = FaultPlan(99, spec)
+    plan_b = FaultPlan(99, spec)
+    drive(plan_a)
+    drive(plan_b)
+    assert plan_a.events == plan_b.events
+    assert plan_a.trace_bytes() == plan_b.trace_bytes()
+    assert plan_a.counters == plan_b.counters
+    assert plan_a.counters.losses > 0
+    assert plan_a.counters.delays > 0
+    assert plan_a.counters.duplicates > 0
+
+
+def test_different_seed_different_sequence():
+    spec = FaultSpec(loss=0.2, delay=0.2, duplication=0.2)
+    plan_a = FaultPlan(1, spec)
+    plan_b = FaultPlan(2, spec)
+    drive(plan_a)
+    drive(plan_b)
+    assert plan_a.events != plan_b.events
+
+
+def test_loss_raises_transport_error_and_counts_no_bytes(cluster, network):
+    echo_server(network, cluster[0])
+    client = RpcClient(network, "client", cluster[1])
+    plan = FaultPlan(0, FaultSpec(loss=1.0))
+    network.faults.append(plan.inject)
+    with pytest.raises(RpcTransportError):
+        client.call("echo", "echo", b"hello")
+    # Satellite: dropped traffic never inflates delivered-bytes stats.
+    assert network.stats.bytes_transferred == 0
+    assert network.stats.messages == 0
+    assert network.stats.dropped == 1
+    assert plan.counters.losses == 1
+
+
+def test_latency_spike_slows_the_caller(cluster, network):
+    echo_server(network, cluster[0])
+    client = RpcClient(network, "client", cluster[1])
+    baseline_start = cluster[1].clock.now
+    client.call("echo", "echo", b"x")
+    baseline = cluster[1].clock.now - baseline_start
+
+    spike = 0.25
+    plan = FaultPlan(0, FaultSpec(delay=1.0, delay_seconds=spike))
+    network.faults.append(plan.inject)
+    start = cluster[1].clock.now
+    client.call("echo", "echo", b"x")
+    elapsed = cluster[1].clock.now - start
+    # Both legs spike.
+    assert elapsed == pytest.approx(baseline + 2 * spike)
+    assert network.stats.delayed == 2
+
+
+def test_duplicate_delivery_reaches_handler_twice(cluster, network):
+    hits = []
+    server = RpcServer(network, "svc", cluster[0])
+    server.register("ping", lambda payload, peer: bytes(hits.append(1) or b"ok"))
+    server.start()
+    client = RpcClient(network, "client", cluster[1])
+    plan = FaultPlan(0, FaultSpec(duplication=1.0))
+    network.faults.append(plan.inject)
+    assert client.call("svc", "ping", b"") == b"ok"
+    # Request leg duplicated -> handler ran twice; both copies counted.
+    assert len(hits) == 2
+    assert network.stats.duplicated == 2  # request + response legs
+
+
+def test_transient_partition_heals_with_time(cluster, network):
+    echo_server(network, cluster[0])
+    client = RpcClient(network, "client", cluster[1])
+    plan = FaultPlan(
+        0, partitions=[TransientPartition("echo", start=0.0, end=5.0)]
+    )
+    network.faults.append(plan.inject)
+    with pytest.raises(RpcTransportError):
+        client.call("echo", "echo", b"x")
+    assert plan.counters.partition_drops == 1
+    cluster[1].clock.advance_to(5.0)
+    assert client.call("echo", "echo", b"x") == b"x"
+
+
+def test_partition_takes_no_rng_draws():
+    """Partition drops are clock-driven: they must not consume the
+    stream, or healing time would shift every later probabilistic draw."""
+    spec = FaultSpec(loss=0.3, delay=0.3, duplication=0.3)
+    partition = TransientPartition("a", 0.0, 10.0)
+    plan_part = FaultPlan(5, spec, partitions=[partition])
+    plan_flat = FaultPlan(5, spec)
+    # First 10 legs hit the partition in one plan only.
+    for i in range(10):
+        plan_part.inject("a", "b", 64, float(i))
+    # From t=10 both plans see identical in-scope legs.
+    a = [plan_part.inject("a", "b", 64, 10.0 + i) for i in range(50)]
+    b = [plan_flat.inject("a", "b", 64, 10.0 + i) for i in range(50)]
+    assert a == b
+
+
+def test_spec_target_scoping():
+    spec = FaultSpec(loss=1.0, targets=frozenset({"ps"}))
+    plan = FaultPlan(0, spec)
+    assert plan.inject("cas", "client", 10, 0.0) is None
+    action = plan.inject("worker", "ps", 10, 0.0)
+    assert action is not None and action.drop
+
+
+def test_due_crashes_fire_once_in_order():
+    plan = FaultPlan(
+        0,
+        crashes=[
+            CrashFault("worker-1", at_round=2),
+            CrashFault("ps", at_round=2),
+            CrashFault("ps", at_round=4),
+        ],
+    )
+    assert plan.due_crashes(0) == []
+    round2 = plan.due_crashes(2)
+    assert [c.target for c in round2] == ["ps", "worker-1"]  # sorted
+    assert plan.due_crashes(2) == []  # fired exactly once
+    assert [c.target for c in plan.due_crashes(4)] == ["ps"]
+    assert plan.counters.crashes == 3
+    assert "crash ps round=2" in plan.events
+
+
+@pytest.mark.chaos
+def test_randomized_sweep_many_seeds(cluster, network):
+    """Long randomized sweep: chaos at assorted rates never corrupts a
+    reply that does get through, and stats stay self-consistent."""
+    echo_server(network, cluster[0])
+    client = RpcClient(network, "client", cluster[1])
+    for seed in range(25):
+        plan = FaultPlan(
+            seed, FaultSpec(loss=0.05 * (seed % 5), delay=0.1, duplication=0.1)
+        )
+        network.faults = [plan.inject]
+        delivered = 0
+        for i in range(40):
+            try:
+                assert client.call("echo", "echo", b"p%d" % i) == b"p%d" % i
+                delivered += 1
+            except RpcTransportError:
+                pass
+        if plan.spec.loss == 0:
+            assert delivered == 40

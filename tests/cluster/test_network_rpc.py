@@ -10,7 +10,7 @@ from repro.crypto.ed25519 import Ed25519PrivateKey
 from repro.crypto.tls import TlsIdentity
 from repro.enclave.attestation import ProvisioningAuthority
 from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
-from repro.errors import RpcError
+from repro.errors import IntegrityError, RpcError, SecurityError
 from repro.runtime.net_shield import NetworkShield
 
 
@@ -163,7 +163,6 @@ def test_payload_not_visible_on_wire(secure_setup):
 
 
 def test_tampered_secure_response_detected(secure_setup):
-    from repro.errors import IntegrityError
 
     _, _, client, _, network, _ = secure_setup
     conn = client.connect("secure")
@@ -192,7 +191,8 @@ def test_tampered_secure_request_rejected_by_server(secure_setup):
         return data
 
     network.adversary = tamper
-    with pytest.raises(RpcError):
+    # The server's IntegrityError travels back typed, not as bare RpcError.
+    with pytest.raises(IntegrityError):
         conn.call("echo", b"payload")
 
 
@@ -211,7 +211,9 @@ def test_untrusted_client_cannot_connect(secure_setup, rng):
         rng.child("mallory"),
     )
     rogue = SecureRpcClient(network, "mallory", cluster[2], rogue_shield)
-    with pytest.raises(RpcError):
+    # The server's certificate rejection comes back as a security
+    # failure (never retried), not a generic transport error.
+    with pytest.raises(SecurityError):
         rogue.connect("secure")
 
 
@@ -221,3 +223,132 @@ def test_unknown_connection_rejected(secure_setup):
     conn._conn = 9999
     with pytest.raises(RpcError):
         conn.call("echo", b"")
+
+
+# --- secure-session resilience --------------------------------------------------
+
+
+def make_retrying_client(secure_setup, **policy_kw):
+    from repro.cluster.retry import RetryPolicy
+
+    ca, rng, _, server, network, cluster = secure_setup
+    shield = make_shield(ca, rng, cluster[1], "retrier")
+    return SecureRpcClient(
+        network, "retrier", cluster[1], shield,
+        retry=RetryPolicy(jitter=0.0, **policy_kw),
+    )
+
+
+def test_stale_secure_connection_is_typed(secure_setup):
+    from repro.errors import StaleConnectionError
+
+    _, _, client, _, _, _ = secure_setup
+    conn = client.connect("secure")
+    conn._conn = 9999
+    with pytest.raises(StaleConnectionError):
+        conn.call("echo", b"")
+
+
+def test_pending_handshakes_expire_by_count(secure_setup):
+    from repro.cluster.rpc import _envelope
+
+    _, _, client, server, network, cluster = secure_setup
+    server.PENDING_CAPACITY = 4
+    # Abandoned hs1s (client crashes before hs2) must not pin memory.
+    for i in range(10):
+        network.call(
+            "client", cluster[1].clock, "secure",
+            _envelope("hs1", hello=client._shield.client_handshake(
+                now=cluster[1].clock.now).hello()),
+        )
+    assert len(server._pending) <= 4 + 1
+    assert server.stats.handshakes_expired >= 5
+
+
+def test_pending_handshakes_expire_by_age(secure_setup):
+    from repro.cluster.rpc import _envelope
+
+    _, _, client, server, network, cluster = secure_setup
+    network.call(
+        "client", cluster[1].clock, "secure",
+        _envelope("hs1", hello=client._shield.client_handshake(
+            now=cluster[1].clock.now).hello()),
+    )
+    assert len(server._pending) == 1
+    cluster[1].clock.advance(server.PENDING_TTL + 1.0)
+    network.call(
+        "client", cluster[1].clock, "secure",
+        _envelope("hs1", hello=client._shield.client_handshake(
+            now=cluster[1].clock.now).hello()),
+    )
+    # The sweep on the second hs1 evicted the stale first one.
+    assert len(server._pending) == 1
+    assert server.stats.handshakes_expired == 1
+
+
+def test_secure_reconnect_after_server_restart(secure_setup):
+    """A server that loses all session state (container restart) forces a
+    transparent re-handshake; the call still succeeds."""
+    ca, rng, _, server, network, cluster = secure_setup
+    client = make_retrying_client(secure_setup)
+    conn = client.connect("secure")
+    assert conn.call("echo", b"before") == b"before"
+
+    # Simulate a crash + supervised restart: fresh server, no sessions.
+    server.abort()
+    server_shield = make_shield(ca, rng, cluster[0], "server2")
+    replacement = SecureRpcServer(network, "secure", cluster[0], server_shield)
+    replacement.register("echo", lambda payload, peer: payload)
+    replacement.start()
+
+    assert conn.call("echo", b"after") == b"after"
+    assert client.stats.reconnects >= 1
+    assert conn.peer_subject == "server2"
+
+
+def test_partition_during_handshake_retries_after_heal(secure_setup):
+    """Satellite: a partition between hs1 and hs2 heals while the client
+    backs off; connect() restarts the handshake from scratch."""
+    _, _, _, server, network, cluster = secure_setup
+    client = make_retrying_client(secure_setup, max_attempts=8, base_delay=0.5)
+
+    heal_at = cluster[1].clock.now + 1.0
+    partitioned = {"on": False}
+
+    def observer(old, new):
+        if new >= heal_at and partitioned["on"]:
+            network.heal("secure")
+            partitioned["on"] = False
+
+    cluster[1].clock.subscribe(observer)
+    network.partition("secure")
+    partitioned["on"] = True
+
+    conn = client.connect("secure")
+    assert conn.call("echo", b"through") == b"through"
+    assert client.stats.retries >= 1
+    # The abandoned first hs1 (if any) stays server-side until swept.
+    assert server.stats.handshakes_expired == 0
+
+
+def test_secure_call_retries_through_partition_heal(secure_setup):
+    _, _, _, server, network, cluster = secure_setup
+    client = make_retrying_client(secure_setup, max_attempts=8, base_delay=0.5)
+    conn = client.connect("secure")
+
+    heal_at = cluster[1].clock.now + 1.0
+    partitioned = {"on": False}
+
+    def observer(old, new):
+        if new >= heal_at and partitioned["on"]:
+            network.heal("secure")
+            partitioned["on"] = False
+
+    cluster[1].clock.subscribe(observer)
+    network.partition("secure")
+    partitioned["on"] = True
+
+    # The in-flight session may or may not survive; the retry layer
+    # reconnects as needed and the call completes after the heal.
+    assert conn.call("echo", b"persist") == b"persist"
+    assert client.stats.retries >= 1

@@ -9,7 +9,7 @@ from repro.crypto import encoding
 from repro.data import synthetic_mnist
 from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
 from repro.enclave.sgx import SgxMode
-from repro.errors import ClusterError, RpcError
+from repro.errors import ClusterError
 from repro.runtime.scone import RuntimeConfig
 from repro.tensor.arrays import encode_array_dict
 from repro.tensor.engine import FULL_TF_PROFILE
@@ -91,7 +91,8 @@ def test_gradient_shape_mismatch_rejected(cluster, network):
     from repro.cluster.rpc import RpcClient
 
     client = RpcClient(network, "direct", cluster[0])
-    with pytest.raises(RpcError):
+    # Remote ClusterErrors keep their type across the RPC boundary.
+    with pytest.raises(ClusterError):
         client.call("ps", "push", payload)
 
 
@@ -110,7 +111,8 @@ def test_unknown_gradient_name_rejected(cluster, network):
     from repro.cluster.rpc import RpcClient
 
     client = RpcClient(network, "direct", cluster[0])
-    with pytest.raises(RpcError):
+    # Remote ClusterErrors keep their type across the RPC boundary.
+    with pytest.raises(ClusterError):
         client.call("ps", "push", payload)
 
 
@@ -119,7 +121,7 @@ def test_pull_before_initialize_fails(cluster, network):
     from repro.cluster.rpc import RpcClient
 
     client = RpcClient(network, "direct", cluster[0])
-    with pytest.raises(RpcError):
+    with pytest.raises(ClusterError):
         client.call("ps", "pull", b"")
 
 

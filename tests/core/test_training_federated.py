@@ -143,7 +143,6 @@ def test_unauthorized_party_cannot_submit():
     from repro.crypto.certs import Certificate
     from repro.crypto.ed25519 import Ed25519PrivateKey
     from repro.crypto.tls import TlsIdentity
-    from repro.errors import RpcError
     from repro.runtime.net_shield import NetworkShield
 
     platform = SecureTFPlatform(PlatformConfig(n_nodes=3, seed=5))
@@ -169,6 +168,7 @@ def test_unauthorized_party_cannot_submit():
     )
     outsider = SecureRpcClient(platform.network, "rg", node, shield)
     conn = outsider.connect(fl.address)
-    with pytest.raises(RpcError):
+    # The aggregator's authentication rejection arrives typed.
+    with pytest.raises(AttestationError):
         conn.call("pull_global", b"")
     fl.stop()
