@@ -16,19 +16,22 @@ the local cluster, itself running inside an enclave.  It:
   distributed rollback protection (§3.3.2).
 """
 
-from repro.cas.secrets_db import HardwareCounter, SecretsDatabase
+from repro.cas.secrets_db import HardwareCounter, SecretsDatabase, TwoSlotSealedStore
 from repro.cas.policy import Policy, PolicyEngine
-from repro.cas.audit import FreshnessAuditService, AuditRecord
+from repro.cas.audit import AuditCheckpoint, AuditRecord, FreshnessAuditService
 from repro.cas.keys import KeyManager, ProvisionedIdentity
 from repro.cas.service import CasService, ProvisionBundle
 from repro.cas.client import CasClient, RemoteCasClient
+from repro.cas.failover import CasPairStats, ReplicatedCasPair
 
 __all__ = [
     "HardwareCounter",
     "SecretsDatabase",
+    "TwoSlotSealedStore",
     "Policy",
     "PolicyEngine",
     "FreshnessAuditService",
+    "AuditCheckpoint",
     "AuditRecord",
     "KeyManager",
     "ProvisionedIdentity",
@@ -36,4 +39,6 @@ __all__ = [
     "ProvisionBundle",
     "CasClient",
     "RemoteCasClient",
+    "CasPairStats",
+    "ReplicatedCasPair",
 ]

@@ -17,6 +17,7 @@ from repro.cas.keys import ProvisionedIdentity
 from repro.cas.service import CasService, ProvisionBundle, derive_provision_key
 from repro.cluster.network import Network
 from repro.cluster.node import Node
+from repro.cluster.retry import RetryPolicy
 from repro.cluster.rpc import RpcClient, RpcServer
 from repro.crypto import encoding
 from repro.crypto.x25519 import X25519PrivateKey, X25519PublicKey
@@ -80,15 +81,20 @@ class RemoteCasClient:
         node: Node,
         cas_address: str,
         trace: Optional[EventTrace] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self._network = network
         self._node = node
         self._cas_address = cas_address
         self._trace = trace
+        self._retry = retry
 
     def provision(self, runtime: SconeRuntime, session: str) -> ProvisionedIdentity:
         client = RpcClient(
-            self._network, f"cas-client@{self._node.node_id}", self._node
+            self._network,
+            f"cas-client@{self._node.node_id}",
+            self._node,
+            retry=self._retry,
         )
 
         def send(sess: str, quote: Quote) -> ProvisionBundle:
@@ -137,9 +143,16 @@ class RemoteFreshnessTracker:
     """FreshnessTracker backed by CAS's audit service over the network."""
 
     def __init__(
-        self, network: Network, node: Node, owner: str, cas_address: str = "cas"
+        self,
+        network: Network,
+        node: Node,
+        owner: str,
+        cas_address: str = "cas",
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        self._client = RpcClient(network, f"audit-{owner}@{node.node_id}", node)
+        self._client = RpcClient(
+            network, f"audit-{owner}@{node.node_id}", node, retry=retry
+        )
         self._owner = owner
         self._cas_address = cas_address
 

@@ -1,0 +1,178 @@
+"""CAS high availability: primary/backup replication + failover.
+
+CAS is the root of the paper's trust story — and therefore its single
+point of failure: if the node running CAS dies, no enclave can be
+provisioned and every freshness check stalls.  This module pairs two
+CAS instances on *different* nodes:
+
+- **Logical replication.**  Sealed blobs cannot cross nodes (the sealing
+  key is derived from the CPU's fused root, §4.3), so the pair mirrors
+  *operations*, not snapshots: every policy registration and every audit
+  record is pushed to the standby over the simulated network, and the
+  primary only treats a mutation as committed once the standby has
+  acknowledged it (quorum 2/2).  The standby applies records through its
+  own hash chain, so after any prefix of replication both heads agree.
+- **Promotion.**  Failover re-registers the standby's public CAS server
+  at the primary's well-known address.  Clients built on PR 2's retrying
+  RPC plumbing (``RemoteCasClient``/``RemoteFreshnessTracker`` with a
+  retry policy) see transport errors while the address is vacant, back
+  off, and transparently reach the promoted standby — which serves the
+  same policies, the same session fs-keys, and a byte-identical audit
+  chain.
+- **Shared trust root.**  The pair shares its CA identity (exchanged at
+  pairing time over an attested channel in production), so certificates
+  issued before the failover keep verifying after it.
+
+The orchestrator supervises the pair like any service: a probe checks
+the well-known address is served, and the recovery action is
+:meth:`ReplicatedCasPair.promote`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cas.client import serve_cas
+from repro.cas.service import CasService
+from repro.cluster.network import Network
+from repro.cluster.retry import RetryPolicy
+from repro.cluster.rpc import RpcClient, RpcServer
+from repro.crypto import encoding
+from repro.errors import RpcError
+
+
+@dataclass
+class CasPairStats:
+    """Replication/failover counters (surfaced via collect_metrics)."""
+
+    ops_replicated: int = 0      # policy registrations mirrored
+    records_replicated: int = 0  # audit records mirrored
+    quorum_acks: int = 0         # standby acknowledgements received
+    failovers: int = 0           # promotions performed
+
+
+class ReplicatedCasPair:
+    """Two CAS instances, one address, quorum-acked replication."""
+
+    def __init__(
+        self,
+        network: Network,
+        primary: CasService,
+        backup: CasService,
+        address: str = "cas",
+        backup_address: str = "cas-backup",
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        if primary.node is backup.node:
+            raise RpcError("a CAS pair must span two nodes to survive one")
+        self.network = network
+        self.primary = primary
+        self.backup = backup
+        self.address = address
+        self.backup_address = backup_address
+        self.stats = CasPairStats()
+        #: The instance currently serving the well-known address.
+        self.active = primary
+
+        # Shared trust root (see module docstring): certificates issued
+        # by either instance verify against the one CA.
+        backup.keys.ca = primary.keys.ca
+
+        # The standby's replication endpoint (internal address).
+        self._backup_server = RpcServer(network, backup_address, backup.node)
+        self._backup_server.register("repl_policy", self._handle_repl_policy)
+        self._backup_server.register("repl_audit", self._handle_repl_audit)
+        self._backup_server.start()
+
+        self._repl_client = RpcClient(
+            network,
+            f"cas-repl@{primary.node.node_id}",
+            primary.node,
+            retry=retry,
+        )
+
+        primary.replicator = self._replicate_op
+        primary.audit.add_commit_hook(self._replicate_record)
+
+        # The primary's public CAS API at the well-known address.
+        self.primary_server = serve_cas(network, primary, address=address)
+        self.backup_public_server: Optional[RpcServer] = None
+
+    # -- primary-side replication ----------------------------------------
+
+    def _quorum_call(self, method: str, payload: bytes) -> None:
+        """Push one mutation to the standby; the ack completes the quorum
+        (primary + standby = 2/2).  Raises RpcError when the standby is
+        unreachable — an unreplicated mutation is not committed."""
+        reply = self._repl_client.call(self.backup_address, method, payload)
+        if reply != b"ok":
+            raise RpcError(f"standby rejected {method}: {reply!r}")
+        self.stats.quorum_acks += 1
+
+    def _replicate_op(self, op: str, payload: dict) -> None:
+        if op != "register_policy":
+            raise RpcError(f"unknown replicated operation {op!r}")
+        self._quorum_call("repl_policy", encoding.encode(payload))
+        self.stats.ops_replicated += 1
+
+    def _replicate_record(self, record) -> None:
+        self._quorum_call(
+            "repl_audit",
+            encoding.encode(
+                {
+                    "owner": record.owner,
+                    "path": record.path,
+                    "version": record.version,
+                    "digest": record.digest,
+                }
+            ),
+        )
+        self.stats.records_replicated += 1
+
+    # -- standby-side apply ----------------------------------------------
+
+    def _handle_repl_policy(self, payload: bytes, peer) -> bytes:
+        body = encoding.decode(payload)
+        self.backup.apply_replicated_policy(
+            body["policy"], dict(body["secrets"]), body["fs_key"]
+        )
+        return b"ok"
+
+    def _handle_repl_audit(self, payload: bytes, peer) -> bytes:
+        body = encoding.decode(payload)
+        self.backup.audit.commit(
+            body["owner"], body["path"], body["version"], body["digest"]
+        )
+        return b"ok"
+
+    # -- failure + promotion ----------------------------------------------
+
+    def fail_primary(self) -> None:
+        """Crash the primary's public endpoint (chaos injection)."""
+        self.primary_server.abort()
+        # A dead primary stops replicating; the hook dies with it.
+        self.primary.replicator = None
+
+    def probe(self) -> bool:
+        """Is the well-known CAS address being served?"""
+        return self.network.is_registered(self.address)
+
+    def promote(self) -> None:
+        """Serve the standby at the well-known address (failover).
+
+        Idempotent: promoting an already-active pair is a no-op, so the
+        orchestrator's watchdog can call this unconditionally.
+        """
+        if self.probe():
+            return
+        if self.active is self.backup:
+            return
+        self.backup_public_server = serve_cas(
+            self.network, self.backup, address=self.address
+        )
+        self.active = self.backup
+        self.stats.failovers += 1
+
+
+__all__ = ["CasPairStats", "ReplicatedCasPair"]

@@ -9,14 +9,25 @@ goes to untrusted storage, so the database defends itself:
 - the store's version is bound to a **hardware monotonic counter**, so
   replaying an old (validly sealed) database snapshot — the rollback
   attack on CAS itself — is detected at load time.
+
+Crash consistency: sealing and bumping the counter are two operations,
+and CAS can die between them (or between sealing and the blob reaching
+disk).  The protocol is therefore *seal first, bump last*: a snapshot is
+sealed under ``counter + 1``, persisted, and only then is the counter
+incremented.  Load accepts versions in ``{counter, counter + 1}`` — the
+latter is the persisted-but-unacknowledged snapshot, which load *rolls
+forward* by bumping the counter itself.  Any older version is a genuine
+rollback and stays rejected.  :class:`TwoSlotSealedStore` supplies the
+disk half: snapshots alternate between two slot files so a torn write
+can never destroy the newest good snapshot.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.crypto import encoding
-from repro.errors import FreshnessError, IntegrityError, SecurityError
+from repro.errors import FreshnessError, IntegrityError, SecurityError, SyscallError
 
 SealFn = Callable[[bytes], bytes]
 UnsealFn = Callable[[bytes], bytes]
@@ -83,15 +94,37 @@ class SecretsDatabase:
     # -- persistence ------------------------------------------------------
 
     def export_sealed(self) -> bytes:
-        """Seal the store for untrusted persistence; bumps the counter."""
-        self._version = self._counter.increment()
+        """Seal the store for untrusted persistence.
+
+        Seals under ``counter + 1`` **without** bumping the counter — the
+        caller must persist the blob and then call
+        :meth:`acknowledge_persisted`.  (The old protocol bumped first: a
+        crash between the bump and the blob reaching disk left every
+        on-disk snapshot older than the counter, bricking the store.)
+        """
+        version = self._counter.value + 1
         payload = encoding.encode(
-            {"version": self._version, "records": dict(self._records)}
+            {"version": version, "records": dict(self._records)}
         )
         return self._seal(payload)
 
+    def acknowledge_persisted(self) -> int:
+        """Bump the hardware counter after the sealed blob is durable.
+
+        The counter is the commit point: once bumped, every older
+        snapshot is rejectable as a rollback.
+        """
+        self._version = self._counter.increment()
+        return self._version
+
     def load_sealed(self, blob: bytes) -> int:
-        """Load a sealed snapshot; rejects tampering and rollback."""
+        """Load a sealed snapshot; rejects tampering and rollback.
+
+        Accepts versions ``counter`` (the acknowledged snapshot) and
+        ``counter + 1`` (persisted, crashed before the acknowledgement
+        bump) — the latter is rolled forward by bumping the counter now.
+        Anything older is a rollback attack.
+        """
         try:
             payload = encoding.decode(self._unseal(blob))
         except (IntegrityError, SecurityError) as exc:
@@ -99,7 +132,10 @@ class SecretsDatabase:
         if not isinstance(payload, dict) or "version" not in payload:
             raise IntegrityError("secrets database snapshot malformed")
         version = payload["version"]
-        if version != self._counter.value:
+        if version == self._counter.value + 1:
+            # Roll forward: the blob was durable, the ack bump was not.
+            self._counter.increment()
+        elif version != self._counter.value:
             raise FreshnessError(
                 f"secrets database rollback detected: snapshot version "
                 f"{version}, hardware counter {self._counter.value}"
@@ -107,3 +143,75 @@ class SecretsDatabase:
         self._records = dict(payload["records"])
         self._version = version
         return len(self._records)
+
+
+class TwoSlotSealedStore:
+    """Two-slot crash-consistent persistence for a :class:`SecretsDatabase`.
+
+    Snapshots alternate between ``{prefix}.slot0`` and ``{prefix}.slot1``
+    on untrusted storage, so a write — even one torn mid-crash — only
+    ever lands on the *older* slot; the newest good snapshot is never
+    overwritten.  Combined with the seal-first/bump-last protocol above,
+    a crash at any boundary of :meth:`save` leaves the store loadable:
+
+    - before the slot write, or torn during it: the other slot holds the
+      acknowledged snapshot (version == counter) — clean load;
+    - after the write, before the ack bump: the new slot holds version
+      counter + 1 — :meth:`SecretsDatabase.load_sealed` rolls forward;
+    - after the bump: clean load of the new snapshot.
+
+    Restoring *both* slots from an old disk image leaves every candidate
+    below the hardware counter — :meth:`load` raises FreshnessError, the
+    rollback stays detected.
+    """
+
+    def __init__(self, syscalls, prefix: str) -> None:
+        self._syscalls = syscalls
+        self._prefix = prefix
+        self._next_slot = 0
+
+    def slot_path(self, slot: int) -> str:
+        return f"{self._prefix}.slot{slot}"
+
+    def save(self, db: SecretsDatabase) -> str:
+        """Seal, persist to the older slot, then acknowledge (bump)."""
+        blob = db.export_sealed()
+        path = self.slot_path(self._next_slot)
+        self._syscalls.write_file(path, blob)
+        self._next_slot = 1 - self._next_slot
+        db.acknowledge_persisted()
+        return path
+
+    def _candidates(self, db: SecretsDatabase) -> List[Tuple[int, int, bytes]]:
+        """(version, slot, blob) of every slot that unseals cleanly."""
+        found: List[Tuple[int, int, bytes]] = []
+        for slot in (0, 1):
+            try:
+                blob = self._syscalls.read_file(self.slot_path(slot)).content
+            except SyscallError:
+                continue
+            try:
+                payload = encoding.decode(db._unseal(blob))
+            except (IntegrityError, SecurityError):
+                continue  # torn or tampered slot: ignore, the other wins
+            if isinstance(payload, dict) and "version" in payload:
+                found.append((payload["version"], slot, blob))
+        return found
+
+    def load(self, db: SecretsDatabase) -> int:
+        """Load the newest valid slot into ``db`` (mount-time recovery).
+
+        Raises FreshnessError when the best surviving snapshot is older
+        than the hardware counter (rollback), IntegrityError when no slot
+        unseals at all.
+        """
+        candidates = self._candidates(db)
+        if not candidates:
+            raise IntegrityError(
+                f"no loadable secrets-database slot under {self._prefix!r}"
+            )
+        version, slot, blob = max(candidates)
+        count = db.load_sealed(blob)
+        # Resume alternation so the next save overwrites the older slot.
+        self._next_slot = 1 - slot
+        return count

@@ -26,7 +26,7 @@ from repro._sim.trace import EventTrace
 from repro.cas.audit import FreshnessAuditService
 from repro.cas.keys import KeyManager, ProvisionedIdentity
 from repro.cas.policy import Policy, PolicyEngine
-from repro.cas.secrets_db import HardwareCounter, SecretsDatabase
+from repro.cas.secrets_db import HardwareCounter, SecretsDatabase, TwoSlotSealedStore
 from repro.cluster.node import Node
 from repro.crypto import encoding
 from repro.crypto.aead import AeadKey
@@ -82,6 +82,8 @@ class CasService:
         provisioning_root,
         mode: SgxMode = SgxMode.HW,
         trace: Optional[EventTrace] = None,
+        counter: Optional[HardwareCounter] = None,
+        persist_prefix: Optional[str] = None,
     ) -> None:
         self.node = node
         self._trace = trace
@@ -105,7 +107,7 @@ class CasService:
         enclave = self._runtime.enclave
         assert enclave is not None
         self._enclave = enclave
-        self._counter = HardwareCounter()
+        self._counter = counter if counter is not None else HardwareCounter()
         self.db = SecretsDatabase(
             seal=enclave.seal, unseal=enclave.unseal, counter=self._counter
         )
@@ -115,6 +117,16 @@ class CasService:
         self._verifier = AttestationVerifier(provisioning_root)
         self._rng = rng.child("provision")
         self._member_counters: Dict[str, int] = {}
+        #: Crash-consistent sealed persistence on this node's untrusted
+        #: storage (None = in-memory only, the pre-hardening behaviour).
+        self.store: Optional[TwoSlotSealedStore] = (
+            TwoSlotSealedStore(self._runtime.syscalls, persist_prefix)
+            if persist_prefix is not None
+            else None
+        )
+        #: Replication hook: called with ``(op, payload)`` after every
+        #: state mutation (installed by :mod:`repro.cas.failover`).
+        self.replicator = None
 
     # ------------------------------------------------------------------
 
@@ -139,7 +151,78 @@ class CasService:
         for name, value in (secrets or {}).items():
             self.db.put(f"secret/{policy.session}/{name}", value)
         self.db.put(f"fs_key/{policy.session}", self.keys.new_symmetric_key())
-        self.db.export_sealed()  # persist the new state
+        self.db.put(f"policy/{policy.session}", self._encode_policy(policy))
+        self.persist()
+        if self.replicator is not None:
+            self.replicator(
+                "register_policy",
+                {
+                    "policy": self._encode_policy(policy),
+                    "secrets": dict(secrets or {}),
+                    "fs_key": self.db.get(f"fs_key/{policy.session}"),
+                },
+            )
+
+    def apply_replicated_policy(
+        self, policy_bytes: bytes, secrets: Dict[str, bytes], fs_key: bytes
+    ) -> None:
+        """Install a policy replicated from the primary (standby side).
+
+        Unlike :meth:`register_policy`, the fs-shield key is the
+        *primary's* — enclaves re-provisioned after a failover must
+        receive the same key or every shielded file becomes unreadable.
+        """
+        policy = self._decode_policy(policy_bytes)
+        self.policies.register(policy)
+        for name, value in secrets.items():
+            self.db.put(f"secret/{policy.session}/{name}", value)
+        self.db.put(f"fs_key/{policy.session}", fs_key)
+        self.db.put(f"policy/{policy.session}", policy_bytes)
+        self.persist()
+
+    @staticmethod
+    def _encode_policy(policy: Policy) -> bytes:
+        return encoding.encode(
+            {
+                "session": policy.session,
+                "allowed_measurements": list(policy.allowed_measurements),
+                "secret_names": list(policy.secret_names),
+                "accept_debug": policy.accept_debug,
+                "max_members": policy.max_members,
+            }
+        )
+
+    @staticmethod
+    def _decode_policy(data: bytes) -> Policy:
+        payload = encoding.decode(data)
+        return Policy(
+            session=payload["session"],
+            allowed_measurements=list(payload["allowed_measurements"]),
+            secret_names=list(payload["secret_names"]),
+            accept_debug=payload["accept_debug"],
+            max_members=payload["max_members"],
+        )
+
+    def persist(self) -> None:
+        """Seal + persist the database (two-slot, crash-consistent)."""
+        if self.store is not None:
+            self.store.save(self.db)
+        else:
+            # No disk: still exercise the seal-then-ack protocol so the
+            # counter binds the latest state.
+            self.db.export_sealed()
+            self.db.acknowledge_persisted()
+
+    def restore(self) -> int:
+        """Mount-time recovery: load the newest valid sealed slot and
+        rebuild the policy engine from the restored records."""
+        if self.store is None:
+            raise PolicyError("CAS has no persistence store configured")
+        count = self.store.load(self.db)
+        self.policies = PolicyEngine()
+        for key in self.db.keys("policy/"):
+            self.policies.register(self._decode_policy(self.db.get(key)))
+        return count
 
     def owner_fs_key(self, session: str) -> bytes:
         """The session's fs-shield key, released to the *data owner*.

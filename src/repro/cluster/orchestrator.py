@@ -63,8 +63,11 @@ class Orchestrator:
         #: network and the CAS session registry).
         self._spec_indices: Dict[str, int] = {}
         self._quarantined: Dict[str, List[Container]] = {}
-        #: Supervision decisions, in order (restart/quarantine).
+        #: Supervision decisions, in order (restart/quarantine/failover).
         self.events: List[str] = []
+        #: Singleton services under watchdog supervision:
+        #: name -> (health probe, recovery action).
+        self._services: Dict[str, tuple] = {}
 
     @property
     def nodes(self) -> List[Node]:
@@ -192,6 +195,34 @@ class Orchestrator:
         for container in list(self._replicas.get(spec.name, [])):
             if container.state is ContainerState.FAILED:
                 outcome[container.name] = self.restart(spec, container)
+        return outcome
+
+    # -- singleton-service watchdog -------------------------------------
+
+    def register_service(
+        self,
+        name: str,
+        probe: Callable[[], bool],
+        recover: Callable[[], None],
+    ) -> None:
+        """Supervise a non-container service (e.g. the CAS pair): when
+        ``probe()`` goes false, run ``recover()`` — typically a standby
+        promotion rather than a restart."""
+        self._services[name] = (probe, recover)
+
+    def supervise_services(self) -> Dict[str, bool]:
+        """One watchdog pass over registered services.
+
+        Returns name -> health *before* recovery; unhealthy services had
+        their recovery action run (and an event logged).
+        """
+        outcome: Dict[str, bool] = {}
+        for name, (probe, recover) in self._services.items():
+            healthy = bool(probe())
+            outcome[name] = healthy
+            if not healthy:
+                recover()
+                self.events.append(f"service-failover {name}")
         return outcome
 
     def recover(self, spec: ContainerSpec) -> List[Container]:

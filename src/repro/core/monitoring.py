@@ -52,6 +52,12 @@ class ShieldMetrics:
     fs_key_cache_misses: int = 0
     fs_chunk_cache_hits: int = 0
     fs_chunk_cache_misses: int = 0
+    # Storage-plane robustness (journaled shields).
+    fs_torn_writes_detected: int = 0
+    fs_chunks_repaired: int = 0
+    fs_recovery_scans: int = 0
+    fs_recoveries_rolled_back: int = 0
+    fs_recoveries_rolled_forward: int = 0
     net_records_protected: int = 0
     net_records_opened: int = 0
     net_crypto_bytes: int = 0
@@ -79,6 +85,10 @@ class RecoveryMetrics:
     handshakes_expired: int = 0
     restarts: int = 0
     quarantined: int = 0
+    # CAS high availability.
+    cas_failovers: int = 0
+    cas_ops_replicated: int = 0
+    cas_records_replicated: int = 0
 
 
 @dataclass
@@ -155,6 +165,13 @@ class PlatformMetrics:
             f"aead cache: {s.aead_cache_hits} hits / {s.aead_cache_misses} misses"
             + (f"; bytes by cipher: {cipher_bytes}" if cipher_bytes else "")
         )
+        lines.append(
+            f"storage: {s.fs_torn_writes_detected} torn/rotted artifacts "
+            f"detected, {s.fs_chunks_repaired} chunks repaired, "
+            f"{s.fs_recovery_scans} recovery scans "
+            f"({s.fs_recoveries_rolled_back} rolled back / "
+            f"{s.fs_recoveries_rolled_forward} rolled forward)"
+        )
         r = self.recovery
         lines.append(
             f"recovery: {r.retries} retries ({r.backoff_time:.3f}s backoff), "
@@ -162,6 +179,11 @@ class PlatformMetrics:
             f"{r.dedup_hits} dedup hits, breakers {r.breaker_trips} trips/"
             f"{r.breaker_rejections} rejections, "
             f"{r.restarts} restarts, {r.quarantined} quarantined"
+        )
+        lines.append(
+            f"cas ha: {r.cas_failovers} failovers, "
+            f"{r.cas_ops_replicated} ops / {r.cas_records_replicated} audit "
+            f"records replicated"
         )
         return "\n".join(lines)
 
@@ -183,7 +205,7 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
                 enclave_transitions=node.cpu.transitions,
             )
         )
-    audit = platform.cas.audit
+    audit = platform.active_cas.audit
     chain_ok = True
     try:
         audit.verify_chain()
@@ -201,6 +223,11 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
         shields.fs_key_cache_misses += stats.key_cache_misses
         shields.fs_chunk_cache_hits += stats.chunk_cache_hits
         shields.fs_chunk_cache_misses += stats.chunk_cache_misses
+        shields.fs_torn_writes_detected += stats.torn_writes_detected
+        shields.fs_chunks_repaired += stats.chunks_repaired
+        shields.fs_recovery_scans += stats.recovery_scans
+        shields.fs_recoveries_rolled_back += stats.recoveries_rolled_back
+        shields.fs_recoveries_rolled_forward += stats.recoveries_rolled_forward
         for name, n in stats.bytes_by_cipher.items():
             shields.bytes_by_cipher[name] = shields.bytes_by_cipher.get(name, 0) + n
     for stats in stats_registry.net_stats_for(clocks):
@@ -228,13 +255,17 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
         recovery.handshakes_expired += stats.handshakes_expired
     recovery.restarts = platform.orchestrator.restarts_total
     recovery.quarantined = platform.orchestrator.quarantined_total
+    if platform.cas_pair is not None:
+        recovery.cas_failovers = platform.cas_pair.stats.failovers
+        recovery.cas_ops_replicated = platform.cas_pair.stats.ops_replicated
+        recovery.cas_records_replicated = platform.cas_pair.stats.records_replicated
     return PlatformMetrics(
         nodes=nodes,
         network_messages=platform.network.stats.messages,
         network_bytes=platform.network.stats.bytes_transferred,
         network_dropped=platform.network.stats.dropped,
-        cas_sessions=len(platform.cas.policies.sessions()),
-        cas_secrets=len(platform.cas.db),
+        cas_sessions=len(platform.active_cas.policies.sessions()),
+        cas_secrets=len(platform.active_cas.db),
         audit_records=len(audit.log),
         audit_chain_ok=chain_ok,
         shields=shields,

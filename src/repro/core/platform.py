@@ -16,7 +16,9 @@ from repro._sim.rng import DeterministicRng
 from repro._sim.trace import EventTrace
 from repro.cas import CasService, Policy
 from repro.cas.client import RemoteCasClient, serve_cas
+from repro.cas.failover import ReplicatedCasPair
 from repro.cluster import Network, Node, Orchestrator, make_cluster
+from repro.cluster.retry import RetryPolicy
 from repro.enclave.attestation import AttestationVerifier, ProvisioningAuthority, Report
 from repro.enclave.cost_model import DEFAULT_COST_MODEL, CostModel
 from repro.enclave.sgx import SgxMode
@@ -34,6 +36,11 @@ class PlatformConfig:
     cas_node: int = 0
     cas_mode: SgxMode = SgxMode.HW
     epc_policy: str = "random"
+    #: Node index of a standby CAS replica (None = no HA pair).  Must
+    #: differ from ``cas_node``: the pair exists to survive a node loss.
+    cas_backup_node: Optional[int] = None
+    #: Retry policy CAS clients use to ride out a failover window.
+    cas_retry: Optional[RetryPolicy] = None
 
 
 class SecureTFPlatform:
@@ -58,8 +65,31 @@ class SecureTFPlatform:
             self.provisioning.public_key(),
             mode=self.config.cas_mode,
         )
-        self.cas_server = serve_cas(self.network, self.cas, address="cas")
         self.orchestrator = Orchestrator(self.nodes)
+        self.cas_pair: Optional[ReplicatedCasPair] = None
+        if self.config.cas_backup_node is not None:
+            if self.config.cas_backup_node == self.config.cas_node:
+                raise ConfigurationError(
+                    "the CAS standby must live on a different node"
+                )
+            backup = CasService(
+                self.nodes[self.config.cas_backup_node],
+                self.provisioning.public_key(),
+                mode=self.config.cas_mode,
+            )
+            self.cas_pair = ReplicatedCasPair(
+                self.network,
+                self.cas,
+                backup,
+                address="cas",
+                retry=self.config.cas_retry,
+            )
+            self.cas_server = self.cas_pair.primary_server
+            self.orchestrator.register_service(
+                "cas", self.cas_pair.probe, self.cas_pair.promote
+            )
+        else:
+            self.cas_server = serve_cas(self.network, self.cas, address="cas")
 
     @property
     def cost_model(self) -> CostModel:
@@ -103,10 +133,17 @@ class SecureTFPlatform:
         self.cas.register_policy(policy, secrets=secrets)
         return policy
 
+    @property
+    def active_cas(self) -> CasService:
+        """The CAS instance currently serving the well-known address."""
+        return self.cas_pair.active if self.cas_pair is not None else self.cas
+
     def cas_client(
         self, node: Node, trace: Optional[EventTrace] = None
     ) -> RemoteCasClient:
-        return RemoteCasClient(self.network, node, "cas", trace=trace)
+        return RemoteCasClient(
+            self.network, node, "cas", trace=trace, retry=self.config.cas_retry
+        )
 
     def provision_runtime(self, runtime: SconeRuntime, node: Node, session: str):
         """Attest a running container to CAS and install its secrets."""

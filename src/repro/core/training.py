@@ -79,6 +79,10 @@ class TrainingJobConfig:
     retry_policy: Optional[RetryPolicy] = None
     #: Restarts allowed per container lineage before quarantine.
     recovery_budget: int = 3
+    #: Journaled (crash-consistent) checkpoint shield layout.
+    checkpoint_journal: bool = False
+    #: Replica count for checkpoint chunks (self-healing reads).
+    checkpoint_replicas: int = 1
 
 
 class TrainingJob:
@@ -355,14 +359,16 @@ class TrainingJob:
         )
         return FileSystemShield(
             syscalls,
-            self.platform.cas.owner_fs_key(self.config.session),
+            self.platform.active_cas.owner_fs_key(self.config.session),
             [PathRule("/secure/checkpoints/", ShieldPolicy.ENCRYPT)],
             self.platform.cost_model,
             node.clock,
             freshness=ScopedFreshnessTracker(
-                self.platform.cas.audit,
+                self.platform.active_cas.audit,
                 f"{self.config.session}@{node.node_id}",
             ),
+            journal=self.config.checkpoint_journal,
+            replicas=self.config.checkpoint_replicas,
         )
 
     def checkpoint_path(self) -> str:

@@ -54,8 +54,25 @@ class SyscallError(ReproError):
     """A simulated system call failed."""
 
 
-class ShieldError(SecurityError):
-    """A file-system or network shield operation failed verification."""
+class ShieldError(IntegrityError):
+    """A file-system or network shield operation failed verification.
+
+    Shield failures are integrity failures: protected data (or its
+    metadata) did not authenticate.  Subclassing :class:`IntegrityError`
+    lets callers that handle "authenticated data failed verification"
+    treat shield-layer detections uniformly with AEAD/MAC failures.
+    """
+
+
+class StorageCrash(ReproError):
+    """The (simulated) process died at a storage syscall boundary.
+
+    Raised by the storage fault injector to model kill -9 / power loss
+    mid-commit.  Deliberately *not* a :class:`SecurityError` — a crash is
+    an availability event, and *not* an RPC error — retry machinery must
+    never swallow it.  Tests catch it, then "remount" by constructing a
+    fresh shield over the surviving :class:`VirtualFileSystem`.
+    """
 
 
 class GraphError(ReproError):

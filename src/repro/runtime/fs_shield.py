@@ -17,6 +17,30 @@ version to a :class:`FreshnessTracker` and verifies against it on read.
 Cost model: the paper measures shield cryptography at AES-NI rates
 (~4 GB/s, §5.3 #2); real ChaCha20 here runs on the *real* bytes while
 time is charged for the *declared* size at that bandwidth.
+
+Crash consistency (the storage-plane hardening): the legacy *inline*
+layout stores the whole envelope in one file, which is only atomic if
+every OS write is — an assumption a hostile or crashing host does not
+honour.  The *journaled* layout (``journal=True``, implied by
+``replicas > 1``) therefore commits like a database:
+
+1. every protected chunk is written to its own generation-named shadow
+   file (``{path}.__chunk.{version}.{index}.{replica}``), ``replicas``
+   copies each, never overwriting the live generation;
+2. an authenticated manifest (chunk digests, version, geometry, MAC
+   under the file key) is written to ``{path}.__commit``;
+3. one atomic ``rename`` flips the manifest over ``{path}`` — THE
+   commit point;
+4. the version is committed to the freshness tracker, then stale
+   generations are garbage-collected.
+
+A crash at *any* syscall boundary leaves the file at exactly the old or
+the new version; :meth:`FileSystemShield.recover` (the mount-time scan)
+rolls uncommitted flips back, rolls the freshness record forward across
+a crash between steps 3 and 4, collects strays, and re-replicates
+damaged chunk copies.  Reads self-heal: a torn/rotted replica is
+detected (manifest digest + AEAD), repaired from any intact copy, and
+counted — the shield fails closed only when no valid replica remains.
 """
 
 from __future__ import annotations
@@ -34,11 +58,20 @@ from repro.crypto import encoding
 from repro.crypto.aead import get_aead
 from repro.crypto.kdf import hkdf
 from repro.enclave.cost_model import CostModel
-from repro.errors import FreshnessError, IntegrityError, ShieldError
+from repro.errors import FreshnessError, IntegrityError, ShieldError, SyscallError
 from repro.runtime import stats_registry
 from repro.runtime.syscall import SyscallInterface
 
 DEFAULT_CHUNK_SIZE = 64 * 1024
+
+#: Suffix of the pending (not yet flipped) manifest of a journaled commit.
+COMMIT_SUFFIX = ".__commit"
+
+#: Separator of generation-named shadow chunk files.
+CHUNK_MARKER = ".__chunk."
+
+#: Domain separator of the manifest MAC.
+_MANIFEST_MAC_INFO = b"securetf-fs-manifest"
 
 # Decrypted chunks cached per shield, capped in bytes (not entries) so a
 # few huge model files can't pin unbounded plaintext.
@@ -116,6 +149,13 @@ class FsShieldStats:
     chunk_cache_misses: int = 0
     real_crypto_time: float = 0.0
     bytes_by_cipher: Dict[str, int] = field(default_factory=dict)
+    # Storage-plane robustness counters (journaled layout).
+    torn_writes_detected: int = 0     # invalid/missing stored artifacts seen
+    chunks_repaired: int = 0          # replicas rewritten from an intact copy
+    recovery_scans: int = 0           # mount-time recover() passes
+    recoveries_rolled_back: int = 0   # uncommitted flips discarded
+    recoveries_rolled_forward: int = 0  # freshness commits completed post-crash
+    replicas_written: int = 0         # chunk replica files written
 
 
 class FileSystemShield:
@@ -132,11 +172,19 @@ class FileSystemShield:
         cipher: str = "chacha20-poly1305",
         freshness: Optional[FreshnessTracker] = None,
         chunk_cache_bytes: int = DEFAULT_CHUNK_CACHE_BYTES,
+        journal: bool = False,
+        replicas: int = 1,
     ) -> None:
         if len(master_key) != 32:
             raise ShieldError("file-system shield needs a 32-byte master key")
         if chunk_size <= 0:
             raise ShieldError(f"chunk size must be positive: {chunk_size}")
+        if replicas < 1:
+            raise ShieldError(f"replica count must be >= 1: {replicas}")
+        #: k-way chunk replication implies the journaled (multi-file)
+        #: layout — replicas only exist as separate shadow files.
+        self._journal = journal or replicas > 1
+        self._replicas = replicas
         self._syscalls = syscalls
         self._master_key = master_key
         self._rules = list(rules)
@@ -242,6 +290,54 @@ class FileSystemShield:
             self._chunk_cache_used -= len(evicted)
 
     # ------------------------------------------------------------------
+    # Chunk protection (shared by both layouts)
+    # ------------------------------------------------------------------
+
+    def _protect_chunks(
+        self, path: str, policy: ShieldPolicy, version: int, chunks: List[bytes]
+    ) -> Tuple[List[bytes], str]:
+        protected: List[bytes] = []
+        if policy is ShieldPolicy.ENCRYPT:
+            aead = get_aead(self._cipher, self._file_key(path))
+            for index, chunk in enumerate(chunks):
+                aad = self._aad(path, policy, version, index, len(chunks))
+                protected.append(
+                    aead.encrypt(self._chunk_nonce(version, index), chunk, aad)
+                )
+                self.stats.chunks_sealed += 1
+            return protected, self._cipher
+        # AUTHENTICATE: plaintext chunks, keyed digests alongside
+        key = self._file_key(path)
+        for index, chunk in enumerate(chunks):
+            aad = self._aad(path, policy, version, index, len(chunks))
+            mac = hashlib.sha256(key + aad + chunk).digest()
+            protected.append(mac + chunk)
+            self.stats.chunks_sealed += 1
+        return protected, "sha256-auth"
+
+    def _open_chunk(
+        self,
+        path: str,
+        policy: ShieldPolicy,
+        version: int,
+        index: int,
+        n_chunks: int,
+        protected: bytes,
+        cipher: str,
+    ) -> bytes:
+        """Verify and open one protected chunk (raises IntegrityError)."""
+        aad = self._aad(path, policy, version, index, n_chunks)
+        if policy is ShieldPolicy.ENCRYPT:
+            aead = get_aead(cipher, self._file_key(path))
+            return aead.decrypt(self._chunk_nonce(version, index), protected, aad)
+        if len(protected) < 32:
+            raise IntegrityError(f"chunk {index} of {path!r} truncated")
+        mac, body = protected[:32], protected[32:]
+        if hashlib.sha256(self._file_key(path) + aad + body).digest() != mac:
+            raise IntegrityError(f"chunk {index} of {path!r} failed authentication")
+        return body
+
+    # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
 
@@ -270,28 +366,25 @@ class FileSystemShield:
 
         chunks = self._split(plaintext)
         n_chunks = max(1, -(-simulated // self._chunk_size))
-        protected: List[bytes] = []
         started = time.perf_counter()
-        if policy is ShieldPolicy.ENCRYPT:
-            aead = get_aead(self._cipher, self._file_key(path))
-            for index, chunk in enumerate(chunks):
-                aad = self._aad(path, policy, version, index, len(chunks))
-                protected.append(
-                    aead.encrypt(self._chunk_nonce(version, index), chunk, aad)
-                )
-                self.stats.chunks_sealed += 1
-            crypto_label = self._cipher
-        else:  # AUTHENTICATE: plaintext chunks, keyed digests alongside
-            key = self._file_key(path)
-            for index, chunk in enumerate(chunks):
-                aad = self._aad(path, policy, version, index, len(chunks))
-                mac = hashlib.sha256(key + aad + chunk).digest()
-                protected.append(mac + chunk)
-                self.stats.chunks_sealed += 1
-            crypto_label = "sha256-auth"
+        protected, crypto_label = self._protect_chunks(path, policy, version, chunks)
         self._account_real_crypto(
             crypto_label, len(plaintext), time.perf_counter() - started
         )
+
+        if self._journal:
+            self._write_journaled(
+                path,
+                policy,
+                version,
+                chunks,
+                protected,
+                plaintext_size=len(plaintext),
+                simulated=simulated,
+                n_chunks=n_chunks,
+                declared_size=declared_size,
+            )
+            return
 
         envelope = encoding.encode(
             {
@@ -330,6 +423,8 @@ class FileSystemShield:
             envelope = encoding.decode(file.content)
         except IntegrityError as exc:
             raise ShieldError(f"corrupt shield envelope for {path!r}") from exc
+        if isinstance(envelope, dict) and "mac" in envelope and "body" in envelope:
+            return self._read_journaled(path, file, policy, envelope)
         for field in ("policy", "version", "cipher", "chunk_size", "plaintext_size", "chunks"):
             if field not in envelope:
                 raise ShieldError(f"shield envelope for {path!r} missing {field!r}")
@@ -406,6 +501,308 @@ class FileSystemShield:
                 f"{envelope['plaintext_size']} for {path!r}"
             )
         return plaintext
+
+    # ------------------------------------------------------------------
+    # Journaled layout: atomic commits, replicas, self-healing, recovery
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _chunk_path(path: str, version: int, index: int, replica: int) -> str:
+        return f"{path}{CHUNK_MARKER}{version}.{index}.{replica}"
+
+    def _manifest_mac(self, path: str, body_bytes: bytes) -> bytes:
+        return hashlib.sha256(
+            self._file_key(path) + _MANIFEST_MAC_INFO + body_bytes
+        ).digest()
+
+    def _decode_manifest(self, path: str, raw: bytes) -> Optional[dict]:
+        """Decode + authenticate a journal manifest; None when ``raw`` is
+        not a journal manifest at all; IntegrityError when it is one but
+        fails authentication or is malformed."""
+        try:
+            envelope = encoding.decode(raw)
+        except IntegrityError:
+            return None
+        if not isinstance(envelope, dict) or "mac" not in envelope or "body" not in envelope:
+            return None
+        body_bytes = envelope["body"]
+        if envelope["mac"] != self._manifest_mac(path, body_bytes):
+            raise IntegrityError(f"manifest of {path!r} failed authentication")
+        body = encoding.decode(body_bytes)
+        for name in (
+            "policy", "version", "cipher", "chunk_size", "plaintext_size",
+            "declared_size", "n_chunks", "replicas", "chunk_digests",
+        ):
+            if name not in body:
+                raise IntegrityError(f"manifest of {path!r} missing {name!r}")
+        if len(body["chunk_digests"]) != body["n_chunks"]:
+            raise IntegrityError(f"manifest of {path!r} has inconsistent geometry")
+        return body
+
+    def _write_journaled(
+        self,
+        path: str,
+        policy: ShieldPolicy,
+        version: int,
+        chunks: List[bytes],
+        protected: List[bytes],
+        *,
+        plaintext_size: int,
+        simulated: int,
+        n_chunks: int,
+        declared_size: Optional[int],
+    ) -> None:
+        """The crash-consistent commit: shadow chunks -> pending manifest
+        -> atomic rename flip -> freshness commit -> GC."""
+        digests = [hashlib.sha256(blob).digest() for blob in protected]
+        for index, blob in enumerate(protected):
+            for replica in range(self._replicas):
+                self._syscalls.write_file(
+                    self._chunk_path(path, version, index, replica), blob
+                )
+                self.stats.replicas_written += 1
+        body_bytes = encoding.encode(
+            {
+                "policy": policy.value,
+                "version": version,
+                "cipher": self._cipher,
+                "chunk_size": self._chunk_size,
+                "plaintext_size": plaintext_size,
+                "declared_size": simulated,
+                "n_chunks": len(chunks),
+                "replicas": self._replicas,
+                "chunk_digests": digests,
+            }
+        )
+        manifest = encoding.encode(
+            {"body": body_bytes, "mac": self._manifest_mac(path, body_bytes)}
+        )
+        self._charge_crypto(simulated, n_chunks)
+        pending = path + COMMIT_SUFFIX
+        declared = (
+            declared_size
+            if declared_size is not None and declared_size >= len(manifest)
+            else None
+        )
+        self._syscalls.write_file(pending, manifest, declared_size=declared)
+        self._syscalls.rename(pending, path)  # THE commit point
+        self.stats.files_written += 1
+        digest = hashlib.sha256(manifest).digest()
+        if self._freshness is not None:
+            self._freshness.commit(path, version, digest)
+        self._gc_generations(path, keep_version=version)
+        for index, chunk in enumerate(chunks):
+            self._chunk_cache_put(path, version, digest, index, chunk)
+
+    def _gc_generations(self, path: str, keep_version: int) -> None:
+        """Unlink shadow chunks of every generation except ``keep_version``."""
+        marker = path + CHUNK_MARKER
+        for chunk_file in self._syscalls.list_dir(marker):
+            try:
+                generation = int(chunk_file[len(marker):].split(".", 1)[0])
+            except ValueError:
+                continue
+            if generation != keep_version:
+                self._syscalls.unlink(chunk_file)
+
+    def _load_chunk_replicas(
+        self,
+        path: str,
+        version: int,
+        index: int,
+        replicas: int,
+        expected_digest: bytes,
+    ) -> Tuple[Optional[bytes], List[int]]:
+        """Fetch one chunk's replicas; returns (first intact copy or
+        None, list of damaged/missing replica indices)."""
+        valid: Optional[bytes] = None
+        damaged: List[int] = []
+        for replica in range(replicas):
+            chunk_file = self._chunk_path(path, version, index, replica)
+            try:
+                content = self._syscalls.read_file(chunk_file).content
+            except SyscallError:
+                damaged.append(replica)
+                self.stats.torn_writes_detected += 1
+                continue
+            if hashlib.sha256(content).digest() != expected_digest:
+                damaged.append(replica)
+                self.stats.torn_writes_detected += 1
+                continue
+            if valid is None:
+                valid = content
+        return valid, damaged
+
+    def _repair_replicas(
+        self, path: str, version: int, index: int, damaged: List[int], blob: bytes
+    ) -> None:
+        """Re-replicate an intact chunk copy over each damaged replica."""
+        for replica in damaged:
+            self._syscalls.write_file(
+                self._chunk_path(path, version, index, replica), blob
+            )
+            self.stats.chunks_repaired += 1
+
+    def _read_journaled(
+        self, path: str, file, policy: ShieldPolicy, envelope: dict
+    ) -> bytes:
+        body_bytes = envelope["body"]
+        if envelope["mac"] != self._manifest_mac(path, body_bytes):
+            raise IntegrityError(f"manifest of {path!r} failed authentication")
+        body = self._decode_manifest(path, file.content)
+        assert body is not None
+        if body["policy"] != policy.value:
+            raise ShieldError(
+                f"policy mismatch for {path!r}: stored {body['policy']!r}, "
+                f"configured {policy.value!r}"
+            )
+        version = body["version"]
+        n_chunks = body["n_chunks"]
+        simulated = body["declared_size"]
+        self._charge_crypto(simulated, max(1, -(-simulated // self._chunk_size)))
+
+        digest = hashlib.sha256(file.content).digest()
+        if self._freshness is not None:
+            self._freshness.verify(path, version, digest)
+
+        plaintext_parts: List[bytes] = []
+        real_bytes = 0
+        started = time.perf_counter()
+        for index in range(n_chunks):
+            cached = self._chunk_cache_get(path, version, digest, index)
+            if cached is not None:
+                plaintext_parts.append(cached)
+                continue
+            blob, damaged = self._load_chunk_replicas(
+                path, version, index, body["replicas"], body["chunk_digests"][index]
+            )
+            if blob is None:
+                raise IntegrityError(
+                    f"chunk {index} of {path!r}: no intact replica remains"
+                )
+            part = self._open_chunk(
+                path, policy, version, index, n_chunks, blob, body["cipher"]
+            )
+            if damaged:  # self-heal: rewrite every damaged copy
+                self._repair_replicas(path, version, index, damaged, blob)
+            plaintext_parts.append(part)
+            real_bytes += len(part)
+            self.stats.chunks_opened += 1
+            self._chunk_cache_put(path, version, digest, index, part)
+        if real_bytes:
+            self._account_real_crypto(
+                body["cipher"] if policy is ShieldPolicy.ENCRYPT else "sha256-auth",
+                real_bytes,
+                time.perf_counter() - started,
+            )
+
+        plaintext = b"".join(plaintext_parts)
+        if len(plaintext) != body["plaintext_size"]:
+            raise ShieldError(
+                f"reassembled size {len(plaintext)} != recorded "
+                f"{body['plaintext_size']} for {path!r}"
+            )
+        return plaintext
+
+    # ------------------------------------------------------------------
+    # Mount-time recovery scan
+    # ------------------------------------------------------------------
+
+    def recover(self, prefix: str = "", heal: bool = True) -> Dict[str, str]:
+        """Reconcile untrusted storage after a crash (run at mount).
+
+        Per journaled file: discards uncommitted manifest flips (the old
+        version stays live), completes freshness commits interrupted
+        between the flip and the tracker (authenticated roll-forward —
+        only the *next* version with a valid MAC qualifies; anything
+        older is a rollback and stays rejected), garbage-collects stale
+        chunk generations, and (``heal=True``) re-replicates damaged
+        chunk copies.  Returns ``{path: outcome}`` with outcomes
+        ``clean`` / ``rolled-back`` / ``rolled-forward`` / ``stale`` /
+        ``damaged``.  Never raises on a damaged or stale file — those
+        fail closed at read time.
+        """
+        self.stats.recovery_scans += 1
+        report: Dict[str, str] = {}
+        paths = self._syscalls.list_dir(prefix)
+
+        strays: Dict[str, List[str]] = {}
+        bases: List[str] = []
+        for p in paths:
+            if p.endswith(COMMIT_SUFFIX):
+                base = p[: -len(COMMIT_SUFFIX)]
+                # An unflipped commit: the crash landed between the
+                # pending-manifest write and the rename.  Roll back.
+                self._syscalls.unlink(p)
+                self.stats.recoveries_rolled_back += 1
+                report[base] = "rolled-back"
+            elif CHUNK_MARKER in p:
+                strays.setdefault(p.split(CHUNK_MARKER, 1)[0], []).append(p)
+            else:
+                bases.append(p)
+
+        for base in sorted(set(bases) | set(strays)):
+            if self.policy_for(base) is ShieldPolicy.PASSTHROUGH:
+                continue
+            if base not in bases:
+                # Shadow chunks without any manifest: the first commit of
+                # a new file never flipped.  The file never existed.
+                for p in strays.get(base, []):
+                    self._syscalls.unlink(p)
+                if base not in report:
+                    self.stats.recoveries_rolled_back += 1
+                    report[base] = "rolled-back"
+                continue
+            raw = self._syscalls.read_file(base).content
+            try:
+                body = self._decode_manifest(base, raw)
+            except IntegrityError:
+                self.stats.torn_writes_detected += 1
+                report[base] = "damaged"
+                continue
+            if body is None:  # inline envelope or foreign file
+                for p in strays.get(base, []):
+                    self._syscalls.unlink(p)
+                continue
+            version = body["version"]
+            digest = hashlib.sha256(raw).digest()
+            outcome = report.get(base, "clean")
+            if self._freshness is not None:
+                try:
+                    self._freshness.verify(base, version, digest)
+                except FreshnessError:
+                    try:
+                        # Roll forward: the commit reached disk but died
+                        # before the tracker heard about it.  commit()
+                        # enforces monotonicity, so only a genuinely
+                        # newer (and MAC-valid) manifest can pass here.
+                        self._freshness.commit(base, version, digest)
+                        outcome = "rolled-forward"
+                        self.stats.recoveries_rolled_forward += 1
+                    except FreshnessError:
+                        outcome = "stale"
+            # GC stale generations (crash during a previous GC).
+            marker = base + CHUNK_MARKER
+            for p in strays.get(base, []):
+                try:
+                    generation = int(p[len(marker):].split(".", 1)[0])
+                except ValueError:
+                    continue
+                if generation != version:
+                    self._syscalls.unlink(p)
+            if heal and outcome in ("clean", "rolled-forward"):
+                for index in range(body["n_chunks"]):
+                    blob, damaged = self._load_chunk_replicas(
+                        base, version, index, body["replicas"],
+                        body["chunk_digests"][index],
+                    )
+                    if blob is None:
+                        outcome = "damaged"
+                        break
+                    if damaged:
+                        self._repair_replicas(base, version, index, damaged, blob)
+            report[base] = outcome
+        return report
 
     def drop_caches(self) -> None:
         """Forget cached file keys and plaintext chunks (never required

@@ -50,6 +50,11 @@ class RuntimeConfig:
     fs_rules: List[PathRule] = field(default_factory=list)
     fs_key: Optional[bytes] = None
     fs_chunk_size: int = 64 * 1024
+    #: Crash-consistent (journaled) shield layout: atomic rename commits
+    #: plus mount-time recovery.  Implied by ``fs_replicas > 1``.
+    fs_journal: bool = False
+    #: k-way replica placement for shielded chunks (self-healing reads).
+    fs_replicas: int = 1
     freshness: Optional[FreshnessTracker] = None
     #: SCONE_ALLOW_DLOPEN analogue: permit runtime library loading, with
     #: mandatory fs-shield authentication (§4.1 — required for Python).
@@ -198,6 +203,8 @@ class SconeRuntime:
             self.clock,
             chunk_size=self.config.fs_chunk_size,
             freshness=freshness if freshness is not None else self.config.freshness,
+            journal=self.config.fs_journal,
+            replicas=self.config.fs_replicas,
         )
 
     def make_net_shield(self, identity, trusted_roots) -> NetworkShield:

@@ -199,6 +199,12 @@ class SyscallInterface:
         self._charge("unlink")
         self._vfs.delete(path)
 
+    def rename(self, src: str, dst: str) -> VirtualFile:
+        """Atomically move ``src`` over ``dst`` (the commit primitive of
+        the shield's journaled write protocol)."""
+        self._charge("rename")
+        return self._vfs.rename(src, dst)
+
     def list_dir(self, prefix: str = "") -> List[str]:
         self._charge("getdents")
         paths = self._vfs.listdir(prefix)

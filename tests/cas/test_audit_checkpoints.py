@@ -1,0 +1,148 @@
+"""Bounded audit-log growth: signed checkpoints and safe truncation.
+
+The hash chain gives tamper evidence but grows without bound.  A signed
+checkpoint pins (sequence, head) under CAS's Ed25519 root; everything
+before it can then be dropped while the retained suffix — and the
+per-file freshness protection — stays verifiable.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cas import AuditCheckpoint, FreshnessAuditService
+from repro.crypto.ed25519 import Ed25519PrivateKey
+from repro.errors import FreshnessError
+
+KEY = Ed25519PrivateKey.generate(bytes(range(32)))
+WRONG_KEY = Ed25519PrivateKey.generate(bytes(range(1, 33)))
+
+
+def make_log(n=6, owner="tenant"):
+    audit = FreshnessAuditService()
+    for i in range(n):
+        audit.commit(owner, f"/f{i % 2}", i // 2 + 1, bytes([i]) * 32)
+    return audit
+
+
+def test_checkpoint_signs_the_current_head():
+    audit = make_log()
+    checkpoint = audit.checkpoint(KEY)
+    assert checkpoint.sequence == 6
+    assert checkpoint.head == audit.head
+    checkpoint.verify(KEY.public_key())
+    with pytest.raises(Exception):
+        checkpoint.verify(WRONG_KEY.public_key())
+
+
+def test_forged_checkpoint_rejected():
+    audit = make_log()
+    checkpoint = audit.checkpoint(KEY)
+    forged = AuditCheckpoint(
+        sequence=checkpoint.sequence,
+        head=b"\x42" * 32,  # claim a different history
+        signature=checkpoint.signature,
+    )
+    with pytest.raises(Exception):
+        forged.verify(KEY.public_key())
+
+
+def test_truncate_requires_a_checkpoint():
+    audit = make_log()
+    with pytest.raises(FreshnessError):
+        audit.truncate()
+
+
+def test_truncate_drops_covered_records_only():
+    audit = make_log(6)
+    audit.checkpoint(KEY)
+    audit.commit("tenant", "/f0", 5, b"\x09" * 32)  # after the checkpoint
+    assert audit.truncate() == 6
+    assert len(audit.log) == 1
+    assert audit.log[0].sequence == 6
+    # Chain verification still passes, rooted at the checkpointed head.
+    audit.verify_chain(KEY.public_key())
+
+
+def test_freshness_protection_survives_truncation():
+    audit = make_log(6)
+    audit.checkpoint(KEY)
+    audit.truncate()
+    # The latest index is untouched: verify() still enforces freshness
+    # for files whose history was dropped.
+    audit.verify("tenant", "/f0", 3, b"\x04" * 32)
+    with pytest.raises(FreshnessError):
+        audit.verify("tenant", "/f0", 2, b"\x02" * 32)  # rolled back
+
+
+def test_sequences_stay_monotonic_across_truncation():
+    audit = make_log(4)
+    audit.checkpoint(KEY)
+    audit.truncate()
+    record = audit.commit("tenant", "/f0", 9, b"\xaa" * 32)
+    assert record.sequence == 4  # no renumbering after the drop
+    audit.checkpoint(KEY)
+    assert audit.truncate() == 1
+    audit.verify_chain(KEY.public_key())
+
+
+def test_tamper_after_truncation_detected():
+    audit = make_log(4)
+    audit.checkpoint(KEY)
+    audit.truncate()
+    for i in range(3):
+        audit.commit("tenant", f"/g{i}", 1, bytes([0x10 + i]) * 32)
+    audit.verify_chain(KEY.public_key())
+    # Rewrite a retained record: the chain rooted at the signed head breaks.
+    audit._log[1] = dataclasses.replace(audit._log[1], digest=b"\xff" * 32)
+    with pytest.raises(FreshnessError):
+        audit.verify_chain(KEY.public_key())
+
+
+def test_rewriting_the_base_is_caught_by_the_checkpoint():
+    """An attacker who controls the truncated store cannot splice in a
+    different history: the first retained record must chain to the signed
+    checkpoint head."""
+    audit = make_log(4)
+    audit.checkpoint(KEY)
+    audit.truncate()
+    audit.commit("tenant", "/f0", 9, b"\xaa" * 32)
+    audit._base_head = b"\x00" * 32  # pretend history never happened
+    with pytest.raises(FreshnessError):
+        audit.verify_chain(KEY.public_key())
+
+
+def test_head_checkpoint_divergence_detected():
+    audit = make_log(4)
+    audit.checkpoint(KEY)
+    # Tamper with the last record AND its latest-index entry: the chain
+    # itself still links, but the head no longer matches the checkpoint.
+    forged = dataclasses.replace(audit._log[-1], digest=b"\xff" * 32)
+    audit._log[-1] = forged
+    audit._head = forged.record_digest()
+    with pytest.raises(FreshnessError):
+        audit.verify_chain(KEY.public_key())
+
+
+def test_commit_hooks_see_every_record_in_order():
+    audit = FreshnessAuditService()
+    seen = []
+    audit.add_commit_hook(seen.append)
+    for i in range(5):
+        audit.commit("tenant", "/f", i + 1, bytes([i]) * 32)
+    assert [r.sequence for r in seen] == [0, 1, 2, 3, 4]
+    assert seen == audit.log
+
+
+def test_repeated_checkpoint_truncate_cycles_bound_growth():
+    audit = FreshnessAuditService()
+    version = 0
+    for _ in range(5):
+        for _ in range(10):
+            version += 1
+            audit.commit("tenant", "/f", version, bytes([version % 256]) * 32)
+        audit.checkpoint(KEY)
+        audit.truncate()
+        assert len(audit.log) == 0
+    audit.verify_chain(KEY.public_key())
+    audit.verify("tenant", "/f", 50, bytes([50]) * 32)

@@ -1,0 +1,206 @@
+"""Crash consistency of CAS secrets-database persistence.
+
+The save protocol is seal-first / bump-last over a two-slot layout, so a
+crash at ANY boundary of :meth:`TwoSlotSealedStore.save` must leave the
+store loadable: before the slot write, torn mid-write, after the write
+but before the counter acknowledgement, and after the acknowledgement.
+A whole-disk rollback of *both* slots must stay detected — the hardware
+counter outlives the disk.
+"""
+
+import pytest
+
+from repro._sim import SimClock
+from repro.cas import HardwareCounter, SecretsDatabase, TwoSlotSealedStore
+from repro.crypto.aead import AeadKey
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.enclave.sgx import SgxMode
+from repro.errors import FreshnessError, IntegrityError, StorageCrash
+from repro.runtime.storage_faults import (
+    CrashPoint,
+    StorageFaultPlan,
+    StorageFaultSpec,
+)
+from repro.runtime.syscall import SyscallInterface
+from repro.runtime.vfs import VirtualFileSystem
+
+PREFIX = "/cas/secrets.db"
+
+
+def make_env():
+    vfs = VirtualFileSystem()
+    syscalls = SyscallInterface(vfs, CM, SimClock(), mode=SgxMode.NATIVE)
+    return vfs, syscalls
+
+
+def make_db(counter):
+    key = AeadKey("chacha20-poly1305", bytes(range(32)))
+    return SecretsDatabase(seal=key.seal, unseal=key.open, counter=counter)
+
+
+def reload(vfs, counter):
+    """Simulate a CAS restart: fresh enclave, surviving disk + counter."""
+    syscalls = SyscallInterface(vfs, CM, SimClock(), mode=SgxMode.NATIVE)
+    store = TwoSlotSealedStore(syscalls, PREFIX)
+    db = make_db(counter)
+    store.load(db)
+    return store, db
+
+
+def test_clean_save_load_roundtrip_alternates_slots():
+    vfs, syscalls = make_env()
+    counter = HardwareCounter()
+    db = make_db(counter)
+    store = TwoSlotSealedStore(syscalls, PREFIX)
+
+    db.put("k", b"v1")
+    store.save(db)
+    db.put("k", b"v2")
+    store.save(db)
+    assert vfs.exists(store.slot_path(0)) and vfs.exists(store.slot_path(1))
+    assert counter.value == 2
+
+    _, restored = reload(vfs, counter)
+    assert restored.get("k") == b"v2"
+
+
+def test_alternation_never_overwrites_the_newest_snapshot():
+    vfs, syscalls = make_env()
+    counter = HardwareCounter()
+    db = make_db(counter)
+    store = TwoSlotSealedStore(syscalls, PREFIX)
+    db.put("k", b"v1")
+    store.save(db)  # -> slot0, the newest good snapshot
+
+    store2, db2 = reload(vfs, counter)
+    newest_blob = vfs.read(store.slot_path(0)).content
+    db2.put("k", b"v2")
+    store2.save(db2)  # must land on slot1
+    assert vfs.read(store.slot_path(0)).content == newest_blob
+
+
+def test_crash_before_slot_write_preserves_acknowledged_snapshot():
+    vfs, syscalls = make_env()
+    counter = HardwareCounter()
+    db = make_db(counter)
+    store = TwoSlotSealedStore(syscalls, PREFIX)
+    db.put("k", b"acked")
+    store.save(db)
+
+    db.put("k", b"doomed")
+    StorageFaultPlan(0, crash_points=[CrashPoint(at_op=0)]).attach(vfs)
+    with pytest.raises(StorageCrash):
+        store.save(db)
+    vfs.faults = None
+
+    assert counter.value == 1  # the ack never ran
+    _, restored = reload(vfs, counter)
+    assert restored.get("k") == b"acked"
+
+
+def test_torn_slot_write_falls_back_to_the_other_slot():
+    vfs, syscalls = make_env()
+    counter = HardwareCounter()
+    db = make_db(counter)
+    store = TwoSlotSealedStore(syscalls, PREFIX)
+    db.put("k", b"acked")
+    store.save(db)
+
+    db.put("k", b"doomed")
+    plan = StorageFaultPlan(0, StorageFaultSpec(torn_write=1.0)).attach(vfs)
+    with pytest.raises(StorageCrash):
+        store.save(db)
+    vfs.faults = None
+    assert plan.counters.torn_writes == 1
+
+    # The torn slot exists on disk but fails unsealing; load skips it.
+    assert vfs.exists(store.slot_path(1))
+    _, restored = reload(vfs, counter)
+    assert restored.get("k") == b"acked"
+
+
+def test_crash_after_write_before_ack_rolls_forward():
+    vfs, syscalls = make_env()
+    counter = HardwareCounter()
+    db = make_db(counter)
+    store = TwoSlotSealedStore(syscalls, PREFIX)
+    db.put("k", b"old")
+    store.save(db)
+
+    db.put("k", b"new")
+    StorageFaultPlan(0, crash_points=[CrashPoint(at_op=0, after=True)]).attach(vfs)
+    with pytest.raises(StorageCrash):
+        store.save(db)
+    vfs.faults = None
+
+    # The blob (sealed under counter + 1) is durable; the bump is not.
+    assert counter.value == 1
+    _, restored = reload(vfs, counter)
+    assert restored.get("k") == b"new"
+    assert counter.value == 2  # load_sealed rolled the counter forward
+
+
+@pytest.mark.parametrize("after", [False, True])
+@pytest.mark.parametrize("generation", [1, 2, 3])
+def test_exhaustive_save_crash_sweep(generation, after):
+    """Crash the Nth save at both polarities of its single disk write:
+    the reload must see exactly the last-acknowledged or the crashed
+    generation, and the store must keep working afterwards."""
+    vfs, syscalls = make_env()
+    counter = HardwareCounter()
+    db = make_db(counter)
+    store = TwoSlotSealedStore(syscalls, PREFIX)
+    for g in range(generation):
+        db.put("k", b"gen%d" % g)
+        store.save(db)
+
+    db.put("k", b"gen%d" % generation)
+    StorageFaultPlan(0, crash_points=[CrashPoint(at_op=0, after=after)]).attach(vfs)
+    with pytest.raises(StorageCrash):
+        store.save(db)
+    vfs.faults = None
+
+    store2, restored = reload(vfs, counter)
+    expected = b"gen%d" % (generation if after else generation - 1)
+    assert restored.get("k") == expected
+
+    restored.put("k", b"recovered")
+    store2.save(restored)
+    _, again = reload(vfs, counter)
+    assert again.get("k") == b"recovered"
+
+
+def test_disk_rollback_of_both_slots_detected():
+    vfs, syscalls = make_env()
+    counter = HardwareCounter()
+    db = make_db(counter)
+    store = TwoSlotSealedStore(syscalls, PREFIX)
+    db.put("k", b"v1")
+    store.save(db)
+    snapshot = vfs.capture_state()
+    db.put("k", b"v2")
+    store.save(db)
+
+    vfs.restore_state(snapshot)  # validly sealed, but old
+    with pytest.raises(FreshnessError):
+        reload(vfs, counter)
+
+
+def test_no_loadable_slot_raises_integrity_error():
+    vfs, syscalls = make_env()
+    counter = HardwareCounter()
+    store = TwoSlotSealedStore(syscalls, PREFIX)
+    with pytest.raises(IntegrityError):
+        store.load(make_db(counter))
+
+    # Both slots present but tampered is just as dead.
+    db = make_db(counter)
+    db.put("k", b"v")
+    store.save(db)
+    db.put("k", b"w")
+    store.save(db)
+    for slot in (0, 1):
+        blob = vfs.read(store.slot_path(slot)).content
+        vfs.tamper(store.slot_path(slot), blob[:-1] + bytes([blob[-1] ^ 1]))
+    with pytest.raises(IntegrityError):
+        store.load(make_db(counter))

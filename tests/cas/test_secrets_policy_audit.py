@@ -57,8 +57,10 @@ def test_db_sealed_roundtrip(db):
 def test_db_rollback_detected(db):
     db.put("k", b"v1")
     old_blob = db.export_sealed()
+    db.acknowledge_persisted()
     db.put("k", b"v2")
-    db.export_sealed()  # counter advanced to 2
+    db.export_sealed()
+    db.acknowledge_persisted()  # counter advanced to 2
     with pytest.raises(FreshnessError):
         db.load_sealed(old_blob)
 

@@ -302,3 +302,96 @@ def test_real_crypto_time_and_cipher_bytes_recorded():
     shield.write_file("/secure/m", plaintext)
     assert shield.stats.real_crypto_time > 0.0
     assert shield.stats.bytes_by_cipher.get("chacha20-poly1305") == len(plaintext)
+
+
+# ---------------------------------------------------------------------------
+# VFS mutation attacks: AUTHENTICATE-policy files and structural truncation
+# ---------------------------------------------------------------------------
+
+
+def test_authenticate_every_byte_mutation_fails_closed():
+    """Flipping any byte of an AUTHENTICATE-policy file's stored bytes —
+    chunk body, MAC, or envelope framing — must raise IntegrityError
+    (ShieldError is one), never return modified plaintext."""
+    from repro.errors import IntegrityError
+
+    shield, vfs, _ = make_shield(chunk_size=64)
+    shield.write_file("/auth/cfg", b"threshold=42;" * 20)
+    raw = vfs.read("/auth/cfg").content
+    for position in range(0, len(raw), 41):
+        corrupted = bytearray(raw)
+        corrupted[position] ^= 0x80
+        vfs.tamper("/auth/cfg", bytes(corrupted))
+        with pytest.raises(IntegrityError):
+            shield.read_file("/auth/cfg")
+        vfs.tamper("/auth/cfg", raw)
+    assert shield.read_file("/auth/cfg") == b"threshold=42;" * 20
+
+
+def test_authenticate_chunk_reorder_detected():
+    """Swapping two validly MAC'd chunks is a mutation attack the index
+    in the AAD must catch."""
+    from repro.crypto import encoding
+    from repro.errors import IntegrityError
+
+    shield, vfs, _ = make_shield(chunk_size=64)
+    shield.write_file("/auth/cfg", bytes(range(256)))
+    envelope = encoding.decode(vfs.read("/auth/cfg").content)
+    envelope["chunks"][0], envelope["chunks"][1] = (
+        envelope["chunks"][1],
+        envelope["chunks"][0],
+    )
+    vfs.tamper("/auth/cfg", encoding.encode(envelope))
+    with pytest.raises(IntegrityError):
+        shield.read_file("/auth/cfg")
+
+
+@pytest.mark.parametrize("prefix", ["/secure/f", "/auth/f"])
+def test_last_chunk_truncation_attack_detected(prefix):
+    """Dropping the last chunk AND shrinking the declared chunk count is
+    the classic truncation forgery: every remaining chunk still carries a
+    valid MAC, but its AAD binds n_chunks, so the shrink fails closed."""
+    from repro.crypto import encoding
+    from repro.errors import IntegrityError
+
+    shield, vfs, _ = make_shield(chunk_size=64)
+    shield.write_file(prefix, bytes(range(256)))  # 4 chunks
+    envelope = encoding.decode(vfs.read(prefix).content)
+    assert len(envelope["chunks"]) == 4
+    envelope["chunks"] = envelope["chunks"][:-1]
+    envelope["plaintext_size"] = 192  # a consistent-looking shrink
+    vfs.tamper(prefix, encoding.encode(envelope))
+    with pytest.raises(IntegrityError):
+        shield.read_file(prefix)
+
+
+def test_journaled_last_chunk_truncation_detected():
+    """The journaled layout's equivalent: shrink n_chunks + chunk_digests
+    in a re-MAC'd... impossible — the manifest MAC is keyed.  An attacker
+    without the key can only replay the whole old manifest (freshness
+    catches it) or corrupt it (MAC catches it).  Verify the corrupt-path:
+    a manifest with the last digest dropped fails authentication."""
+    from repro.crypto import encoding
+    from repro.errors import IntegrityError
+
+    shield, vfs, _ = make_shield(chunk_size=64)
+    journaled = FileSystemShield(
+        shield._syscalls,
+        bytes(range(32)),
+        RULES,
+        CM,
+        SimClock(),
+        chunk_size=64,
+        replicas=2,
+    )
+    journaled.write_file("/secure/j", bytes(range(256)))
+    envelope = encoding.decode(vfs.read("/secure/j").content)
+    body = encoding.decode(envelope["body"])
+    body["n_chunks"] = 3
+    body["chunk_digests"] = body["chunk_digests"][:-1]
+    body["plaintext_size"] = 192
+    envelope["body"] = encoding.encode(body)  # MAC now stale
+    vfs.tamper("/secure/j", encoding.encode(envelope))
+    journaled.drop_caches()
+    with pytest.raises(IntegrityError):
+        journaled.read_file("/secure/j")
