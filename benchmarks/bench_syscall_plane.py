@@ -1,0 +1,163 @@
+"""The exit-less syscall plane: sync vs async throughput, ring sweeps.
+
+Measures the *simulated* cost of the enclave/OS boundary under the
+submission/completion ring (SCONE §3.3.3) against classic synchronous
+transitions, in HW mode:
+
+- raw syscall rate (calls/s) over a nop loop;
+- fs-shield read bandwidth (MB/s) for a 2 MiB encrypted model;
+- a handler-thread sweep (starvation → the plane degrades to sync
+  fallbacks at 0 handlers, queues at 1, breathes at 4);
+- a scheduler-occupancy sweep (the kernel overlap is *measured* from
+  runnable-thread occupancy, not a constant).
+
+Results go to ``BENCH.json`` under ``syscall_plane``.
+"""
+
+import pytest
+
+from harness import fmt_ms, print_table, record, run_once, save_bench
+
+from repro._sim import DeterministicRng, SimClock
+from repro.enclave.attestation import ProvisioningAuthority
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.enclave.sgx import EnclaveImage, Segment, SgxCpu, SgxMode
+from repro.runtime.fs_shield import FileSystemShield, PathRule, ShieldPolicy
+from repro.runtime.syscall import SyscallInterface
+from repro.runtime.syscall_plane import SyscallPlaneConfig
+from repro.runtime.threading_ul import UserLevelScheduler
+from repro.runtime.vfs import VirtualFileSystem
+
+N_SYSCALLS = 5000
+PAYLOAD_BYTES = 2 * 1024 * 1024
+
+
+def _hw_interface(asynchronous, handler_threads=2, runnable=4, seed=0):
+    rng = DeterministicRng(seed, label="plane-bench")
+    clock = SimClock()
+    pa = ProvisioningAuthority(rng.child("intel"))
+    cpu = SgxCpu("cpu-plane", CM, clock, pa, rng.child("cpu"))
+    image = EnclaveImage("plane", [Segment.from_content("b", b"x", "code")])
+    enclave = cpu.create_enclave(image, SgxMode.HW)
+    syscalls = SyscallInterface(
+        VirtualFileSystem(),
+        CM,
+        clock,
+        mode=SgxMode.HW,
+        enclave=enclave,
+        asynchronous=asynchronous,
+        plane_config=SyscallPlaneConfig(handler_threads=handler_threads),
+    )
+    scheduler = UserLevelScheduler(CM, clock, mode=SgxMode.HW)
+    scheduler.set_runnable(runnable)
+    syscalls.attach_scheduler(scheduler)
+    return syscalls, clock
+
+
+def _shield_over(syscalls, clock):
+    return FileSystemShield(
+        syscalls,
+        bytes(range(32)),
+        [PathRule("/secure/", ShieldPolicy.ENCRYPT)],
+        CM,
+        clock,
+        chunk_size=64 * 1024,
+    )
+
+
+def test_bench_syscall_plane(benchmark):
+    def scenario():
+        metrics = {}
+
+        # -- raw syscall rate, sync vs async --------------------------
+        for asynchronous in (False, True):
+            syscalls, clock = _hw_interface(asynchronous)
+            before = clock.now
+            for _ in range(N_SYSCALLS):
+                syscalls.nop_syscall()
+            elapsed = clock.now - before
+            key = "async" if asynchronous else "sync"
+            metrics[f"{key}_calls_s"] = N_SYSCALLS / elapsed
+
+        # -- fs-shield read bandwidth, sync vs async ------------------
+        for asynchronous in (False, True):
+            syscalls, clock = _hw_interface(asynchronous)
+            shield = _shield_over(syscalls, clock)
+            shield.write_file("/secure/model", b"w" * PAYLOAD_BYTES)
+            before = clock.now
+            shield.read_file("/secure/model")
+            elapsed = clock.now - before
+            key = "async" if asynchronous else "sync"
+            metrics[f"{key}_read_mb_s"] = PAYLOAD_BYTES / elapsed / 1e6
+            metrics[f"{key}_read_ms"] = elapsed * 1e3
+
+        # -- handler-thread sweep (posted-write drain) ----------------
+        for handlers in (0, 1, 4):
+            syscalls, clock = _hw_interface(True, handler_threads=handlers)
+            before = clock.now
+            for _ in range(N_SYSCALLS):
+                syscalls.socket_send(1024)
+            syscalls.flush()
+            metrics[f"handlers_{handlers}_send_ms"] = (clock.now - before) * 1e3
+            metrics[f"handlers_{handlers}_sync_fallbacks"] = (
+                syscalls.stats.sync_fallbacks
+            )
+
+        # -- occupancy sweep: measured kernel overlap -----------------
+        for runnable in (1, 2, 8):
+            syscalls, clock = _hw_interface(True, runnable=runnable)
+            for _ in range(500):
+                syscalls.nop_syscall("read")
+            stats = syscalls.stats
+            waited = stats.overlap_hidden_time + stats.overlap_exposed_time
+            metrics[f"overlap_runnable_{runnable}"] = (
+                stats.overlap_hidden_time / waited if waited else 0.0
+            )
+        return metrics
+
+    metrics = run_once(benchmark, scenario)
+    speedup = metrics["async_calls_s"] / metrics["sync_calls_s"]
+    print_table(
+        f"Syscall plane — {N_SYSCALLS} HW nop syscalls + 2 MiB shielded read",
+        ("path", "calls/s", "read MB/s"),
+        [
+            ("sync", f"{metrics['sync_calls_s']:,.0f}",
+             f"{metrics['sync_read_mb_s']:.1f}"),
+            ("async", f"{metrics['async_calls_s']:,.0f}",
+             f"{metrics['async_read_mb_s']:.1f}"),
+        ],
+        notes=[f"exit-less ring is {speedup:.1f}x faster on raw calls"],
+    )
+    print_table(
+        "Handler sweep — 5000 posted sends",
+        ("handlers", "time", "sync fallbacks"),
+        [
+            (n, fmt_ms(metrics[f"handlers_{n}_send_ms"] / 1e3),
+             metrics[f"handlers_{n}_sync_fallbacks"])
+            for n in (0, 1, 4)
+        ],
+    )
+    print_table(
+        "Occupancy sweep — measured kernel overlap",
+        ("runnable threads", "overlap hidden"),
+        [
+            (r, f"{metrics[f'overlap_runnable_{r}'] * 100:.0f}%")
+            for r in (1, 2, 8)
+        ],
+    )
+    record(benchmark, **metrics)
+    save_bench(
+        "syscall_plane",
+        {k: (round(v, 3) if isinstance(v, float) else v)
+         for k, v in metrics.items()},
+    )
+    # The exit-less interface must be measurably cheaper than sync
+    # transitions, and the overlap must grow with occupancy.
+    assert metrics["async_calls_s"] > metrics["sync_calls_s"]
+    assert metrics["async_read_mb_s"] > metrics["sync_read_mb_s"]
+    assert metrics["handlers_0_sync_fallbacks"] == N_SYSCALLS
+    assert (
+        metrics["overlap_runnable_1"]
+        < metrics["overlap_runnable_2"]
+        < metrics["overlap_runnable_8"]
+    )

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro._sim.clock import SimClock
 from repro.enclave.cost_model import CostModel
 from repro.errors import RpcError, RpcTransportError
+from repro.runtime.syscall import SyscallInterface
 
 #: handler(request_bytes) -> response_bytes
 Handler = Callable[[bytes], bytes]
@@ -82,6 +83,10 @@ class _Endpoint:
     address: str
     clock: SimClock
     handler: Handler
+    #: Syscall interface of the process behind the endpoint: delivery
+    #: charges its recv/send I/O through that process's syscall plane
+    #: (None for bare test handlers, which charge nothing).
+    syscalls: Optional[SyscallInterface] = None
 
 
 class Network:
@@ -95,11 +100,17 @@ class Network:
         self.faults: List[FaultInjector] = []
         self.stats = NetworkStats()
 
-    def register(self, address: str, clock: SimClock, handler: Handler) -> None:
+    def register(
+        self,
+        address: str,
+        clock: SimClock,
+        handler: Handler,
+        syscalls: Optional[SyscallInterface] = None,
+    ) -> None:
         """Bind ``handler`` (running on ``clock``) to ``address``."""
         if address in self._endpoints:
             raise RpcError(f"address {address!r} is already registered")
-        self._endpoints[address] = _Endpoint(address, clock, handler)
+        self._endpoints[address] = _Endpoint(address, clock, handler, syscalls)
 
     def unregister(self, address: str) -> None:
         self._endpoints.pop(address, None)
@@ -165,6 +176,10 @@ class Network:
 
         arrival = src_clock.now + self._transfer_time(request_size) + action.delay
         endpoint.clock.advance_to(arrival)
+        if endpoint.syscalls is not None:
+            # The server process reads the request off its socket: this
+            # is real I/O through its syscall plane, on its clock.
+            endpoint.syscalls.socket_recv(request_size)
         response = endpoint.handler(request)
         if action.duplicate:
             # The copy arrives too and is handled; its response is
@@ -173,11 +188,15 @@ class Network:
             self.stats.duplicated += 1
             self.stats.messages += 1
             self.stats.bytes_transferred += request_size
+            if endpoint.syscalls is not None:
+                endpoint.syscalls.socket_recv(request_size)
             endpoint.handler(request)
 
         response_size = (
             declared_response if declared_response is not None else len(response)
         )
+        if endpoint.syscalls is not None:
+            endpoint.syscalls.socket_send(response_size)
         r_action = self._apply_faults(dst, src, response_size, endpoint.clock.now)
         if r_action.drop:
             self.stats.dropped += 1

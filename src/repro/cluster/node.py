@@ -28,6 +28,23 @@ class Node:
     def cores(self) -> int:
         return self.cost_model.cores_per_node
 
+    def syscall_interface(self):
+        """The host-side (non-enclave) syscall interface of this node.
+
+        Lazily built once per node: processes that run *outside* any
+        SCONE runtime (plain RPC endpoints, owner-side tools, the
+        network delivery path) charge their I/O here, so every byte a
+        node moves flows through one accountable syscall layer.
+        """
+        if "_syscalls" not in self.__dict__:
+            from repro.enclave.sgx import SgxMode
+            from repro.runtime.syscall import SyscallInterface
+
+            self._syscalls = SyscallInterface(
+                self.vfs, self.cost_model, self.clock, mode=SgxMode.NATIVE
+            )
+        return self._syscalls
+
     def __repr__(self) -> str:
         return f"Node({self.node_id!r}, t={self.clock.now:.3f}s)"
 

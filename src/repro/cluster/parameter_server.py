@@ -48,6 +48,7 @@ from repro.errors import (
     StaleConnectionError,
 )
 from repro.runtime.net_shield import NetworkShield
+from repro.runtime.syscall import SyscallInterface
 from repro.tensor.arrays import decode_array_dict, encode_array_dict
 
 
@@ -99,6 +100,7 @@ class ParameterServer:
         shield: Optional[NetworkShield] = None,
         allowed_peers: Optional[List[str]] = None,
         checkpoint_store: Optional[InMemoryCheckpointStore] = None,
+        syscalls: Optional["SyscallInterface"] = None,
     ) -> None:
         if learning_rate <= 0:
             raise ClusterError(f"learning rate must be positive: {learning_rate}")
@@ -115,7 +117,10 @@ class ParameterServer:
                 network, address, node, shield, require_client_cert=True
             )
         else:
-            self._server = RpcServer(network, address, node)
+            self._server = RpcServer(network, address, node, syscalls=syscalls)
+        #: Checkpoint persistence I/O is charged through the same
+        #: syscall plane the endpoint's socket traffic uses.
+        self._syscalls = syscalls if syscalls is not None else self._server._syscalls
         self._server.register("pull", self._handle_pull)
         self._server.register("push", self._handle_push)
         self._server.start()
@@ -195,15 +200,23 @@ class ParameterServer:
         """Snapshot state after a committed call that changed the weights."""
         if self._store is None or self._version == self._checkpointed_version:
             return
-        self._store.save(
-            self.address,
-            PSCheckpoint(
-                weights={k: v.copy() for k, v in self._weights.items()},
-                version=self._version,
-                updates_applied=self.updates_applied,
-                dedup=self._server.dedup_snapshot(),
-            ),
+        snapshot = PSCheckpoint(
+            weights={k: v.copy() for k, v in self._weights.items()},
+            version=self._version,
+            updates_applied=self.updates_applied,
+            dedup=self._server.dedup_snapshot(),
         )
+        # Persisting the snapshot is real file I/O: charge it through
+        # the shared syscall plane (write + continuations + fsync-like
+        # rename ordering live there), not as ad-hoc clock time.
+        payload_bytes = (
+            sum(int(w.nbytes) for w in snapshot.weights.values())
+            + 64 * max(1, len(snapshot.dedup))
+        )
+        self._syscalls.write_file(
+            f"/checkpoints/{self.address}.ckpt", b"", declared_size=payload_bytes
+        )
+        self._store.save(self.address, snapshot)
         self._checkpointed_version = self._version
 
     def stop(self) -> None:

@@ -53,6 +53,7 @@ from repro.errors import (
     StaleConnectionError,
 )
 from repro.runtime import stats_registry
+from repro.runtime.syscall import SyscallInterface
 from repro.runtime.net_shield import (
     NetworkShield,
     ServerHandshake,
@@ -107,10 +108,20 @@ class RpcServer:
     DEDUP_CAPACITY = 1024
     DEDUP_TTL = 300.0  # sim-seconds
 
-    def __init__(self, network: Network, address: str, node: Node) -> None:
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        node: Node,
+        syscalls: Optional[SyscallInterface] = None,
+    ) -> None:
         self._network = network
         self.address = address
         self._node = node
+        #: The syscall plane this endpoint's socket I/O is charged to at
+        #: delivery time (enclave plane for shielded servers, the node's
+        #: host interface otherwise).
+        self._syscalls = syscalls if syscalls is not None else node.syscall_interface()
         self._methods: Dict[str, MethodHandler] = {}
         self._started = False
         self._dedup: "OrderedDict[str, Tuple[float, bytes]]" = OrderedDict()
@@ -127,7 +138,9 @@ class RpcServer:
     def start(self) -> None:
         if self._started:
             raise RpcError(f"server {self.address!r} already started")
-        self._network.register(self.address, self._node.clock, self._handle)
+        self._network.register(
+            self.address, self._node.clock, self._handle, syscalls=self._syscalls
+        )
         self._started = True
 
     def stop(self) -> None:
@@ -207,10 +220,12 @@ class RpcClient:
         node: Node,
         retry: Optional[RetryPolicy] = None,
         breakers: Optional[BreakerRegistry] = None,
+        syscalls: Optional[SyscallInterface] = None,
     ) -> None:
         self._network = network
         self.address = address
         self._node = node
+        self._syscalls = syscalls if syscalls is not None else node.syscall_interface()
         self.stats = RecoveryStats()
         self._executor: Optional[RetryingExecutor] = None
         if retry is not None:
@@ -241,6 +256,12 @@ class RpcClient:
         declared_request: Optional[int],
         declared_response: Optional[int],
     ) -> bytes:
+        # The caller's socket write goes through its own syscall plane
+        # (fire-and-forget submission); the read for the reply is charged
+        # after the response arrives.
+        self._syscalls.socket_send(
+            declared_request if declared_request is not None else len(request)
+        )
         raw = self._network.call(
             self.address,
             self._node.clock,
@@ -248,6 +269,9 @@ class RpcClient:
             request,
             declared_request=declared_request,
             declared_response=declared_response,
+        )
+        self._syscalls.socket_recv(
+            declared_response if declared_response is not None else len(raw)
         )
         return _open_envelope(raw, "reply")["payload"]
 
@@ -288,7 +312,8 @@ class SecureRpcServer(RpcServer):
         shield: NetworkShield,
         require_client_cert: bool = True,
     ) -> None:
-        super().__init__(network, address, node)
+        # A shielded server's socket I/O belongs to its enclave's plane.
+        super().__init__(network, address, node, syscalls=shield.syscalls)
         self._shield = shield
         self._require_client_cert = require_client_cert
         self._pending: "OrderedDict[int, Tuple[float, ServerHandshake]]" = OrderedDict()
@@ -436,6 +461,9 @@ class SecureConnection:
             declared_request=declared_request,
             declared_response=declared_response,
         )
+        client._syscalls.socket_send(
+            declared_request if declared_request is not None else len(request)
+        )
         raw = client._network.call(
             client.address,
             client._node.clock,
@@ -443,6 +471,9 @@ class SecureConnection:
             request,
             declared_request=declared_request,
             declared_response=declared_response,
+        )
+        client._syscalls.socket_recv(
+            declared_response if declared_response is not None else len(raw)
         )
         msg = _open_envelope(raw, "secure_reply")
         try:
@@ -514,7 +545,14 @@ class SecureRpcClient(RpcClient):
         retry: Optional[RetryPolicy] = None,
         breakers: Optional[BreakerRegistry] = None,
     ) -> None:
-        super().__init__(network, address, node, retry=retry, breakers=breakers)
+        super().__init__(
+            network,
+            address,
+            node,
+            retry=retry,
+            breakers=breakers,
+            syscalls=shield.syscalls,
+        )
         self._shield = shield
 
     def _handshake_once(
@@ -529,17 +567,16 @@ class SecureRpcClient(RpcClient):
             mutual=mutual,
             now=self._node.clock.now,
         )
-        raw = self._network.call(
-            self.address, self._node.clock, dst, _envelope("hs1", hello=handshake.hello())
-        )
+        hs1 = _envelope("hs1", hello=handshake.hello())
+        self._syscalls.socket_send(len(hs1))
+        raw = self._network.call(self.address, self._node.clock, dst, hs1)
+        self._syscalls.socket_recv(len(raw))
         msg = _open_envelope(raw, "hs1_reply")
         client_flight = handshake.finish(msg["flight"])
-        raw = self._network.call(
-            self.address,
-            self._node.clock,
-            dst,
-            _envelope("hs2", conn=msg["conn"], client_flight=client_flight),
-        )
+        hs2 = _envelope("hs2", conn=msg["conn"], client_flight=client_flight)
+        self._syscalls.socket_send(len(hs2))
+        raw = self._network.call(self.address, self._node.clock, dst, hs2)
+        self._syscalls.socket_recv(len(raw))
         _open_envelope(raw, "hs2_reply")
         self._shield.charge_handshake()
         return msg["conn"], handshake.record_layer, handshake.peer_subject

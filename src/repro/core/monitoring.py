@@ -69,6 +69,37 @@ class ShieldMetrics:
 
 
 @dataclass
+class SyscallMetrics:
+    """Exit-less syscall-plane counters aggregated over every interface."""
+
+    calls: int = 0
+    userspace_handled: int = 0
+    transitions: int = 0
+    ring_submissions: int = 0
+    ring_completions: int = 0
+    ring_occupancy_peak: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    flushes_on_block: int = 0
+    backpressure_stalls: int = 0
+    backpressure_time: float = 0.0
+    handler_wakeups: int = 0
+    sync_fallbacks: int = 0
+    overlap_hidden_time: float = 0.0
+    overlap_exposed_time: float = 0.0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    time: float = 0.0
+
+    @property
+    def kernel_overlap(self) -> float:
+        total = self.overlap_hidden_time + self.overlap_exposed_time
+        return self.overlap_hidden_time / total if total else 0.0
+
+
+@dataclass
 class RecoveryMetrics:
     """Resilience counters aggregated across every RPC endpoint, plus the
     orchestrator's supervision tallies."""
@@ -107,6 +138,7 @@ class PlatformMetrics:
     network_duplicated: int = 0
     network_delayed: int = 0
     recovery: RecoveryMetrics = field(default_factory=RecoveryMetrics)
+    syscalls: SyscallMetrics = field(default_factory=SyscallMetrics)
 
     def to_rows(self) -> List[List[str]]:
         rows = []
@@ -171,6 +203,17 @@ class PlatformMetrics:
             f"{s.fs_recovery_scans} recovery scans "
             f"({s.fs_recoveries_rolled_back} rolled back / "
             f"{s.fs_recoveries_rolled_forward} rolled forward)"
+        )
+        sc = self.syscalls
+        lines.append(
+            f"syscall plane: {sc.calls} calls "
+            f"({sc.userspace_handled} userspace, {sc.sync_fallbacks} sync "
+            f"fallbacks), ring {sc.ring_submissions} submitted / "
+            f"{sc.ring_completions} completed (peak occupancy "
+            f"{sc.ring_occupancy_peak}), {sc.batches} batches (max "
+            f"{sc.max_batch}), {sc.backpressure_stalls} stalls "
+            f"({sc.backpressure_time:.3f}s), {sc.handler_wakeups} wakeups, "
+            f"overlap {sc.kernel_overlap * 100:.0f}%"
         )
         r = self.recovery
         lines.append(
@@ -241,6 +284,30 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
     aead_counters = aead_cache_stats()
     shields.aead_cache_hits = aead_counters["hits"]
     shields.aead_cache_misses = aead_counters["misses"]
+    syscalls = SyscallMetrics()
+    for stats in stats_registry.syscall_stats_for(clocks):
+        syscalls.calls += stats.calls
+        syscalls.userspace_handled += stats.userspace_handled
+        syscalls.transitions += stats.transitions
+        syscalls.ring_submissions += stats.ring_submissions
+        syscalls.ring_completions += stats.ring_completions
+        syscalls.ring_occupancy_peak = max(
+            syscalls.ring_occupancy_peak, stats.ring_occupancy_peak
+        )
+        syscalls.batches += stats.batches
+        syscalls.max_batch = max(syscalls.max_batch, stats.max_batch)
+        syscalls.flushes_on_block += stats.flushes_on_block
+        syscalls.backpressure_stalls += stats.backpressure_stalls
+        syscalls.backpressure_time += stats.backpressure_time
+        syscalls.handler_wakeups += stats.handler_wakeups
+        syscalls.sync_fallbacks += stats.sync_fallbacks
+        syscalls.overlap_hidden_time += stats.overlap_hidden_time
+        syscalls.overlap_exposed_time += stats.overlap_exposed_time
+        syscalls.bytes_read += stats.bytes_read
+        syscalls.bytes_written += stats.bytes_written
+        syscalls.bytes_sent += stats.bytes_sent
+        syscalls.bytes_received += stats.bytes_received
+        syscalls.time += stats.time
     recovery = RecoveryMetrics()
     for stats in stats_registry.recovery_stats_for(clocks):
         recovery.calls += stats.calls
@@ -272,4 +339,5 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
         network_duplicated=platform.network.stats.duplicated,
         network_delayed=platform.network.stats.delayed,
         recovery=recovery,
+        syscalls=syscalls,
     )

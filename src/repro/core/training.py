@@ -48,7 +48,11 @@ from repro.tensor.engine import FULL_TF_PROFILE
 
 
 def training_runtime_config(
-    name: str, mode: SgxMode, max_threads: int = 8
+    name: str,
+    mode: SgxMode,
+    max_threads: int = 8,
+    syscall_ring_depth: int = 64,
+    syscall_handler_threads: int = 2,
 ) -> RuntimeConfig:
     """Runtime config (→ measurement) of a training container."""
     return RuntimeConfig(
@@ -58,6 +62,8 @@ def training_runtime_config(
         binary_identity=f"{name}:tensorflow".encode(),
         heap_size=128 * 1024 * 1024,
         max_threads=max_threads,
+        syscall_ring_depth=syscall_ring_depth,
+        syscall_handler_threads=syscall_handler_threads,
         fs_shield_enabled=False,  # training inputs fed via the PS protocol
     )
 
@@ -83,6 +89,10 @@ class TrainingJobConfig:
     checkpoint_journal: bool = False
     #: Replica count for checkpoint chunks (self-healing reads).
     checkpoint_replicas: int = 1
+    #: Exit-less syscall ring shape for every container of the job
+    #: (the paper's sync-vs-async / #handler-threads sweeps turn these).
+    syscall_ring_depth: int = 64
+    syscall_handlers: int = 2
 
 
 class TrainingJob:
@@ -123,11 +133,16 @@ class TrainingJob:
             f"{self.config.session}-worker",
             self.config.mode,
             self.config.threads_per_worker,
+            syscall_ring_depth=self.config.syscall_ring_depth,
+            syscall_handler_threads=self.config.syscall_handlers,
         )
 
     def _ps_config(self) -> RuntimeConfig:
         return training_runtime_config(
-            f"{self.config.session}-ps", self.config.mode
+            f"{self.config.session}-ps",
+            self.config.mode,
+            syscall_ring_depth=self.config.syscall_ring_depth,
+            syscall_handler_threads=self.config.syscall_handlers,
         )
 
     def register_session(self) -> None:
@@ -181,6 +196,8 @@ class TrainingJob:
             learning_rate=self.config.learning_rate,
             shield=self._shield_for(container),
             checkpoint_store=self._ps_store,
+            # Checkpoint + socket I/O ride the PS enclave's syscall ring.
+            syscalls=container.runtime.syscalls,
         )
 
     def _build_worker(self, slot: int, container: Container) -> TrainingWorker:

@@ -77,6 +77,14 @@ class CostModel:
     async_syscall_cost: float = 1.3 * microseconds
     #: In-kernel service time of a typical syscall (native component).
     syscall_kernel_cost: float = 0.9 * microseconds
+    #: Native trap entry/exit (syscall instruction + kernel prologue).
+    syscall_trap_cost: float = 0.3 * microseconds
+    #: Writing one request descriptor into the shared-memory submission
+    #: ring (SCONE's lock-free queue: a cache-line store + doorbell).
+    ring_slot_cost: float = 0.15 * microseconds
+    #: How long an idle syscall-handler thread spins on the ring before
+    #: going to sleep on a futex; waking it costs a real transition.
+    handler_spin_time: float = 40.0 * microseconds
     #: User-level scheduler context switch between application threads.
     userlevel_switch_cost: float = 0.25 * microseconds
     #: OS-level thread context switch (native threading baseline).

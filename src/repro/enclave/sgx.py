@@ -137,6 +137,7 @@ class SgxCpu:
         self._next_enclave_id = 1
         self._enclaves: Dict[int, "Enclave"] = {}
         self.transitions = 0
+        self.ring_submissions = 0
 
     def create_enclave(self, image: EnclaveImage, mode: SgxMode) -> "Enclave":
         """Build, measure, and initialize an enclave from ``image``.
@@ -189,6 +190,13 @@ class SgxCpu:
             else self.cost_model.sync_transition_cost
         )
         self.clock.advance(cost)
+
+    def ring_submit(self, count: int = 1) -> None:
+        """Charge writing ``count`` request slots into the shared-memory
+        submission ring — an exit-less store into untrusted memory, *not*
+        an enclave transition (SCONE §3.3.3's whole point)."""
+        self.ring_submissions += count
+        self.clock.advance(count * self.cost_model.ring_slot_cost)
 
     def sign_quote(self, report: Report) -> Quote:
         """Quoting-enclave analogue: sign a report with the CPU key."""

@@ -150,7 +150,10 @@ class ShieldedChannel:
         simulated = declared_size if declared_size is not None else len(payload)
         self._charge_crypto(simulated)
         if self._syscalls is not None:
-            self._syscalls.nop_syscall("sendmsg")
+            # I/O is charged through the shared syscall plane: sends are
+            # fire-and-forget ring submissions that batch with the rest
+            # of this enclave's traffic.
+            self._syscalls.socket_send(simulated)
         self._transport.send(protect_timed(self._records, self._stats, payload))
         self._stats.records_protected += 1
 
@@ -160,11 +163,11 @@ class ShieldedChannel:
         Raises :class:`~repro.errors.IntegrityError` (via the record
         layer) if the message was tampered with, replayed, or reordered.
         """
-        if self._syscalls is not None:
-            self._syscalls.nop_syscall("recvmsg")
         record = self._transport.recv()
         payload = unprotect_timed(self._records, self._stats, record)
         simulated = declared_size if declared_size is not None else len(payload)
+        if self._syscalls is not None:
+            self._syscalls.socket_recv(simulated)
         self._charge_crypto(simulated)
         self._stats.records_opened += 1
         return payload

@@ -29,6 +29,7 @@ from repro.runtime.fs_shield import (
 from repro.runtime.libc import GLIBC, SCONE_LIBC, LibcFlavor
 from repro.runtime.net_shield import NetworkShield
 from repro.runtime.syscall import SyscallInterface
+from repro.runtime.syscall_plane import SyscallPlaneConfig
 from repro.runtime.threading_ul import ThreadingModel, UserLevelScheduler
 from repro.runtime.vfs import VirtualFileSystem
 
@@ -45,6 +46,10 @@ class RuntimeConfig:
     heap_size: int = 64 * 1024 * 1024
     max_threads: int = 8
     async_syscalls: bool = True
+    #: Slots in the exit-less submission/completion ring.
+    syscall_ring_depth: int = 64
+    #: OS-side syscall handler threads serving the ring.
+    syscall_handler_threads: int = 2
     threading: ThreadingModel = ThreadingModel.USER_LEVEL
     fs_shield_enabled: bool = True
     fs_rules: List[PathRule] = field(default_factory=list)
@@ -144,6 +149,10 @@ class SconeRuntime:
             mode=config.mode,
             enclave=self.enclave,
             asynchronous=config.async_syscalls and self._libc.supports_async_syscalls,
+            plane_config=SyscallPlaneConfig(
+                ring_depth=config.syscall_ring_depth,
+                handler_threads=config.syscall_handler_threads,
+            ),
         )
         self.scheduler = UserLevelScheduler(
             cost_model,
@@ -152,6 +161,9 @@ class SconeRuntime:
             threading_model=config.threading,
             enclave=self.enclave,
         )
+        # Completion waits hide behind the scheduler's runnable threads,
+        # and scheduler blocks flush the ring's submission batch.
+        self.syscalls.attach_scheduler(self.scheduler)
         self.fs: Optional[FileSystemShield] = None
         #: Paths dlopen'd (and authenticated) during this runtime's life.
         self.loaded_libraries: List[str] = []

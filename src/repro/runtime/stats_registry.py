@@ -26,6 +26,7 @@ from repro._sim.clock import SimClock
 _FS_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _NET_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _RECOVERY_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_SYSCALL_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 def register_fs_stats(stats: object, clock: SimClock) -> None:
@@ -41,6 +42,11 @@ def register_net_stats(stats: object, clock: SimClock) -> None:
 def register_recovery_stats(stats: object, clock: SimClock) -> None:
     """Track an RPC endpoint's resilience counters under its node clock."""
     _RECOVERY_STATS.setdefault(clock, []).append(stats)
+
+
+def register_syscall_stats(stats: object, clock: SimClock) -> None:
+    """Track a syscall interface's counters under its node clock."""
+    _SYSCALL_STATS.setdefault(clock, []).append(stats)
 
 
 def _collect(
@@ -63,3 +69,8 @@ def net_stats_for(clocks: List[SimClock]) -> List[object]:
 def recovery_stats_for(clocks: List[SimClock]) -> List[object]:
     """All registered recovery stats whose clock is in ``clocks``."""
     return list(_collect(_RECOVERY_STATS, clocks))
+
+
+def syscall_stats_for(clocks: List[SimClock]) -> List[object]:
+    """All registered syscall stats whose clock is in ``clocks``."""
+    return list(_collect(_SYSCALL_STATS, clocks))

@@ -3,54 +3,76 @@
 Cost structure per mode (§3.3.3 and the SCONE paper):
 
 - **NATIVE** — a plain trap: fixed entry cost + kernel service time.
-- **SIM** — the SCONE runtime outside SGX: a fraction of calls is
-  handled entirely in userspace by the runtime (the paper observes SIM
-  sometimes *beats* native because of this); the rest go through the
-  async queue.
+- **SIM** — the SCONE runtime outside SGX: the same exit-less ring as
+  HW mode, minus enclave transitions; the per-name userspace table
+  explains why SIM sometimes *beats* native (the paper observes this).
 - **HW, synchronous** — every call pays a full enclave transition.
-- **HW, asynchronous** — SCONE's exit-less interface: the request is
-  written to a queue served by threads outside the enclave, costing a
-  fraction of a transition, with most kernel time overlapped by the
-  user-level scheduler running another application thread.
+- **HW, asynchronous** — SCONE's exit-less interface: the request goes
+  through the :class:`~repro.runtime.syscall_plane.SyscallPlane` — a
+  bounded submission/completion ring served by OS-side handler threads,
+  with batched fire-and-forget submission, futex-style handler
+  sleep/wake, backpressure when the ring fills, and completion waits
+  hidden by the user-level scheduler's runnable-thread occupancy.
+
+The sync-vs-async gap and the userspace-served share now *emerge* from
+the ring mechanics; the analytic constants that used to stand in for
+them (``USERSPACE_HANDLED_FRACTION``, ``ASYNC_KERNEL_OVERLAP``) are
+deprecated module attributes returning measured equivalents.
 
 All file operations verify the kernel's answers against Iago checks;
-tests install a ``hostile_hook`` to emulate a malicious kernel.
+tests install a ``hostile_hook`` to emulate a malicious kernel.  The
+checks run identically on the async path — a hostile completion in the
+ring is rejected exactly like a hostile synchronous return value.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro._sim.clock import SimClock
 from repro.enclave.cost_model import CostModel
 from repro.enclave.sgx import Enclave, SgxMode
-from repro.runtime import iago
+from repro.runtime import iago, stats_registry
+from repro.runtime.syscall_plane import SyscallPlane, SyscallPlaneConfig
 from repro.runtime.vfs import VirtualFile, VirtualFileSystem
 from repro.errors import SyscallError
 
 #: Maximum bytes moved per read/write syscall (Linux pipe-sized chunks).
 IO_CHUNK = 256 * 1024
 
-#: Fraction of syscalls the SCONE runtime services without leaving
-#: userspace (futexes, clock reads, memory management fast paths).
-USERSPACE_HANDLED_FRACTION = 0.35
-
-#: Fraction of kernel service time hidden by user-level threading when
-#: syscalls are asynchronous (another app thread runs meanwhile).
-ASYNC_KERNEL_OVERLAP = 0.70
-
 
 @dataclass
 class SyscallStats:
-    """Counters for benchmarks and tests."""
+    """Counters for benchmarks and tests.
+
+    A plain comparable dataclass on purpose: the determinism regression
+    asserts two identically-seeded runs produce *equal* stats objects.
+    """
 
     calls: int = 0
     userspace_handled: int = 0
     transitions: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
     time: float = 0.0
+    # -- submission/completion ring --------------------------------------
+    ring_submissions: int = 0
+    ring_completions: int = 0
+    ring_occupancy_peak: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    flushes_on_block: int = 0
+    backpressure_stalls: int = 0
+    backpressure_time: float = 0.0
+    handler_wakeups: int = 0
+    sync_fallbacks: int = 0
+    # -- occupancy-derived kernel overlap --------------------------------
+    overlap_hidden_time: float = 0.0
+    overlap_exposed_time: float = 0.0
     by_name: Dict[str, int] = field(default_factory=dict)
 
 
@@ -68,6 +90,7 @@ class SyscallInterface:
         mode: SgxMode = SgxMode.NATIVE,
         enclave: Optional[Enclave] = None,
         asynchronous: bool = True,
+        plane_config: Optional[SyscallPlaneConfig] = None,
     ) -> None:
         if mode is SgxMode.HW and enclave is None:
             raise SyscallError("HW mode requires an enclave for transitions")
@@ -78,6 +101,14 @@ class SyscallInterface:
         self._enclave = enclave
         self._asynchronous = asynchronous
         self.stats = SyscallStats()
+        stats_registry.register_syscall_stats(self.stats, clock)
+        #: The shared submission/completion ring (SIM and HW-async; the
+        #: NATIVE and HW-sync paths never touch a ring).
+        self.plane: Optional[SyscallPlane] = None
+        if mode is SgxMode.SIM or (mode is SgxMode.HW and asynchronous):
+            self.plane = SyscallPlane(
+                cost_model, clock, self.stats, enclave=enclave, config=plane_config
+            )
         #: Test hook: called as ``hook(syscall_name, result)`` and may
         #: return a corrupted result, emulating a malicious kernel.
         self.hostile_hook: Optional[HostileHook] = None
@@ -86,51 +117,81 @@ class SyscallInterface:
     def mode(self) -> SgxMode:
         return self._mode
 
+    @property
+    def asynchronous(self) -> bool:
+        return self._asynchronous
+
+    def attach_scheduler(self, scheduler) -> None:
+        """Wire a :class:`~repro.runtime.threading_ul.UserLevelScheduler`
+        so the plane hides completion waits behind its runnable threads
+        and ``scheduler.block()`` flushes the submission batch."""
+        if self.plane is not None:
+            self.plane.attach_scheduler(scheduler)
+            scheduler.attach_plane(self.plane)
+
+    def flush(self) -> None:
+        """Drain any batched fire-and-forget submissions."""
+        if self.plane is not None:
+            self.plane.flush()
+
     # ------------------------------------------------------------------
     # Cost accounting
     # ------------------------------------------------------------------
 
-    def _charge(self, name: str) -> None:
-        """Charge the boundary-crossing cost of one syscall."""
-        self.stats.calls += 1
-        self.stats.by_name[name] = self.stats.by_name.get(name, 0) + 1
+    def _count(self, name: str, n: int = 1) -> None:
+        self.stats.calls += n
+        self.stats.by_name[name] = self.stats.by_name.get(name, 0) + n
+
+    def _charge(self, name: str, posted: bool = False) -> None:
+        """Charge the boundary-crossing cost of one syscall.
+
+        ``posted`` marks fire-and-forget calls (writes, closes, unlinks,
+        sends): on the ring they batch and never wait for completion.
+        """
+        self._count(name)
         model = self._model
         before = self._clock.now
 
-        if self._mode is SgxMode.NATIVE:
-            self._clock.advance(0.3e-6 + model.syscall_kernel_cost)
-        elif self._mode is SgxMode.SIM:
-            # Deterministic round-robin stand-in for "a fraction of calls
-            # is handled in userspace".
-            if self.stats.calls % 100 < USERSPACE_HANDLED_FRACTION * 100:
-                self.stats.userspace_handled += 1
-                self._clock.advance(model.userlevel_switch_cost)
+        if self.plane is not None:
+            if posted:
+                self.plane.post(name)
             else:
-                self._clock.advance(model.async_syscall_cost + model.syscall_kernel_cost)
-        else:  # HW
+                self.plane.call(name)
+        elif self._mode is SgxMode.NATIVE:
+            self._clock.advance(model.syscall_trap_cost + model.syscall_kernel_cost)
+        else:  # HW, synchronous
             assert self._enclave is not None
-            if self._asynchronous:
-                self.stats.transitions += 1
-                self._enclave.cpu.transition(asynchronous=True)
-                self._clock.advance(
-                    model.syscall_kernel_cost * (1.0 - ASYNC_KERNEL_OVERLAP)
-                )
-            else:
-                self.stats.transitions += 1
-                self._enclave.cpu.transition(asynchronous=False)
-                self._clock.advance(model.syscall_kernel_cost)
+            self.stats.transitions += 1
+            self._enclave.cpu.transition(asynchronous=False)
+            self._clock.advance(model.syscall_kernel_cost)
         self.stats.time += self._clock.now - before
 
-    def _charge_io(self, n_bytes: int, write: bool) -> None:
-        """Charge the data movement of a file read/write.
+    def _charge_batch(self, name: str, count: int) -> None:
+        """Charge ``count`` identical result-bearing syscalls, submitted
+        together so ring handlers service them in parallel."""
+        if count <= 0:
+            return
+        self._count(name, count)
+        before = self._clock.now
+        if self.plane is not None:
+            self.plane.call_batch(name, count)
+        else:
+            model = self._model
+            for _ in range(count):
+                if self._mode is SgxMode.NATIVE:
+                    self._clock.advance(
+                        model.syscall_trap_cost + model.syscall_kernel_cost
+                    )
+                else:
+                    assert self._enclave is not None
+                    self.stats.transitions += 1
+                    self._enclave.cpu.transition(asynchronous=False)
+                    self._clock.advance(model.syscall_kernel_cost)
+        self.stats.time += self._clock.now - before
 
-        The payload crosses the boundary in :data:`IO_CHUNK` pieces, each
-        a separate syscall; in HW mode the copy into/out of the enclave
-        runs at MEE bandwidth.
-        """
-        chunks = max(1, -(-n_bytes // IO_CHUNK))
-        for _ in range(chunks - 1):
-            self._charge("rw_continuation")
+    def _charge_copy(self, n_bytes: int) -> None:
+        """Charge moving a payload across the boundary; in HW mode the
+        copy into/out of the enclave runs at MEE bandwidth."""
         before = self._clock.now
         if self._mode is SgxMode.HW:
             assert self._enclave is not None
@@ -138,6 +199,22 @@ class SyscallInterface:
         else:
             self._clock.advance(n_bytes / self._model.native_memory_bandwidth)
         self.stats.time += self._clock.now - before
+
+    def _charge_io(self, n_bytes: int, write: bool) -> None:
+        """Charge the data movement of a file read/write.
+
+        The payload crosses the boundary in :data:`IO_CHUNK` pieces, each
+        a separate syscall: write continuations post fire-and-forget,
+        read continuations submit as one batch the handlers drain in
+        parallel.
+        """
+        chunks = max(1, -(-n_bytes // IO_CHUNK))
+        if write:
+            for _ in range(chunks - 1):
+                self._charge("rw_continuation", posted=True)
+        else:
+            self._charge_batch("rw_continuation", chunks - 1)
+        self._charge_copy(n_bytes)
         if write:
             self.stats.bytes_written += n_bytes
         else:
@@ -163,7 +240,7 @@ class SyscallInterface:
         iago.check_size_result(result.size)
         iago.check_read_result(result.size, result.content[: result.size + 1])
         self._charge_io(result.size, write=False)
-        self._charge("close")
+        self._charge("close", posted=True)
         return result
 
     def write_file(
@@ -171,7 +248,7 @@ class SyscallInterface:
     ) -> VirtualFile:
         """Write a whole file (create or replace)."""
         self._charge("open")
-        self._charge("write")
+        self._charge("write", posted=True)
         size = declared_size if declared_size is not None else len(content)
         self._charge_io(size, write=True)
         file = self._vfs.write(path, content, declared_size=declared_size)
@@ -179,7 +256,7 @@ class SyscallInterface:
         if not isinstance(written, int):
             raise SyscallError("kernel returned a non-integer write count")
         iago.check_write_result(size, written)
-        self._charge("close")
+        self._charge("close", posted=True)
         return file
 
     def stat(self, path: str) -> int:
@@ -196,12 +273,14 @@ class SyscallInterface:
         return self._vfs.exists(path)
 
     def unlink(self, path: str) -> None:
-        self._charge("unlink")
+        self._charge("unlink", posted=True)
         self._vfs.delete(path)
 
     def rename(self, src: str, dst: str) -> VirtualFile:
         """Atomically move ``src`` over ``dst`` (the commit primitive of
-        the shield's journaled write protocol)."""
+        the shield's journaled write protocol).  Result-bearing on the
+        ring on purpose: the flush-then-wait makes every posted write
+        durable before the commit point returns."""
         self._charge("rename")
         return self._vfs.rename(src, dst)
 
@@ -224,6 +303,56 @@ class SyscallInterface:
             raise SyscallError("kernel returned a non-integer version")
         return iago.check_size_result(result)
 
+    # ------------------------------------------------------------------
+    # Socket operations (the network shield and RPC stack charge here)
+    # ------------------------------------------------------------------
+
+    def socket_send(self, n_bytes: int, name: str = "sendmsg") -> None:
+        """Charge transmitting ``n_bytes`` on a socket (fire-and-forget:
+        the kernel drains the buffer on a handler thread)."""
+        self._charge(name, posted=True)
+        chunks = max(1, -(-n_bytes // IO_CHUNK))
+        for _ in range(chunks - 1):
+            self._charge("rw_continuation", posted=True)
+        self._charge_copy(n_bytes)
+        self.stats.bytes_sent += n_bytes
+
+    def socket_recv(self, n_bytes: int, name: str = "recvmsg") -> None:
+        """Charge receiving ``n_bytes`` from a socket (result-bearing:
+        the caller needs the payload)."""
+        self._charge(name)
+        chunks = max(1, -(-n_bytes // IO_CHUNK))
+        self._charge_batch("rw_continuation", chunks - 1)
+        self._charge_copy(n_bytes)
+        self.stats.bytes_received += n_bytes
+
     def nop_syscall(self, name: str = "nop") -> None:
         """A syscall with no semantic effect (cost-model microbenchmarks)."""
         self._charge(name)
+
+
+# ----------------------------------------------------------------------
+# Deprecated analytic constants (now measured from the plane)
+# ----------------------------------------------------------------------
+
+_DEPRECATED_CONSTANTS = {
+    "USERSPACE_HANDLED_FRACTION": "userspace_handled_fraction",
+    "ASYNC_KERNEL_OVERLAP": "kernel_overlap",
+}
+
+
+def __getattr__(name: str) -> float:
+    measured_key = _DEPRECATED_CONSTANTS.get(name)
+    if measured_key is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from repro.runtime.syscall_plane import measured_plane_fractions
+
+    warnings.warn(
+        f"{name} is deprecated: the syscall plane models the mechanism "
+        "directly; this value is now *measured* from a reference workload "
+        "on the default ring (see "
+        "repro.runtime.syscall_plane.measured_plane_fractions).",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return measured_plane_fractions()[measured_key]

@@ -43,6 +43,8 @@ class SchedulerStats:
     blocks: int = 0
     switches: int = 0
     switch_time: float = 0.0
+    #: Async-completion wait time hidden by running other app threads.
+    hidden_time: float = 0.0
 
 
 class UserLevelScheduler:
@@ -66,13 +68,68 @@ class UserLevelScheduler:
         self._threading_model = threading_model
         self._enclave = enclave
         self.stats = SchedulerStats()
+        #: Runnable application threads right now (occupancy).  The
+        #: syscall plane reads this to decide how much of an async
+        #: completion wait other threads can hide.
+        self._runnable = 1
+        self._plane = None
 
     @property
     def threading_model(self) -> ThreadingModel:
         return self._threading_model
 
+    @property
+    def runnable(self) -> int:
+        return self._runnable
+
+    def set_runnable(self, threads: int) -> None:
+        """Declare how many application threads are currently runnable."""
+        if threads < 1:
+            raise ConfigurationError(
+                f"runnable thread count must be positive: {threads}"
+            )
+        self._runnable = threads
+
+    def attach_plane(self, plane) -> None:
+        """Wire the syscall plane whose batch :meth:`block` must flush."""
+        self._plane = plane
+
+    def hide_wait(self, duration: float) -> "tuple[float, float]":
+        """Wait ``duration`` for an async completion, hiding the share
+        other runnable threads can fill.
+
+        With ``R`` runnable threads, the blocked thread's slot is one of
+        ``R``, so a fraction ``(R - 1) / R`` of the wait overlaps other
+        threads' work; switching away costs one user-level switch.
+        Returns ``(exposed_charged, hidden)``.  OS threading (or a lone
+        runnable thread) hides nothing — the wait is fully exposed.
+        """
+        if duration <= 0:
+            return 0.0, 0.0
+        extra = self._runnable - 1
+        if self._threading_model is not ThreadingModel.USER_LEVEL or extra <= 0:
+            self._clock.advance(duration)
+            return duration, 0.0
+        hidden = duration * (extra / (extra + 1.0))
+        switch = self._model.userlevel_switch_cost
+        if hidden <= switch:
+            # Switching away costs more than it hides: just spin.
+            self._clock.advance(duration)
+            return duration, 0.0
+        hidden -= switch
+        exposed = duration - hidden
+        self.stats.switches += 1
+        self.stats.switch_time += switch
+        self.stats.hidden_time += hidden
+        self._clock.advance(exposed)
+        return exposed, hidden
+
     def block(self) -> None:
         """One application thread blocked (I/O wait, lock, queue)."""
+        if self._plane is not None:
+            # The blocking thread's buffered fire-and-forget syscalls
+            # must reach the ring before the scheduler switches away.
+            self._plane.flush(on_block=True)
         self.stats.blocks += 1
         self.stats.switches += 1
         before = self._clock.now
@@ -98,5 +155,8 @@ class UserLevelScheduler:
     def run_parallel(self, single_thread_seconds: float, threads: int) -> float:
         """Charge the clock for a parallel region; returns elapsed time."""
         elapsed = self.parallel_duration(single_thread_seconds, threads)
+        # The region's thread pool stays runnable afterwards (sticky):
+        # syscall waits issued between regions overlap with it.
+        self._runnable = max(threads, 1)
         self._clock.advance(elapsed)
         return elapsed

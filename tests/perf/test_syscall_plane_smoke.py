@@ -1,0 +1,69 @@
+"""Tier-2 perf smoke: the exit-less syscall plane must keep its edge.
+
+Excluded from tier-1 (see ``addopts`` in pyproject.toml); run with
+``pytest -m tier2 tests/perf``.  The floor is qualitative on purpose:
+an fs-shield read in HW mode over the submission/completion ring must
+be *simulated-time* cheaper than the same read over synchronous
+transitions — the gap emerges from ring mechanics (batched posts, slot
+writes instead of exits, completion waits hidden by scheduler
+occupancy), so any regression that collapses the plane back to
+per-call exits trips this immediately.
+"""
+
+import pytest
+
+from repro._sim import DeterministicRng, SimClock
+from repro.enclave.attestation import ProvisioningAuthority
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.enclave.sgx import EnclaveImage, Segment, SgxCpu, SgxMode
+from repro.runtime.fs_shield import FileSystemShield, PathRule, ShieldPolicy
+from repro.runtime.syscall import SyscallInterface
+from repro.runtime.threading_ul import UserLevelScheduler
+from repro.runtime.vfs import VirtualFileSystem
+
+PAYLOAD = b"w" * (2 * 1024 * 1024)
+
+
+def _hw_shield(asynchronous: bool):
+    rng = DeterministicRng(7, label="plane-smoke")
+    clock = SimClock()
+    provisioning = ProvisioningAuthority(rng.child("intel"))
+    cpu = SgxCpu("cpu-smoke", CM, clock, provisioning, rng.child("cpu"))
+    image = EnclaveImage("app", [Segment.from_content("b", b"x", "code")])
+    enclave = cpu.create_enclave(image, SgxMode.HW)
+    syscalls = SyscallInterface(
+        VirtualFileSystem(),
+        CM,
+        clock,
+        mode=SgxMode.HW,
+        enclave=enclave,
+        asynchronous=asynchronous,
+    )
+    scheduler = UserLevelScheduler(CM, clock, mode=SgxMode.HW)
+    scheduler.set_runnable(4)
+    syscalls.attach_scheduler(scheduler)
+    shield = FileSystemShield(
+        syscalls,
+        bytes(range(32)),
+        [PathRule("/secure/", ShieldPolicy.ENCRYPT)],
+        CM,
+        clock,
+        chunk_size=64 * 1024,
+    )
+    return shield, clock
+
+
+@pytest.mark.tier2
+@pytest.mark.slow
+def test_async_plane_beats_sync_on_fs_shield_read():
+    elapsed = {}
+    for asynchronous in (True, False):
+        shield, clock = _hw_shield(asynchronous)
+        shield.write_file("/secure/model", PAYLOAD)
+        before = clock.now
+        assert shield.read_file("/secure/model") == PAYLOAD
+        elapsed[asynchronous] = clock.now - before
+    assert elapsed[True] < elapsed[False], (
+        f"exit-less read {elapsed[True] * 1e3:.3f}ms is not faster than "
+        f"synchronous {elapsed[False] * 1e3:.3f}ms"
+    )

@@ -111,10 +111,23 @@ def test_hw_sync_costs_more_than_async(vfs, cpu):
 
 
 def test_sim_mode_handles_some_calls_in_userspace(vfs):
+    # Userspace dispatch is per-syscall-name now: futex/clock/mmap-class
+    # calls never leave the runtime, kernel-bound names ride the ring.
     syscalls, _ = make_syscalls(vfs, SgxMode.SIM)
-    for _ in range(100):
-        syscalls.nop_syscall()
+    workload = ["futex", "clock_gettime", "read", "write", "mmap"] * 20
+    for name in workload:
+        syscalls.nop_syscall(name)
     assert 0 < syscalls.stats.userspace_handled < 100
+    assert syscalls.stats.userspace_handled == 60  # 3 of 5 names in the table
+
+
+def test_userspace_calls_never_touch_the_ring(vfs):
+    syscalls, _ = make_syscalls(vfs, SgxMode.SIM)
+    for _ in range(50):
+        syscalls.nop_syscall("futex")
+    syscalls.flush()
+    assert syscalls.stats.userspace_handled == 50
+    assert syscalls.stats.ring_submissions == 0
 
 
 def test_hw_mode_requires_enclave(vfs):
