@@ -18,6 +18,11 @@ from typing import Dict, List, Optional, Sequence
 #: the repo is visible PR over PR.
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH.json"
 
+#: Sidecar directory for non-scalar benchmark outputs (Chrome traces,
+#: profiles, Prometheus snapshots) — next to BENCH.json by design so a
+#: bench run's artifacts travel with its numbers.
+ARTIFACT_DIR = BENCH_JSON.parent / "bench_artifacts"
+
 #: Reference values lifted from the paper's evaluation (§5).
 PAPER = {
     "fig4_cas_total_ms": 17.0,
@@ -90,6 +95,20 @@ def save_bench(section: str, metrics: Dict[str, object]) -> None:
             data = {}
     data[section] = metrics
     BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Write a telemetry artifact next to ``BENCH.json``; returns its path.
+
+    ``name`` must be a bare filename (e.g. ``training.trace.json``) —
+    artifacts never escape the sidecar directory.
+    """
+    if "/" in name or "\\" in name or name.startswith("."):
+        raise ValueError(f"artifact name must be a bare filename: {name!r}")
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / name
+    path.write_text(text)
+    return path
 
 
 def run_once(benchmark, fn):

@@ -6,8 +6,16 @@ enclave, with all weight/gradient traffic on network-shield TLS — then
 compares the run against native TensorFlow to show the cost of the
 guarantees (the paper's Fig. 8 story).
 
+The final run repeats the full-protection configuration with the
+continuous telemetry plane enabled: it prints the per-node profile
+(where each node's simulated time went, by layer) and writes a
+Perfetto-loadable Chrome trace to ``train-demo.trace.json``.
+
 Run:  python examples/distributed_secure_training.py
 """
+
+import json
+from pathlib import Path
 
 from repro.core import SecureTFPlatform
 from repro.core.platform import PlatformConfig
@@ -17,9 +25,14 @@ from repro.enclave.sgx import SgxMode
 
 BATCHES = 12
 
+TRACE_PATH = Path(__file__).resolve().parent / "train-demo.trace.json"
 
-def run(label: str, mode: SgxMode, network_shield: bool, workers: int, batches):
-    platform = SecureTFPlatform(PlatformConfig(n_nodes=3, seed=9))
+
+def run(label: str, mode: SgxMode, network_shield: bool, workers: int, batches,
+        tracing: bool = False):
+    platform = SecureTFPlatform(
+        PlatformConfig(n_nodes=3, seed=9, tracing=tracing, metrics_interval=0.25)
+    )
     job = TrainingJob(
         platform,
         TrainingJobConfig(
@@ -35,6 +48,16 @@ def run(label: str, mode: SgxMode, network_shield: bool, workers: int, batches):
     job.stop()
     print(f"  {label:<28} {result.wall_clock:8.2f}s simulated "
           f"(final loss {result.final_loss:.3f})")
+    if tracing:
+        telemetry = platform.telemetry
+        print("\ntelemetry: per-node profile (simulated seconds by layer)")
+        print(telemetry.profile_report())
+        trace = telemetry.chrome_trace()
+        TRACE_PATH.write_text(json.dumps(trace, indent=2) + "\n")
+        spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+        print(f"telemetry: {spans} spans -> {TRACE_PATH.name} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+        platform.close_telemetry()
     return result.wall_clock
 
 
@@ -58,7 +81,10 @@ def main() -> None:
             f"secureTF HW, {workers} workers", SgxMode.HW, True, workers, batches
         )
     print(f"\n  speedups: {times[1] / times[2]:.2f}x with 2 workers, "
-          f"{times[1] / times[3]:.2f}x with 3 (paper: 1.96x / 2.57x)")
+          f"{times[1] / times[3]:.2f}x with 3 (paper: 1.96x / 2.57x)\n")
+
+    print("secureTF HW with the telemetry plane on:")
+    run("secureTF HW (traced)", SgxMode.HW, True, 3, batches, tracing=True)
 
 
 if __name__ == "__main__":

@@ -55,6 +55,13 @@ class SimClock:
         """Register ``observer(old, new)`` to be called on every advance."""
         self._observers.append(observer)
 
+    def unsubscribe(self, observer: Callable[[float, float], None]) -> None:
+        """Remove a previously subscribed observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
     def measure(self) -> "ClockSpan":
         """Return a context manager that records elapsed simulated time."""
         return ClockSpan(self)

@@ -1,0 +1,51 @@
+"""The telemetry probe point: one module-level slot, checked inline.
+
+Instrumentation sites across the runtime/cluster layers guard every
+recording call with ``if probe.ACTIVE is not None`` — a single global
+load and comparison.  When no recorder is installed (the default), the
+instrumented code paths never construct a span, never touch an
+envelope, never advance a clock, and never import
+:mod:`repro.observability`; a run with tracing disabled is therefore
+byte-identical (simulated time *and* stats counters) to a run on a
+build without the telemetry subsystem at all.
+
+This module deliberately has no dependencies (not even on the tracer's
+type) so that core modules can import it without pulling in the
+observability package.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional
+
+#: The installed recorder (a ``repro.observability.tracer.Tracer``), or
+#: None when telemetry is off.  Read directly at instrumentation sites;
+#: installed/cleared via :func:`set_active`.
+ACTIVE: Optional[object] = None
+
+_NULL_SCOPE = contextlib.nullcontext()
+
+
+def span(clock, name, category="", attrs=None, parent_context=None):
+    """A span scope on the active recorder, or a shared no-op context
+    when telemetry is off.  Lets call sites keep one code path:
+    ``with probe.span(clock, "rpc.call", ...):``."""
+    tracer = ACTIVE
+    if tracer is None:
+        return _NULL_SCOPE
+    return tracer.span(
+        clock, name, category=category, attrs=attrs, parent_context=parent_context
+    )
+
+
+def set_active(tracer: Optional[object]) -> Optional[object]:
+    """Install ``tracer`` as the process-wide recorder (None = off).
+
+    Returns the previously installed recorder so callers can restore it
+    (scoped activation in tests).
+    """
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = tracer
+    return previous

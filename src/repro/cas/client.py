@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro._sim import probe
 from repro._sim.trace import EventTrace
 from repro.cas.keys import ProvisionedIdentity
 from repro.cas.service import CasService, ProvisionBundle, derive_provision_key
@@ -33,6 +34,21 @@ def _request_bundle(
     trace: Optional[EventTrace] = None,
 ) -> ProvisionedIdentity:
     """Common flow: keygen -> quote -> send -> unseal."""
+    with probe.span(
+        runtime.clock,
+        "attestation.provision",
+        category="attestation",
+        attrs={"session": session},
+    ):
+        return _request_bundle_inner(runtime, session, send_quote, trace)
+
+
+def _request_bundle_inner(
+    runtime: SconeRuntime,
+    session: str,
+    send_quote,
+    trace: Optional[EventTrace] = None,
+) -> ProvisionedIdentity:
     exchange_key = X25519PrivateKey.generate(
         runtime.rng.child("cas-exchange").random_bytes(32)
     )

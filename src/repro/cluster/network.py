@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
+from repro._sim import probe
 from repro._sim.clock import SimClock
 from repro.enclave.cost_model import CostModel
 from repro.errors import RpcError, RpcTransportError
@@ -175,7 +176,12 @@ class Network:
             self.stats.delayed += 1
 
         arrival = src_clock.now + self._transfer_time(request_size) + action.delay
+        callee_idle = arrival - endpoint.clock.now
         endpoint.clock.advance_to(arrival)
+        if probe.ACTIVE is not None and callee_idle > 0:
+            # The callee sat idle until the request arrived: that gap is
+            # network wait on the callee's clock, not compute.
+            probe.ACTIVE.charge(endpoint.clock, "network_wait", callee_idle)
         if endpoint.syscalls is not None:
             # The server process reads the request off its socket: this
             # is real I/O through its syscall plane, on its clock.
@@ -222,14 +228,22 @@ class Network:
         if r_action.delay:
             self.stats.delayed += 1
 
-        src_clock.advance_to(
-            endpoint.clock.now + self._transfer_time(response_size) + r_action.delay
-        )
+        reply_at = endpoint.clock.now + self._transfer_time(response_size) + r_action.delay
+        caller_wait = reply_at - src_clock.now
+        src_clock.advance_to(reply_at)
+        if probe.ACTIVE is not None and caller_wait > 0:
+            # Everything between the caller's send and the reply landing
+            # — server occupancy plus both wire legs — is network wait
+            # from the caller's point of view.
+            probe.ACTIVE.charge(src_clock, "network_wait", caller_wait)
         return response
 
     def barrier(self, clocks) -> float:
         """Advance all ``clocks`` to the max (synchronous round barrier)."""
         latest = max(clock.now for clock in clocks)
         for clock in clocks:
+            waited = latest - clock.now
             clock.advance_to(latest)
+            if probe.ACTIVE is not None and waited > 0:
+                probe.ACTIVE.charge(clock, "network_wait", waited)
         return latest

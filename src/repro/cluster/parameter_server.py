@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro._sim import probe
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.rpc import (
@@ -369,16 +370,28 @@ class SyncTrainer:
             # work does not artificially serialize the round — on a real
             # cluster the pulls overlap the same way.
             for worker, _ in round_workers:
-                pulled = encoding.decode(
-                    self._ps_call(worker, "pull", b"", declared_response=declared)
-                )
-                worker.load_weights(decode_array_dict(pulled["weights"]))
+                with probe.span(
+                    worker.node.clock,
+                    "train.pull",
+                    category="training",
+                    attrs={"worker": worker.name, "round": round_index},
+                ):
+                    pulled = encoding.decode(
+                        self._ps_call(worker, "pull", b"", declared_response=declared)
+                    )
+                    worker.load_weights(decode_array_dict(pulled["weights"]))
 
             # Phase 2: gradient computation, in parallel across nodes
             # (each worker advances only its own node's clock).
             round_grads = []
             for worker, (images, labels) in round_workers:
-                gradients, loss = worker.compute_gradients(images, labels)
+                with probe.span(
+                    worker.node.clock,
+                    "train.compute",
+                    category="training",
+                    attrs={"worker": worker.name, "round": round_index},
+                ):
+                    gradients, loss = worker.compute_gradients(images, labels)
                 losses.append(loss)
                 round_grads.append((worker, gradients))
 
@@ -392,7 +405,13 @@ class SyncTrainer:
                         "declared_flops": 2 * declared // 4,
                     }
                 )
-                self._ps_call(worker, "push", push_payload, declared_request=declared)
+                with probe.span(
+                    worker.node.clock,
+                    "train.push",
+                    category="training",
+                    attrs={"worker": worker.name, "round": round_index},
+                ):
+                    self._ps_call(worker, "push", push_payload, declared_request=declared)
             clocks = [w.node.clock for w in self._workers] + [self._ps.node.clock]
             self._network.barrier(clocks)
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, TypeVar
 
+from repro._sim import probe
 from repro._sim.clock import SimClock
 from repro._sim.rng import DeterministicRng
 from repro.errors import (
@@ -228,6 +229,13 @@ class RetryingExecutor:
             self.stats.backoff_time += delay
             self._event(f"retry {endpoint} attempt={retry_index + 1}")
             self._clock.advance(delay)
+            if probe.ACTIVE is not None:
+                probe.ACTIVE.charge(self._clock, "retry_backoff", delay)
+                probe.ACTIVE.event(
+                    self._clock,
+                    "retry",
+                    attrs={"endpoint": endpoint, "attempt": retry_index + 1},
+                )
 
 
 __all__ = [

@@ -35,6 +35,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 import repro.errors as _errors
+from repro._sim import probe
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.retry import (
@@ -79,6 +80,16 @@ _CLIENT_INSTANCES = itertools.count(1)
 
 def _envelope(kind: str, **fields: object) -> bytes:
     return encoding.encode({"kind": kind, **fields})
+
+
+def _trace_fields(tracer: object, clock) -> dict:
+    """Trace-context envelope fields for the innermost open span on
+    ``clock`` — empty (so envelopes are byte-identical to an untraced
+    build) when tracing is off or no span is open."""
+    if tracer is None:
+        return {}
+    context = tracer.current_context(clock)
+    return {"trace": context} if context is not None else {}
 
 
 def _raise_remote_error(msg: dict) -> None:
@@ -179,7 +190,25 @@ class RpcServer:
         return handler(payload, peer)
 
     def _dispatch_call(self, msg: dict, peer: Optional[str]) -> bytes:
-        """Dispatch one call envelope with at-most-once semantics."""
+        """Dispatch one call envelope with at-most-once semantics.
+
+        The envelope's propagated trace context (if any) parents the
+        handler span, linking the client's call span on its node to the
+        server work on this one — one trace ID across the cluster.
+        """
+        trace = msg.get("trace")
+        if not (isinstance(trace, dict) and "t" in trace and "s" in trace):
+            trace = None  # absent or forged context must not fail the call
+        with probe.span(
+            self._node.clock,
+            "rpc.server",
+            category="rpc",
+            attrs={"address": self.address, "method": msg.get("method")},
+            parent_context=trace,
+        ):
+            return self._dispatch_call_inner(msg, peer)
+
+    def _dispatch_call_inner(self, msg: dict, peer: Optional[str]) -> bytes:
         call_id = msg.get("call_id")
         now = self._node.clock.now
         if call_id is not None:
@@ -283,16 +312,27 @@ class RpcClient:
         declared_request: Optional[int] = None,
         declared_response: Optional[int] = None,
     ) -> bytes:
-        if self._executor is None:
-            request = _envelope("call", method=method, payload=payload)
-            return self._roundtrip(dst, request, declared_request, declared_response)
-        request = _envelope(
-            "call", method=method, payload=payload, call_id=self.next_call_id()
-        )
-        return self._executor.run(
-            dst,
-            lambda: self._roundtrip(dst, request, declared_request, declared_response),
-        )
+        with probe.span(
+            self._node.clock,
+            "rpc.call",
+            category="rpc",
+            attrs={"dst": dst, "method": method},
+        ):
+            trace = _trace_fields(probe.ACTIVE, self._node.clock)
+            if self._executor is None:
+                request = _envelope("call", method=method, payload=payload, **trace)
+                return self._roundtrip(dst, request, declared_request, declared_response)
+            request = _envelope(
+                "call",
+                method=method,
+                payload=payload,
+                call_id=self.next_call_id(),
+                **trace,
+            )
+            return self._executor.run(
+                dst,
+                lambda: self._roundtrip(dst, request, declared_request, declared_response),
+            )
 
 
 class SecureRpcServer(RpcServer):
@@ -433,9 +473,15 @@ class SecureConnection:
         self._mutual = mutual
 
     def _reconnect(self) -> None:
-        conn, records, subject = self._client._handshake_once(
-            self._dst, self._expected_server, self._mutual
-        )
+        with probe.span(
+            self._client._node.clock,
+            "rpc.reconnect",
+            category="rpc",
+            attrs={"dst": self._dst},
+        ):
+            conn, records, subject = self._client._handshake_once(
+                self._dst, self._expected_server, self._mutual
+            )
         self._conn = conn
         self._records = records
         self.peer_subject = subject
@@ -497,12 +543,29 @@ class SecureConnection:
         declared_response: Optional[int] = None,
     ) -> bytes:
         client = self._client
+        with probe.span(
+            client._node.clock,
+            "rpc.call",
+            category="rpc",
+            attrs={"dst": self._dst, "method": method, "secure": True},
+        ):
+            return self._call_traced(method, payload, declared_request, declared_response)
+
+    def _call_traced(
+        self,
+        method: str,
+        payload: bytes,
+        declared_request: Optional[int],
+        declared_response: Optional[int],
+    ) -> bytes:
+        client = self._client
+        trace = _trace_fields(probe.ACTIVE, client._node.clock)
         if client._executor is None:
-            inner = _envelope("call", method=method, payload=payload)
+            inner = _envelope("call", method=method, payload=payload, **trace)
             return self._call_once(inner, declared_request, declared_response)
 
         inner = _envelope(
-            "call", method=method, payload=payload, call_id=client.next_call_id()
+            "call", method=method, payload=payload, call_id=client.next_call_id(), **trace
         )
 
         def attempt() -> bytes:
@@ -562,24 +625,27 @@ class SecureRpcClient(RpcClient):
         mutual: bool,
     ) -> Tuple[int, RecordLayer, Optional[str]]:
         """One full TLS handshake with ``dst`` (fresh state each time)."""
-        handshake = self._shield.client_handshake(
-            expected_server=expected_server,
-            mutual=mutual,
-            now=self._node.clock.now,
-        )
-        hs1 = _envelope("hs1", hello=handshake.hello())
-        self._syscalls.socket_send(len(hs1))
-        raw = self._network.call(self.address, self._node.clock, dst, hs1)
-        self._syscalls.socket_recv(len(raw))
-        msg = _open_envelope(raw, "hs1_reply")
-        client_flight = handshake.finish(msg["flight"])
-        hs2 = _envelope("hs2", conn=msg["conn"], client_flight=client_flight)
-        self._syscalls.socket_send(len(hs2))
-        raw = self._network.call(self.address, self._node.clock, dst, hs2)
-        self._syscalls.socket_recv(len(raw))
-        _open_envelope(raw, "hs2_reply")
-        self._shield.charge_handshake()
-        return msg["conn"], handshake.record_layer, handshake.peer_subject
+        with probe.span(
+            self._node.clock, "tls.handshake", category="crypto", attrs={"dst": dst}
+        ):
+            handshake = self._shield.client_handshake(
+                expected_server=expected_server,
+                mutual=mutual,
+                now=self._node.clock.now,
+            )
+            hs1 = _envelope("hs1", hello=handshake.hello())
+            self._syscalls.socket_send(len(hs1))
+            raw = self._network.call(self.address, self._node.clock, dst, hs1)
+            self._syscalls.socket_recv(len(raw))
+            msg = _open_envelope(raw, "hs1_reply")
+            client_flight = handshake.finish(msg["flight"])
+            hs2 = _envelope("hs2", conn=msg["conn"], client_flight=client_flight)
+            self._syscalls.socket_send(len(hs2))
+            raw = self._network.call(self.address, self._node.clock, dst, hs2)
+            self._syscalls.socket_recv(len(raw))
+            _open_envelope(raw, "hs2_reply")
+            self._shield.charge_handshake()
+            return msg["conn"], handshake.record_layer, handshake.peer_subject
 
     def connect(
         self,

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro._sim import probe
 from repro.cas.audit import ScopedFreshnessTracker
 from repro.cluster.container import Container
 from repro.cluster.node import Node
@@ -151,6 +152,15 @@ class InferenceService:
 
     def start(self) -> None:
         """Container start → attest/provision → load model → ready."""
+        with probe.span(
+            self.node.clock,
+            "inference.startup",
+            category="inference",
+            attrs={"service": self.name},
+        ):
+            self._start_inner()
+
+    def _start_inner(self) -> None:
         start_time = self.node.clock.now
         # The config here must match the one the policy was registered
         # with byte-for-byte: any difference changes the measurement and
@@ -192,7 +202,15 @@ class InferenceService:
         if self.interpreter is None:
             raise ConfigurationError(f"service {self.name!r} is not started")
         before = self.node.clock.now
-        label = self.interpreter.classify(image[None] if image.ndim == 3 else image)
+        with probe.span(
+            self.node.clock,
+            "inference.request",
+            category="inference",
+            attrs={"service": self.name},
+        ):
+            label = self.interpreter.classify(
+                image[None] if image.ndim == 3 else image
+            )
         self.stats.requests += 1
         self.stats.total_latency += self.node.clock.now - before
         return label

@@ -11,12 +11,100 @@ network totals, audit-log health.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.core.platform import SecureTFPlatform
 from repro.crypto.aead import aead_cache_stats
 from repro.runtime import stats_registry
+
+
+def _is_max_field(name: str) -> bool:
+    """High-water-mark counters combine by max, not sum."""
+    return name.endswith("_peak") or name.startswith("max_")
+
+
+#: Snapshot fields that are levels, not cumulative counters: an
+#: interval ``diff`` keeps the later value instead of subtracting.
+_GAUGE_FIELDS = frozenset(
+    {
+        "epc_capacity_granules",
+        "epc_resident_granules",
+        "epc_fault_rate",
+        "cas_sessions",
+        "cas_secrets",
+    }
+)
+
+
+def aggregate_into(target, source, prefixes: Sequence[str] = ("",)) -> None:
+    """Fold ``source``'s counters into the metrics dataclass ``target``.
+
+    Driven by ``dataclasses.fields(target)`` so a counter added to a
+    metrics dataclass is aggregated automatically (forgetting it is a
+    one-line test failure, not a silent zero): each target field is
+    matched to a source attribute by stripping the first applicable
+    prefix (``fs_crypto_bytes`` + prefix ``fs_`` → ``crypto_bytes``).
+    Ints and floats sum, ``*_peak``/``max_*`` fields take the max, and
+    dict fields merge additively per key.
+    """
+    for f in dataclasses.fields(target):
+        value = None
+        for prefix in prefixes:
+            if prefix and not f.name.startswith(prefix):
+                continue
+            attr = f.name[len(prefix):]
+            if hasattr(source, attr):
+                value = getattr(source, attr)
+                break
+        if value is None:
+            continue
+        current = getattr(target, f.name)
+        if isinstance(value, dict):
+            for key, n in value.items():
+                current[key] = current.get(key, 0) + n
+        elif isinstance(value, bool):
+            continue  # no boolean counters; never sum truth values
+        elif isinstance(value, (int, float)):
+            if _is_max_field(f.name):
+                setattr(target, f.name, max(current, value))
+            else:
+                setattr(target, f.name, current + value)
+
+
+def _diff_dataclass(later, earlier):
+    """Field-wise interval delta between two metrics dataclasses.
+
+    Cumulative counters subtract; gauges, high-water marks, booleans,
+    and strings keep the later snapshot's value; dicts subtract per
+    key; nested dataclasses recurse.
+    """
+    if type(later) is not type(earlier):
+        raise TypeError(
+            f"cannot diff {type(later).__name__} against {type(earlier).__name__}"
+        )
+    changes = {}
+    for f in dataclasses.fields(later):
+        a = getattr(later, f.name)
+        b = getattr(earlier, f.name)
+        if dataclasses.is_dataclass(a) and not isinstance(a, type):
+            changes[f.name] = _diff_dataclass(a, b)
+        elif isinstance(a, dict):
+            changes[f.name] = {
+                key: a.get(key, 0) - b.get(key, 0)
+                for key in set(a) | set(b)
+            }
+        elif isinstance(a, (bool, str)) or a is None:
+            changes[f.name] = a
+        elif isinstance(a, (int, float)):
+            if _is_max_field(f.name) or f.name in _GAUGE_FIELDS:
+                changes[f.name] = a
+            else:
+                changes[f.name] = a - b
+        else:
+            changes[f.name] = a
+    return dataclasses.replace(later, **changes)
 
 
 @dataclass
@@ -150,6 +238,7 @@ class PlatformMetrics:
                     f"{node.epc_utilization * 100:.0f}%",
                     f"{node.epc_faults}",
                     f"{node.epc_fault_time:.3f}s",
+                    f"{node.epc_fault_rate * 100:.1f}%",
                     f"{node.enclave_transitions}",
                 ]
             )
@@ -159,12 +248,12 @@ class PlatformMetrics:
         lines = ["platform metrics snapshot", "-" * 68]
         lines.append(
             f"{'node':<8}{'time':>10}{'EPC util':>10}{'faults':>10}"
-            f"{'fault time':>12}{'transitions':>13}"
+            f"{'fault time':>12}{'fault rate':>12}{'transitions':>13}"
         )
         for row in self.to_rows():
             lines.append(
                 f"{row[0]:<8}{row[1]:>10}{row[2]:>10}{row[3]:>10}"
-                f"{row[4]:>12}{row[5]:>13}"
+                f"{row[4]:>12}{row[5]:>12}{row[6]:>13}"
             )
         lines.append(
             f"network: {self.network_messages} messages, "
@@ -219,7 +308,8 @@ class PlatformMetrics:
         lines.append(
             f"recovery: {r.retries} retries ({r.backoff_time:.3f}s backoff), "
             f"{r.giveups} giveups, {r.reconnects} reconnects, "
-            f"{r.dedup_hits} dedup hits, breakers {r.breaker_trips} trips/"
+            f"{r.dedup_hits} dedup hits, {r.handshakes_expired} handshakes "
+            f"expired, breakers {r.breaker_trips} trips/"
             f"{r.breaker_rejections} rejections, "
             f"{r.restarts} restarts, {r.quarantined} quarantined"
         )
@@ -229,6 +319,38 @@ class PlatformMetrics:
             f"records replicated"
         )
         return "\n".join(lines)
+
+    # -- serialization + interval deltas --------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """The snapshot as a JSON-safe nested dict (round-trips through
+        :meth:`from_json`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "PlatformMetrics":
+        payload = dict(data)
+        payload["nodes"] = [NodeMetrics(**node) for node in payload["nodes"]]
+        payload["shields"] = ShieldMetrics(**payload["shields"])
+        payload["recovery"] = RecoveryMetrics(**payload["recovery"])
+        payload["syscalls"] = SyscallMetrics(**payload["syscalls"])
+        return cls(**payload)
+
+    def diff(self, earlier: "PlatformMetrics") -> "PlatformMetrics":
+        """The interval delta since ``earlier`` (what the telemetry
+        sampler records): cumulative counters subtract, gauges and
+        high-water marks keep this snapshot's value.  Nodes are matched
+        by node ID; a node absent from ``earlier`` (scale-out) reports
+        its full counters."""
+        earlier_nodes = {node.node_id: node for node in earlier.nodes}
+        nodes = [
+            _diff_dataclass(node, earlier_nodes[node.node_id])
+            if node.node_id in earlier_nodes
+            else node
+            for node in self.nodes
+        ]
+        delta = _diff_dataclass(self, earlier)
+        return dataclasses.replace(delta, nodes=nodes)
 
 
 def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
@@ -257,69 +379,20 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
     clocks = [node.clock for node in platform.nodes]
     shields = ShieldMetrics()
     for stats in stats_registry.fs_stats_for(clocks):
-        shields.fs_files_written += stats.files_written
-        shields.fs_files_read += stats.files_read
-        shields.fs_crypto_bytes += stats.crypto_bytes
-        shields.fs_crypto_time += stats.crypto_time
-        shields.fs_real_crypto_time += stats.real_crypto_time
-        shields.fs_key_cache_hits += stats.key_cache_hits
-        shields.fs_key_cache_misses += stats.key_cache_misses
-        shields.fs_chunk_cache_hits += stats.chunk_cache_hits
-        shields.fs_chunk_cache_misses += stats.chunk_cache_misses
-        shields.fs_torn_writes_detected += stats.torn_writes_detected
-        shields.fs_chunks_repaired += stats.chunks_repaired
-        shields.fs_recovery_scans += stats.recovery_scans
-        shields.fs_recoveries_rolled_back += stats.recoveries_rolled_back
-        shields.fs_recoveries_rolled_forward += stats.recoveries_rolled_forward
-        for name, n in stats.bytes_by_cipher.items():
-            shields.bytes_by_cipher[name] = shields.bytes_by_cipher.get(name, 0) + n
+        # fs_* fields match by stripped prefix; the shared
+        # ``bytes_by_cipher`` dict matches under the empty prefix.
+        aggregate_into(shields, stats, prefixes=("fs_", ""))
     for stats in stats_registry.net_stats_for(clocks):
-        shields.net_records_protected += stats.records_protected
-        shields.net_records_opened += stats.records_opened
-        shields.net_crypto_bytes += stats.crypto_bytes
-        shields.net_crypto_time += stats.crypto_time
-        shields.net_real_crypto_time += stats.real_crypto_time
-        for name, n in stats.bytes_by_cipher.items():
-            shields.bytes_by_cipher[name] = shields.bytes_by_cipher.get(name, 0) + n
+        aggregate_into(shields, stats, prefixes=("net_", ""))
     aead_counters = aead_cache_stats()
     shields.aead_cache_hits = aead_counters["hits"]
     shields.aead_cache_misses = aead_counters["misses"]
     syscalls = SyscallMetrics()
     for stats in stats_registry.syscall_stats_for(clocks):
-        syscalls.calls += stats.calls
-        syscalls.userspace_handled += stats.userspace_handled
-        syscalls.transitions += stats.transitions
-        syscalls.ring_submissions += stats.ring_submissions
-        syscalls.ring_completions += stats.ring_completions
-        syscalls.ring_occupancy_peak = max(
-            syscalls.ring_occupancy_peak, stats.ring_occupancy_peak
-        )
-        syscalls.batches += stats.batches
-        syscalls.max_batch = max(syscalls.max_batch, stats.max_batch)
-        syscalls.flushes_on_block += stats.flushes_on_block
-        syscalls.backpressure_stalls += stats.backpressure_stalls
-        syscalls.backpressure_time += stats.backpressure_time
-        syscalls.handler_wakeups += stats.handler_wakeups
-        syscalls.sync_fallbacks += stats.sync_fallbacks
-        syscalls.overlap_hidden_time += stats.overlap_hidden_time
-        syscalls.overlap_exposed_time += stats.overlap_exposed_time
-        syscalls.bytes_read += stats.bytes_read
-        syscalls.bytes_written += stats.bytes_written
-        syscalls.bytes_sent += stats.bytes_sent
-        syscalls.bytes_received += stats.bytes_received
-        syscalls.time += stats.time
+        aggregate_into(syscalls, stats)
     recovery = RecoveryMetrics()
     for stats in stats_registry.recovery_stats_for(clocks):
-        recovery.calls += stats.calls
-        recovery.attempts += stats.attempts
-        recovery.retries += stats.retries
-        recovery.giveups += stats.giveups
-        recovery.backoff_time += stats.backoff_time
-        recovery.reconnects += stats.reconnects
-        recovery.breaker_trips += stats.breaker_trips
-        recovery.breaker_rejections += stats.breaker_rejections
-        recovery.dedup_hits += stats.dedup_hits
-        recovery.handshakes_expired += stats.handshakes_expired
+        aggregate_into(recovery, stats)
     recovery.restarts = platform.orchestrator.restarts_total
     recovery.quarantined = platform.orchestrator.quarantined_total
     if platform.cas_pair is not None:

@@ -41,6 +41,13 @@ class PlatformConfig:
     cas_backup_node: Optional[int] = None
     #: Retry policy CAS clients use to ride out a failover window.
     cas_retry: Optional[RetryPolicy] = None
+    #: Install a telemetry plane (distributed tracing + layer charges)
+    #: for this platform's lifetime.  Off by default: a disabled run is
+    #: byte-identical to one without the subsystem imported.
+    tracing: bool = False
+    #: Simulated seconds between metric samples (0 = no sampler; only
+    #: meaningful with ``tracing=True``).
+    metrics_interval: float = 0.0
 
 
 class SecureTFPlatform:
@@ -90,6 +97,22 @@ class SecureTFPlatform:
             )
         else:
             self.cas_server = serve_cas(self.network, self.cas, address="cas")
+
+        #: The platform's telemetry plane (None unless ``tracing=True``).
+        #: The import is deliberately lazy: an untraced platform never
+        #: loads the observability package at all.
+        self.telemetry = None
+        if self.config.tracing:
+            from repro.observability import Telemetry
+
+            self.telemetry = Telemetry(
+                self, sample_interval=self.config.metrics_interval
+            )
+
+    def close_telemetry(self) -> None:
+        """Detach the telemetry plane (restores any previous recorder)."""
+        if self.telemetry is not None:
+            self.telemetry.close()
 
     @property
     def cost_model(self) -> CostModel:

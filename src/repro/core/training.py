@@ -53,8 +53,14 @@ def training_runtime_config(
     max_threads: int = 8,
     syscall_ring_depth: int = 64,
     syscall_handler_threads: int = 2,
+    tracing: bool = False,
 ) -> RuntimeConfig:
-    """Runtime config (→ measurement) of a training container."""
+    """Runtime config (→ measurement) of a training container.
+
+    ``tracing`` does not enter the measurement (see
+    :class:`~repro.runtime.scone.RuntimeConfig`), so traced and untraced
+    containers satisfy the same CAS policy.
+    """
     return RuntimeConfig(
         name=name,
         mode=mode,
@@ -65,6 +71,7 @@ def training_runtime_config(
         syscall_ring_depth=syscall_ring_depth,
         syscall_handler_threads=syscall_handler_threads,
         fs_shield_enabled=False,  # training inputs fed via the PS protocol
+        tracing=tracing,
     )
 
 
@@ -135,6 +142,7 @@ class TrainingJob:
             self.config.threads_per_worker,
             syscall_ring_depth=self.config.syscall_ring_depth,
             syscall_handler_threads=self.config.syscall_handlers,
+            tracing=self.platform.telemetry is not None,
         )
 
     def _ps_config(self) -> RuntimeConfig:
@@ -143,6 +151,7 @@ class TrainingJob:
             self.config.mode,
             syscall_ring_depth=self.config.syscall_ring_depth,
             syscall_handler_threads=self.config.syscall_handlers,
+            tracing=self.platform.telemetry is not None,
         )
 
     def register_session(self) -> None:

@@ -32,6 +32,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro._sim import probe
 from repro._sim.clock import SimClock
 from repro._sim.units import KiB
 from repro.enclave.cost_model import CostModel
@@ -163,6 +164,10 @@ class EpcCache:
         cost = self._granule_fault_cost
         self.stats.fault_time += cost
         self._clock.advance(cost)
+        if probe.ACTIVE is not None:
+            probe.ACTIVE.charge(
+                self._clock, "epc_faults", cost, histogram="epc.fault_service"
+            )
         return True
 
     def access_range(self, enclave_id: int, first_byte: int, n_bytes: int) -> int:

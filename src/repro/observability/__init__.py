@@ -1,0 +1,70 @@
+"""Continuous telemetry for the simulated secureTF platform.
+
+Three coupled pieces (see DESIGN.md §5f):
+
+- :mod:`.tracer` — distributed span tracing with RPC context
+  propagation and compact per-layer charges;
+- :mod:`.metrics` — ring-buffer time series (TEEMon-style sampler) and
+  weighted histograms with percentile queries;
+- :mod:`.profiler` / :mod:`.exporters` — exclusive per-layer profiles
+  that sum to each node's elapsed simulated time, a text flame report,
+  and Chrome trace_event / Prometheus / JSON exporters.
+
+Recording is off unless a tracer is installed in
+:mod:`repro._sim.probe`; instrumented hot paths check that single slot
+and do nothing else when it is empty.
+"""
+
+from repro.observability.exporters import (
+    dump_json,
+    to_chrome_trace,
+    to_json,
+    to_prometheus,
+    validate_chrome_trace,
+)
+from repro.observability.metrics import (
+    Histogram,
+    MetricsSampler,
+    Series,
+    flatten_metrics,
+)
+from repro.observability.plane import Telemetry
+from repro.observability.profiler import (
+    NodeProfile,
+    build_flame,
+    flame_report,
+    format_profile,
+    profile,
+)
+from repro.observability.tracer import (
+    LAYERS,
+    Span,
+    Tracer,
+    activate,
+    active_tracer,
+    deactivate,
+)
+
+__all__ = [
+    "Histogram",
+    "LAYERS",
+    "MetricsSampler",
+    "NodeProfile",
+    "Series",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "build_flame",
+    "deactivate",
+    "dump_json",
+    "flame_report",
+    "flatten_metrics",
+    "format_profile",
+    "profile",
+    "to_chrome_trace",
+    "to_json",
+    "to_prometheus",
+    "validate_chrome_trace",
+]

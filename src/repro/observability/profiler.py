@@ -1,0 +1,209 @@
+"""Simulated-time profiling: per-layer attribution + a text flame report.
+
+Attribution works because of a structural property of the simulation:
+every advance of a node's clock is one disjoint serial interval, and
+each instrumented mechanism records a *charge* for exactly the interval
+it advanced (see :mod:`repro.observability.tracer`).  A node's elapsed
+time therefore decomposes exactly:
+
+    elapsed = Σ charged layers + compute (everything uncharged)
+
+so the per-layer exclusive report sums to each node's elapsed simulated
+time by construction — the acceptance bar of TensorSCONE-style overhead
+breakdowns.  The span tree then *subdivides* that time top-down for the
+flame report: a span's self time is its duration minus same-node child
+spans, with the charge layers it contains shown inline.  Cross-node
+parent links (propagated RPC context) are kept for trace continuity but
+never subtracted across clocks.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.observability.tracer import LAYERS, Span, Tracer
+
+
+@dataclass
+class NodeProfile:
+    """Exclusive per-layer time for one node (sums to ``elapsed``)."""
+
+    label: str
+    elapsed: float
+    layers: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.layers.values())
+
+    def share(self, layer: str) -> float:
+        return self.layers.get(layer, 0.0) / self.elapsed if self.elapsed else 0.0
+
+
+def profile(tracer: Tracer) -> Dict[str, NodeProfile]:
+    """Per-node exclusive layer attribution, keyed by clock label."""
+    profiles: Dict[str, NodeProfile] = {}
+    for clock in tracer.clocks():
+        record = tracer.clock_record(clock)
+        elapsed = clock.now - record.t0
+        layers = {layer: 0.0 for layer in LAYERS}
+        charged = 0.0
+        for layer, duration in record.layer_totals.items():
+            layers[layer] = layers.get(layer, 0.0) + duration
+            charged += duration
+        # Everything no mechanism claimed is application compute.  The
+        # clamp only absorbs float rounding: charges describe disjoint
+        # clock advances, so their sum cannot truly exceed elapsed.
+        layers["compute"] = max(0.0, elapsed - charged)
+        profiles[record.label] = NodeProfile(record.label, elapsed, layers)
+    return profiles
+
+
+def format_profile(profiles: Dict[str, NodeProfile]) -> str:
+    """The per-layer table (one row per node, one column per layer)."""
+    labels = sorted(profiles)
+    lines = ["per-node exclusive time by layer (simulated seconds)"]
+    header = f"{'node':<14}{'elapsed':>10}" + "".join(
+        f"{layer:>14}" for layer in LAYERS
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label in labels:
+        p = profiles[label]
+        row = f"{label:<14}{p.elapsed:>10.4f}" + "".join(
+            f"{p.layers.get(layer, 0.0):>14.4f}" for layer in LAYERS
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Flame report
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Frame:
+    """One aggregated tree node: all same-name spans at one tree path."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    charged: Dict[str, float] = field(default_factory=dict)
+    children: Dict[str, "_Frame"] = field(default_factory=dict)
+
+    @property
+    def children_total(self) -> float:
+        return sum(child.total for child in self.children.values())
+
+    @property
+    def self_time(self) -> float:
+        return max(0.0, self.total - self.children_total)
+
+
+def _span_layer_charges(tracer: Tracer, span: Span) -> Dict[str, float]:
+    """Charged time per layer recorded inside ``span``'s own window."""
+    record = tracer.clock_record(span.clock)
+    end = span.end if span.end is not None else span.clock.now
+    charges: Dict[str, float] = {}
+    lo = bisect.bisect_left(record.charge_starts, span.start)
+    hi = bisect.bisect_left(record.charge_starts, end)
+    for index in range(lo, hi):
+        layer = record.charge_layers[index]
+        duration = record.charge_cum[index] - (
+            record.charge_cum[index - 1] if index else 0.0
+        )
+        charges[layer] = charges.get(layer, 0.0) + duration
+    return charges
+
+
+def build_flame(tracer: Tracer) -> Dict[str, _Frame]:
+    """Aggregate each node's span tree into name-keyed frames."""
+    by_clock: Dict[object, List[Span]] = {}
+    by_id: Dict[str, Span] = {}
+    for span in tracer.spans:
+        by_clock.setdefault(span.clock, []).append(span)
+        by_id[span.span_id] = span
+
+    children_of: Dict[str, List[Span]] = {}
+    roots_by_clock: Dict[object, List[Span]] = {}
+    for span in tracer.spans:
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        # Same-node parentage only: a propagated (cross-node) parent
+        # must not pull the span under another clock's subtree.
+        if (
+            parent is not None
+            and not span.remote_parent
+            and parent.clock is span.clock
+        ):
+            children_of.setdefault(parent.span_id, []).append(span)
+        else:
+            roots_by_clock.setdefault(span.clock, []).append(span)
+
+    def aggregate(spans: List[Span], frames: Dict[str, _Frame]) -> None:
+        for span in spans:
+            frame = frames.get(span.name)
+            if frame is None:
+                frame = _Frame(span.name)
+                frames[span.name] = frame
+            frame.count += 1
+            frame.total += span.duration
+            for layer, duration in _span_layer_charges(tracer, span).items():
+                frame.charged[layer] = frame.charged.get(layer, 0.0) + duration
+            aggregate(children_of.get(span.span_id, []), frame.children)
+
+    trees: Dict[str, _Frame] = {}
+    for clock, spans in roots_by_clock.items():
+        root = _Frame(tracer.label_of(clock))
+        aggregate(spans, root.children)
+        root.total = root.children_total
+        root.count = len(spans)
+        trees[root.name] = root
+    return trees
+
+
+def flame_report(
+    tracer: Tracer, min_share: float = 0.001, max_depth: int = 8
+) -> str:
+    """Top-down text flame report, one tree per node.
+
+    Frames below ``min_share`` of their node's traced total are elided
+    (their time still shows in the parent's self time).
+    """
+    trees = build_flame(tracer)
+    lines: List[str] = []
+    for label in sorted(trees):
+        root = trees[label]
+        node_total = root.total
+        lines.append(f"{label}: {node_total:.4f}s traced in spans")
+
+        def render(frame: _Frame, depth: int) -> None:
+            if depth > max_depth:
+                return
+            share = frame.total / node_total if node_total else 0.0
+            if share < min_share:
+                return
+            charged = ", ".join(
+                f"{layer} {duration:.4f}s"
+                for layer, duration in sorted(frame.charged.items())
+            )
+            lines.append(
+                f"{'  ' * depth}{frame.name:<28} "
+                f"x{frame.count:<5} total {frame.total:>9.4f}s "
+                f"self {frame.self_time:>9.4f}s ({share * 100:5.1f}%)"
+                + (f"  [{charged}]" if charged else "")
+            )
+            for name in sorted(
+                frame.children, key=lambda n: -frame.children[n].total
+            ):
+                render(frame.children[name], depth + 1)
+
+        for name in sorted(root.children, key=lambda n: -root.children[n].total):
+            render(root.children[name], 1)
+        if tracer.dropped_spans:
+            lines.append(
+                f"  (span cap reached: {tracer.dropped_spans} spans dropped)"
+            )
+    return "\n".join(lines) if lines else "(no spans recorded)"

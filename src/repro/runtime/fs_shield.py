@@ -53,6 +53,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Tuple
 
+from repro._sim import probe
 from repro._sim.clock import SimClock
 from repro.crypto import encoding
 from repro.crypto.aead import get_aead
@@ -249,6 +250,14 @@ class FileSystemShield:
             + n_chunks * self._model.fs_shield_chunk_overhead
         )
         self._clock.advance(duration)
+        if probe.ACTIVE is not None:
+            probe.ACTIVE.charge(
+                self._clock,
+                "crypto",
+                duration,
+                count=max(1, n_chunks),
+                histogram="fs.chunk_crypto",
+            )
         self.stats.crypto_bytes += simulated_bytes
         self.stats.crypto_time += duration
 

@@ -26,6 +26,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Protocol
 
+from repro._sim import probe
 from repro._sim.clock import SimClock
 from repro._sim.rng import DeterministicRng
 from repro.crypto.ed25519 import Ed25519PublicKey
@@ -96,6 +97,8 @@ def charge_record_crypto(
         + n_records * cost_model.net_shield_record_overhead
     )
     clock.advance(duration)
+    if probe.ACTIVE is not None:
+        probe.ACTIVE.charge(clock, "crypto", duration)
     stats.crypto_bytes += n_bytes
     stats.crypto_time += duration
 
@@ -299,6 +302,8 @@ class NetworkShield:
     def charge_handshake(self) -> None:
         """Charge one handshake's cryptography (two signatures + ECDHE)."""
         self.clock.advance(0.9e-3)
+        if probe.ACTIVE is not None:
+            probe.ACTIVE.charge(self.clock, "crypto", 0.9e-3)
         self.stats.handshakes += 1
 
     def client_handshake(

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro._sim import probe
 from repro._sim.clock import SimClock
 from repro._sim.rng import DeterministicRng
 from repro.enclave.attestation import Quote
@@ -64,6 +65,10 @@ class RuntimeConfig:
     #: SCONE_ALLOW_DLOPEN analogue: permit runtime library loading, with
     #: mandatory fs-shield authentication (§4.1 — required for Python).
     allow_dlopen: bool = False
+    #: Register this process with the active telemetry recorder (spans,
+    #: layer charges).  Deliberately *not* part of the enclave image:
+    #: turning tracing on must not change the measurement.
+    tracing: bool = False
 
     def resolved_libc(self) -> LibcFlavor:
         if self.libc is not None:
@@ -171,6 +176,10 @@ class SconeRuntime:
             if config.fs_key is not None:
                 self.install_fs_key(config.fs_key, config.freshness)
             # else: the key arrives later, from CAS, via install_fs_key().
+        if config.tracing and probe.ACTIVE is not None:
+            # Label first-wins in the tracer: a container sharing its
+            # node's clock cannot relabel the node.
+            probe.ACTIVE.register_clock(clock, config.name)
 
     # ------------------------------------------------------------------
 
@@ -197,7 +206,13 @@ class SconeRuntime:
         """Produce a quote for this process (debug-flagged in SIM mode)."""
         if self.enclave is None:
             raise EnclaveError("NATIVE mode cannot be attested")
-        return self.enclave.get_quote(report_data)
+        with probe.span(
+            self.clock,
+            "attestation.quote",
+            category="attestation",
+            attrs={"process": self.config.name},
+        ):
+            return self.enclave.get_quote(report_data)
 
     def install_fs_key(self, key: bytes, freshness=None) -> None:
         """Arm the file-system shield with a (CAS-provisioned) key."""

@@ -31,6 +31,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro._sim import probe
 from repro._sim.clock import SimClock
 from repro.enclave.cost_model import CostModel
 from repro.enclave.sgx import Enclave, SgxMode
@@ -164,6 +165,10 @@ class SyscallInterface:
             self.stats.transitions += 1
             self._enclave.cpu.transition(asynchronous=False)
             self._clock.advance(model.syscall_kernel_cost)
+        if probe.ACTIVE is not None and self.plane is None:
+            # The plane charges its own advances; trap/transition paths
+            # are attributed here.
+            probe.ACTIVE.charge(self._clock, "syscall_ring", self._clock.now - before)
         self.stats.time += self._clock.now - before
 
     def _charge_batch(self, name: str, count: int) -> None:
@@ -187,6 +192,10 @@ class SyscallInterface:
                     self.stats.transitions += 1
                     self._enclave.cpu.transition(asynchronous=False)
                     self._clock.advance(model.syscall_kernel_cost)
+            if probe.ACTIVE is not None:
+                probe.ACTIVE.charge(
+                    self._clock, "syscall_ring", self._clock.now - before, count=count
+                )
         self.stats.time += self._clock.now - before
 
     def _charge_copy(self, n_bytes: int) -> None:
@@ -198,6 +207,8 @@ class SyscallInterface:
             self._enclave.memory.charge_bytes(n_bytes)
         else:
             self._clock.advance(n_bytes / self._model.native_memory_bandwidth)
+        if probe.ACTIVE is not None:
+            probe.ACTIVE.charge(self._clock, "syscall_ring", self._clock.now - before)
         self.stats.time += self._clock.now - before
 
     def _charge_io(self, n_bytes: int, write: bool) -> None:

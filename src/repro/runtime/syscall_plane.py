@@ -48,6 +48,7 @@ import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro._sim import probe
 from repro._sim.clock import SimClock
 from repro.enclave.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.enclave.sgx import Enclave
@@ -167,6 +168,8 @@ class SyscallPlane:
                 self.stats.backpressure_stalls += 1
                 self.stats.backpressure_time += stall
                 self._clock.advance_to(target)
+                if probe.ACTIVE is not None:
+                    probe.ACTIVE.charge(self._clock, "backpressure", stall)
             self._reap()
 
     def _sync_exit_cost(self) -> float:
@@ -177,12 +180,15 @@ class SyscallPlane:
 
     def _charge_sync_exit(self, kernel_cost: float) -> None:
         self.stats.sync_fallbacks += 1
+        before = self._clock.now
         if self._enclave is not None:
             self.stats.transitions += 1
             self._enclave.cpu.transition(asynchronous=False)
         else:
             self._clock.advance(self._model.syscall_trap_cost)
         self._clock.advance(kernel_cost)
+        if probe.ACTIVE is not None:
+            probe.ACTIVE.charge(self._clock, "syscall_ring", self._clock.now - before)
 
     def _starved(self) -> bool:
         """True when the ring cannot win: every handler is busy further
@@ -196,6 +202,7 @@ class SyscallPlane:
     def _submit_one(self, name: str, kernel_cost: float) -> float:
         """Write one request into the ring; returns its completion time."""
         self._acquire_slot()
+        before = self._clock.now  # after the slot wait: stalls are backpressure
         if self._enclave is not None:
             self._enclave.cpu.ring_submit(1)
         else:
@@ -217,6 +224,8 @@ class SyscallPlane:
                     self._model.syscall_trap_cost + self._model.syscall_kernel_cost
                 )
             now = self._clock.now
+        if probe.ACTIVE is not None and now > before:
+            probe.ACTIVE.charge(self._clock, "syscall_ring", now - before)
         completion = max(now, free_at) + kernel_cost
         self._handlers[index] = completion
         heapq.heappush(self._inflight, completion)
@@ -228,6 +237,7 @@ class SyscallPlane:
         """Wait for a completion, hiding what runnable threads cover."""
         wait = completion - self._clock.now
         if wait > 0:
+            before = self._clock.now
             if self._scheduler is not None:
                 exposed, hidden = self._scheduler.hide_wait(wait)
             else:
@@ -235,6 +245,12 @@ class SyscallPlane:
                 exposed, hidden = wait, 0.0
             self.stats.overlap_exposed_time += exposed
             self.stats.overlap_hidden_time += hidden
+            if probe.ACTIVE is not None and self._clock.now > before:
+                # Only the exposed share advanced the clock; hidden time
+                # ran other application threads and stays compute.
+                probe.ACTIVE.charge(
+                    self._clock, "syscall_ring", self._clock.now - before
+                )
         self._reap()
 
     # ------------------------------------------------------------------
@@ -246,7 +262,10 @@ class SyscallPlane:
         if factor is None:
             return False
         self.stats.userspace_handled += 1
-        self._clock.advance(self._model.userlevel_switch_cost * factor)
+        duration = self._model.userlevel_switch_cost * factor
+        self._clock.advance(duration)
+        if probe.ACTIVE is not None:
+            probe.ACTIVE.charge(self._clock, "syscall_ring", duration)
         return True
 
     def call(self, name: str, kernel_cost: Optional[float] = None) -> None:

@@ -1,0 +1,192 @@
+"""Monitoring aggregation, serialization, and report-format tests."""
+
+from __future__ import annotations
+
+import dataclasses
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.monitoring import (
+    NodeMetrics,
+    PlatformMetrics,
+    RecoveryMetrics,
+    ShieldMetrics,
+    SyscallMetrics,
+    aggregate_into,
+)
+
+
+def _node(node_id: str, **overrides) -> NodeMetrics:
+    base = dict(
+        node_id=node_id,
+        simulated_time=10.0,
+        epc_capacity_granules=100,
+        epc_resident_granules=40,
+        epc_faults=20,
+        epc_fault_time=0.5,
+        epc_fault_rate=0.125,
+        enclave_transitions=30,
+    )
+    base.update(overrides)
+    return NodeMetrics(**base)
+
+
+def _snapshot(**overrides) -> PlatformMetrics:
+    base = dict(
+        nodes=[_node("node-0"), _node("node-1", epc_faults=5)],
+        network_messages=100,
+        network_bytes=2_000_000,
+        network_dropped=1,
+        cas_sessions=2,
+        cas_secrets=3,
+        audit_records=8,
+        audit_chain_ok=True,
+    )
+    base.update(overrides)
+    return PlatformMetrics(**base)
+
+
+# --- aggregate_into --------------------------------------------------------
+
+
+def test_aggregate_sums_across_sources_with_prefix_stripping():
+    shields = ShieldMetrics()
+    fs_a = SimpleNamespace(files_written=2, crypto_bytes=100, crypto_time=0.1)
+    fs_b = SimpleNamespace(files_written=3, crypto_bytes=50, crypto_time=0.2)
+    for stats in (fs_a, fs_b):
+        aggregate_into(shields, stats, prefixes=("fs_",))
+    assert shields.fs_files_written == 5
+    assert shields.fs_crypto_bytes == 150
+    assert shields.fs_crypto_time == pytest.approx(0.3)
+    assert shields.net_records_protected == 0  # untouched namespace
+
+
+def test_aggregate_every_syscall_counter_is_covered():
+    # The aggregation is fields()-driven: every numeric counter on the
+    # source must fold in, so a newly added field cannot be silently
+    # dropped.  Build a source carrying every field name.
+    source = SimpleNamespace(
+        **{f.name: 2 for f in dataclasses.fields(SyscallMetrics)}
+    )
+    target = SyscallMetrics()
+    aggregate_into(target, source)
+    aggregate_into(target, source)
+    for f in dataclasses.fields(SyscallMetrics):
+        value = getattr(target, f.name)
+        if f.name in ("ring_occupancy_peak", "max_batch"):
+            assert value == 2, f.name  # high-water marks combine by max
+        else:
+            assert value == 4, f.name  # counters sum
+
+
+def test_aggregate_merges_dict_fields_per_key():
+    shields = ShieldMetrics()
+    aggregate_into(
+        shields,
+        SimpleNamespace(bytes_by_cipher={"aes-gcm": 10, "chacha": 5}),
+        prefixes=("",),
+    )
+    aggregate_into(
+        shields, SimpleNamespace(bytes_by_cipher={"aes-gcm": 7}), prefixes=("",)
+    )
+    assert shields.bytes_by_cipher == {"aes-gcm": 17, "chacha": 5}
+
+
+def test_aggregate_ignores_booleans_and_missing_attrs():
+    recovery = RecoveryMetrics()
+    aggregate_into(
+        recovery, SimpleNamespace(retries=1, healthy=True, unrelated="x")
+    )
+    assert recovery.retries == 1
+    assert not hasattr(recovery, "healthy")
+
+
+# --- format ---------------------------------------------------------------
+
+
+def test_format_shows_fault_rate_column():
+    report = _snapshot().format()
+    header = next(line for line in report.splitlines() if "fault rate" in line)
+    assert "fault time" in header
+    node0 = next(line for line in report.splitlines() if line.startswith("node-0"))
+    assert "12.5%" in node0  # epc_fault_rate=0.125 rendered per node
+
+
+def test_format_shows_handshakes_expired():
+    snapshot = _snapshot(recovery=RecoveryMetrics(handshakes_expired=7))
+    report = snapshot.format()
+    assert "7 handshakes expired" in report
+
+
+def test_format_flags_broken_audit_chain():
+    assert "CHAIN BROKEN" in _snapshot(audit_chain_ok=False).format()
+    assert "chain OK" in _snapshot().format()
+
+
+# --- to_json / from_json / diff -------------------------------------------
+
+
+def test_json_round_trip():
+    snapshot = _snapshot(
+        shields=ShieldMetrics(fs_files_written=4, bytes_by_cipher={"aes": 9}),
+        recovery=RecoveryMetrics(retries=2, handshakes_expired=1),
+        syscalls=SyscallMetrics(calls=11, max_batch=3),
+    )
+    tree = snapshot.to_json()
+    assert tree["nodes"][0]["node_id"] == "node-0"
+    assert PlatformMetrics.from_json(tree) == snapshot
+
+
+def test_diff_subtracts_counters_and_keeps_gauges():
+    earlier = _snapshot()
+    later = _snapshot(
+        nodes=[
+            _node("node-0", epc_faults=35, epc_resident_granules=60,
+                  epc_fault_rate=0.25, simulated_time=14.0),
+            _node("node-1", epc_faults=5),
+        ],
+        network_messages=130,
+        cas_sessions=4,
+    )
+    delta = later.diff(earlier)
+    assert delta.network_messages == 30       # cumulative counter
+    assert delta.cas_sessions == 4            # gauge: keep later value
+    node0 = next(n for n in delta.nodes if n.node_id == "node-0")
+    assert node0.epc_faults == 15             # matched by node_id
+    assert node0.simulated_time == pytest.approx(4.0)
+    assert node0.epc_resident_granules == 60  # gauge
+    assert node0.epc_fault_rate == 0.25       # gauge
+    node1 = next(n for n in delta.nodes if n.node_id == "node-1")
+    assert node1.epc_faults == 0
+
+
+def test_diff_nested_dataclasses_and_dicts():
+    earlier = _snapshot(
+        shields=ShieldMetrics(fs_crypto_bytes=100, bytes_by_cipher={"aes": 10}),
+        syscalls=SyscallMetrics(calls=5, ring_occupancy_peak=8),
+    )
+    later = _snapshot(
+        shields=ShieldMetrics(fs_crypto_bytes=180, bytes_by_cipher={"aes": 25, "chacha": 4}),
+        syscalls=SyscallMetrics(calls=9, ring_occupancy_peak=8),
+    )
+    delta = later.diff(earlier)
+    assert delta.shields.fs_crypto_bytes == 80
+    assert delta.shields.bytes_by_cipher == {"aes": 15, "chacha": 4}
+    assert delta.syscalls.calls == 4
+    assert delta.syscalls.ring_occupancy_peak == 8  # high-water mark
+
+
+def test_diff_scale_out_node_reports_full_counters():
+    earlier = _snapshot(nodes=[_node("node-0")])
+    later = _snapshot(nodes=[_node("node-0"), _node("node-2", epc_faults=9)])
+    delta = later.diff(earlier)
+    node2 = next(n for n in delta.nodes if n.node_id == "node-2")
+    assert node2.epc_faults == 9
+
+
+def test_diff_type_mismatch_raises():
+    from repro.core.monitoring import _diff_dataclass
+
+    with pytest.raises(TypeError):
+        _diff_dataclass(ShieldMetrics(), RecoveryMetrics())

@@ -1,0 +1,15 @@
+"""Observability suite fixtures: never leak a probe between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._sim import probe
+
+
+@pytest.fixture(autouse=True)
+def _reset_probe():
+    """A leaked recorder would silently instrument every later test."""
+    previous = probe.ACTIVE
+    yield
+    probe.set_active(previous)

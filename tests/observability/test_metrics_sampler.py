@@ -1,0 +1,85 @@
+"""Sampler tests: interval scraping, boundary realignment, detach."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SecureTFPlatform
+from repro.core.platform import PlatformConfig
+from repro.observability import MetricsSampler, Series
+
+
+@pytest.fixture()
+def platform():
+    p = SecureTFPlatform(
+        PlatformConfig(n_nodes=2, seed=7, tracing=True, metrics_interval=0.5)
+    )
+    yield p
+    p.close_telemetry()
+
+
+def test_platform_installs_sampler(platform):
+    sampler = platform.telemetry.sampler
+    assert isinstance(sampler, MetricsSampler)
+    assert sampler.interval == 0.5
+    assert sampler.samples_taken == 0
+
+
+def test_sampler_scrapes_on_interval_boundary(platform):
+    sampler = platform.telemetry.sampler
+    platform.nodes[0].clock.advance(0.4)
+    assert sampler.samples_taken == 0  # boundary not reached yet
+    platform.nodes[0].clock.advance(0.2)
+    assert sampler.samples_taken == 1
+    assert sampler.series  # every numeric leaf got a series
+    assert all(isinstance(s, Series) for s in sampler.series.values())
+
+
+def test_sampler_series_record_interval_deltas(platform):
+    sampler = platform.telemetry.sampler
+    platform.network.stats.messages += 3
+    platform.nodes[0].clock.advance(1.0)
+    messages = sampler.series["network_messages"]
+    # The series holds per-interval deltas, not absolute counters.
+    assert messages.values() == [3.0]
+    # Stamped at the interval boundary (one interval past platform
+    # construction time), not at the observing clock's current time.
+    assert 0.5 <= messages.latest()[0] < platform.nodes[0].clock.now
+    platform.network.stats.messages += 2
+    platform.nodes[0].clock.advance(0.6)
+    assert messages.values() == [3.0, 2.0]
+
+
+def test_big_jump_takes_one_sample_and_realigns(platform):
+    sampler = platform.telemetry.sampler
+    platform.nodes[0].clock.advance(10.3)  # crosses 20 boundaries at once
+    assert sampler.samples_taken == 1
+    platform.nodes[0].clock.advance(0.1)
+    assert sampler.samples_taken == 1  # realigned past now, not backlogged
+    platform.nodes[0].clock.advance(0.5)
+    assert sampler.samples_taken == 2
+
+
+def test_explicit_sample_and_close_detaches(platform):
+    sampler = platform.telemetry.sampler
+    sampler.sample()
+    assert sampler.samples_taken == 1
+    sampler.close()
+    platform.nodes[0].clock.advance(5.0)
+    assert sampler.samples_taken == 1  # unsubscribed: no further scrapes
+
+
+def test_sampler_rejects_nonpositive_interval(platform):
+    with pytest.raises(ValueError, match="interval"):
+        MetricsSampler(platform, interval=0.0)
+
+
+def test_series_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError, match="capacity"):
+        Series("s", capacity=0)
+
+
+def test_sampling_never_advances_simulated_time(platform):
+    before = [node.clock.now for node in platform.nodes]
+    platform.telemetry.sampler.sample()
+    assert [node.clock.now for node in platform.nodes] == before

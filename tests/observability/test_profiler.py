@@ -1,0 +1,129 @@
+"""Profiler tests: exact per-layer attribution and the flame report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._sim import SimClock
+from repro.observability import (
+    LAYERS,
+    Tracer,
+    build_flame,
+    flame_report,
+    format_profile,
+    profile,
+)
+
+
+def _charged_clock(tracer: Tracer) -> SimClock:
+    """A clock with 4.0s elapsed: 1.5 charged, 2.5 uncharged compute."""
+    clock = SimClock()
+    tracer.register_clock(clock, "node-0")
+    clock.advance(2.0)  # uncharged -> compute
+    clock.advance(1.0)
+    tracer.charge(clock, "crypto", 1.0)
+    clock.advance(0.5)
+    tracer.charge(clock, "epc_faults", 0.5)
+    clock.advance(0.5)  # uncharged -> compute
+    return clock
+
+
+def test_layer_report_sums_exactly_to_elapsed():
+    tracer = Tracer()
+    _charged_clock(tracer)
+    node = profile(tracer)["node-0"]
+    assert node.elapsed == pytest.approx(4.0)
+    assert node.layers["crypto"] == pytest.approx(1.0)
+    assert node.layers["epc_faults"] == pytest.approx(0.5)
+    assert node.layers["compute"] == pytest.approx(2.5)
+    assert node.total == pytest.approx(node.elapsed)
+    assert set(node.layers) == set(LAYERS)
+
+
+def test_profile_starts_at_registration_time():
+    tracer = Tracer()
+    clock = SimClock()
+    clock.advance(10.0)  # before registration: not this session's time
+    tracer.register_clock(clock, "late")
+    clock.advance(1.0)
+    assert profile(tracer)["late"].elapsed == pytest.approx(1.0)
+
+
+def test_compute_clamps_float_noise_at_zero():
+    tracer = Tracer()
+    clock = SimClock()
+    tracer.register_clock(clock, "n")
+    clock.advance(1.0)
+    tracer.charge(clock, "crypto", 1.0 + 1e-12)  # float noise past elapsed
+    node = profile(tracer)["n"]
+    assert node.layers["compute"] == 0.0
+
+
+def test_format_profile_has_header_and_rows():
+    tracer = Tracer()
+    _charged_clock(tracer)
+    text = format_profile(profile(tracer))
+    assert "node-0" in text
+    assert "elapsed" in text
+    for layer in LAYERS:
+        assert layer in text
+
+
+def test_flame_nests_same_node_spans_and_subtracts_self_time():
+    tracer = Tracer()
+    clock = SimClock()
+    tracer.register_clock(clock, "node-0")
+    outer = tracer.start_span(clock, "train.step")
+    clock.advance(0.2)
+    inner = tracer.start_span(clock, "rpc.call")
+    clock.advance(0.3)
+    tracer.end_span(inner)
+    clock.advance(0.1)
+    tracer.end_span(outer)
+
+    root = build_flame(tracer)["node-0"]
+    step = root.children["train.step"]
+    assert step.count == 1
+    assert step.total == pytest.approx(0.6)
+    assert step.self_time == pytest.approx(0.3)
+    assert step.children["rpc.call"].total == pytest.approx(0.3)
+
+
+def test_flame_keeps_remote_parents_as_roots():
+    tracer = Tracer()
+    client, server = SimClock(), SimClock()
+    tracer.register_clock(client, "client")
+    tracer.register_clock(server, "server")
+    call = tracer.start_span(client, "rpc.call")
+    handler = tracer.start_span(
+        server, "rpc.server", parent_context=call.context()
+    )
+    server.advance(0.4)
+    tracer.end_span(handler)
+    client.advance(0.5)
+    tracer.end_span(call)
+
+    trees = build_flame(tracer)
+    # The handler stays under its own node's tree — it must not be
+    # subtracted from the client span's self time across clocks.
+    assert "rpc.server" in trees["server"].children
+    assert "rpc.server" not in trees["client"].children["rpc.call"].children
+    assert trees["client"].children["rpc.call"].self_time == pytest.approx(0.5)
+
+
+def test_flame_report_renders_charges_inline():
+    tracer = Tracer()
+    clock = SimClock()
+    tracer.register_clock(clock, "node-0")
+    span = tracer.start_span(clock, "train.compute")
+    clock.advance(0.2)
+    tracer.charge(clock, "epc_faults", 0.2)
+    tracer.end_span(span)
+    text = flame_report(tracer)
+    assert "node-0" in text
+    assert "train.compute" in text
+    assert "epc_faults 0.2000s" in text
+
+
+def test_flame_report_empty_tracer():
+    assert flame_report(Tracer()) == "(no spans recorded)"

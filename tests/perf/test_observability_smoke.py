@@ -1,0 +1,134 @@
+"""Tier-2 perf smoke: the telemetry plane must be free when disabled.
+
+Excluded from tier-1 (see ``addopts`` in pyproject.toml); run with
+``pytest -m tier2 tests/perf``.  The plane's bargain: with
+``tracing=False`` a run is *indistinguishable* from one in an
+interpreter that never imported ``repro.observability`` — identical
+simulated time, identical deterministic counters, and wall-clock within
+5%.  Both sides run in fresh subprocesses so "never imported" is
+literal, and wall times are best-of-N of the workload only (interpreter
+startup excluded).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPEATS = 5
+
+#: Runs a small HW distributed-training workload and prints one JSON
+#: line: workload wall seconds, simulated result time, and scrubbed
+#: platform counters.  ``OBS_IMPORT=1`` imports the observability
+#: package first (tracing stays off) — the disabled-cost side.
+_WORKLOAD = """
+import json, os, time
+if os.environ.get("OBS_IMPORT") == "1":
+    import repro.observability  # noqa: F401  (imported, never activated)
+from repro.core import SecureTFPlatform
+from repro.core.monitoring import collect_metrics
+from repro.core.platform import PlatformConfig
+from repro.core.training import TrainingJob, TrainingJobConfig
+from repro.data import synthetic_mnist
+from repro.enclave.sgx import SgxMode
+
+train, _ = synthetic_mnist(n_train=64, n_test=4, seed=11)
+batches = list(train.batches(32))
+started = time.perf_counter()
+platform = SecureTFPlatform(PlatformConfig(n_nodes=3, seed=11))
+job = TrainingJob(platform, TrainingJobConfig(
+    session="smoke", n_workers=2, mode=SgxMode.HW, network_shield=True))
+job.start()
+result = job.train(batches)
+job.stop()
+wall = time.perf_counter() - started
+
+def scrub(tree):
+    if isinstance(tree, dict):
+        return {k: scrub(v) for k, v in tree.items()
+                if "aead_cache" not in k and "real_crypto" not in k}
+    if isinstance(tree, list):
+        return [scrub(item) for item in tree]
+    return tree
+
+print(json.dumps({
+    "wall": wall,
+    "simulated": result.wall_clock,
+    "platform_time": platform.time,
+    "stats": scrub(collect_metrics(platform).to_json()),
+}))
+"""
+
+
+def _run_workload(import_observability: bool) -> dict:
+    env = dict(os.environ)
+    env["OBS_IMPORT"] = "1" if import_observability else "0"
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    out = subprocess.run(
+        [sys.executable, "-c", _WORKLOAD],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+@pytest.mark.tier2
+@pytest.mark.slow
+def test_disabled_tracing_is_free():
+    _run_workload(import_observability=False)  # warm-up (page cache, pyc)
+    plain, imported = [], []
+    for _ in range(REPEATS):  # interleaved: machine drift hits both sides
+        plain.append(_run_workload(import_observability=False))
+        imported.append(_run_workload(import_observability=True))
+
+    # Zero simulated cost: byte-identical to a run in an interpreter
+    # that never loaded the subsystem.
+    for a, b in zip(plain, imported):
+        assert a["simulated"] == b["simulated"]
+        assert a["platform_time"] == b["platform_time"]
+        assert a["stats"] == b["stats"]
+
+    # Bounded wall cost: best-of-N of the workload itself within 5%.
+    best_plain = min(r["wall"] for r in plain)
+    best_imported = min(r["wall"] for r in imported)
+    assert best_imported < best_plain * 1.05, (
+        f"disabled telemetry costs {best_imported / best_plain:.3f}x wall"
+    )
+
+
+@pytest.mark.tier2
+def test_chrome_trace_exporter_validates_on_a_real_run():
+    from repro.core import SecureTFPlatform
+    from repro.core.platform import PlatformConfig
+    from repro.core.training import TrainingJob, TrainingJobConfig
+    from repro.data import synthetic_mnist
+    from repro.enclave.sgx import SgxMode
+    from repro.observability import validate_chrome_trace
+
+    train, _ = synthetic_mnist(n_train=32, n_test=4, seed=12)
+    platform = SecureTFPlatform(PlatformConfig(n_nodes=2, seed=12, tracing=True))
+    try:
+        job = TrainingJob(
+            platform,
+            TrainingJobConfig(
+                session="smoke-trace",
+                n_workers=1,
+                mode=SgxMode.HW,
+                network_shield=True,
+            ),
+        )
+        job.start()
+        job.train(list(train.batches(32)))
+        job.stop()
+        doc = platform.telemetry.chrome_trace()
+        assert validate_chrome_trace(doc) > 0
+        json.dumps(doc)  # exporter output must be pure JSON
+    finally:
+        platform.close_telemetry()
