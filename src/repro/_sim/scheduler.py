@@ -1,0 +1,337 @@
+"""The global event-heap scheduler: one clock lattice for whole fleets.
+
+Before this module existed, the simulation interleaved concurrent
+actors by *call nesting*: ``Network.call`` walked the callee's
+:class:`~repro._sim.clock.SimClock` forward inside the caller's Python
+stack frame, drive loops hand-ordered worker phases, and every timer was
+an inline ``clock.advance``.  That synchronous walk is O(nodes) per
+decision ("who acts next?" is a min-scan over per-node clocks) and ties
+Python recursion depth to RPC nesting — fine for the paper's 3-machine
+cluster, a wall-clock ceiling for 100+ node fleets.
+
+This module replaces the walk with a single global **event heap**:
+
+- :class:`Event` — a callback keyed by ``(time, seq)``.  ``time`` is
+  absolute simulated seconds on the shared timeline all per-node
+  clocks advance through; ``seq`` is a monotone sequence number
+  assigned at scheduling, so ties break by *scheduling order* and every
+  run is deterministic per seed (no dict-order or identity ordering
+  anywhere).
+- :class:`Completion` — the park/resume handle.  A blocking caller
+  parks by draining the heap until its completion resolves
+  (:meth:`Scheduler.run_until`); a coroutine activity parks by
+  ``yield``-ing the completion, costing no Python stack at all.
+- :class:`Scheduler` — the heap plus activity support.  Network
+  deliveries, retry/backoff timers, orchestrator health probes, and
+  fault-plan delay spikes are all expressed as scheduled events, so a
+  fleet of N nodes costs O(events · log events) total, independent of
+  how calls nest.
+
+Per-node :class:`SimClock`\\ s remain the *views* components charge time
+to: an event executes "on" some node by advancing that node's clock to
+(at least) the event's timestamp, exactly as the synchronous walk did —
+probe hooks, layer charges, and clock subscriptions keep firing with
+identical values.  The scheduler never moves a clock backwards; a
+callee whose clock is already past an arrival simply handles the event
+late, which is the same saturation semantics ``Network.call`` always
+had.
+
+Determinism contract: with a fixed seed, the sequence of executed
+events — and therefore every RNG draw, trace byte, and final weight —
+is identical run to run, because (a) heap order is a pure function of
+(time, seq), (b) seq is assigned in program order, and (c) nothing in
+the scheduler consults wall-clock time or iteration order of unordered
+containers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro._sim.clock import SimClock
+from repro.errors import ReproError
+
+
+class SchedulerError(ReproError):
+    """The event core reached an impossible state (deadlock, misuse)."""
+
+
+class Event:
+    """One scheduled callback, ordered by ``(time, seq)``.
+
+    Cancellation is lazy: a cancelled event stays in the heap and is
+    skipped (without counting as processed) when it surfaces.
+    """
+
+    __slots__ = ("time", "seq", "fn", "label", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None], label: str) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self.fn = _noop  # drop references early (payloads can be large)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event({self.label!r}, t={self.time:.6f}, seq={self.seq}{state})"
+
+
+def _noop() -> None:
+    return None
+
+
+class Completion:
+    """A one-shot future on the scheduler: the park/resume handle.
+
+    Exactly one of :meth:`resolve` / :meth:`fail` may be called, once.
+    Waiters (activity resume thunks) run immediately in the resolver's
+    context — resumption order is therefore the deterministic order in
+    which waiters were attached.
+    """
+
+    __slots__ = ("label", "done", "value", "error", "_waiters")
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.done = False
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self._waiters: List[Callable[["Completion"], None]] = []
+
+    def resolve(self, value: Any = None) -> None:
+        self._finish(value, None)
+
+    def fail(self, error: BaseException) -> None:
+        self._finish(None, error)
+
+    def _finish(self, value: Any, error: Optional[BaseException]) -> None:
+        if self.done:
+            raise SchedulerError(f"completion {self.label!r} resolved twice")
+        self.done = True
+        self.value = value
+        self.error = error
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(self)
+
+    def add_waiter(self, waiter: Callable[["Completion"], None]) -> None:
+        """Run ``waiter(self)`` on resolution (immediately if done)."""
+        if self.done:
+            waiter(self)
+        else:
+            self._waiters.append(waiter)
+
+    def result(self) -> Any:
+        if not self.done:
+            raise SchedulerError(f"completion {self.label!r} is still pending")
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"Completion({self.label!r}, {state})"
+
+
+#: An activity: a generator that yields Completions (park points) and
+#: receives each completion's value back at resume.
+Activity = Generator[Completion, Any, Any]
+
+
+class Scheduler:
+    """A binary heap of events keyed by ``(timestamp, seq)``.
+
+    One scheduler per simulation (the :class:`~repro.cluster.network
+    .Network` owns one; independent simulations coexist by owning
+    separate schedulers, exactly like independent clocks).
+    """
+
+    def __init__(self) -> None:
+        #: Heap entries are ``(time, seq, event)`` tuples, not bare
+        #: events: sift comparisons stay in C (seq is unique, so the
+        #: event itself is never compared) — at fleet scale the heap
+        #: does hundreds of thousands of comparisons per second.
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._clocks: List[SimClock] = []
+        #: Events executed (cancelled pops excluded) — the bench's
+        #: simulated-events/s numerator.
+        self.events_processed = 0
+        #: Events ever scheduled (cancellations included).
+        self.events_scheduled = 0
+        #: Live activities spawned and not yet finished.
+        self.activities_running = 0
+
+    # -- clock views -----------------------------------------------------
+
+    def register_clock(self, clock: SimClock) -> None:
+        """Track ``clock`` as a per-node view onto this timeline."""
+        if clock not in self._clocks:
+            self._clocks.append(clock)
+
+    @property
+    def clocks(self) -> List[SimClock]:
+        return list(self._clocks)
+
+    def fleet_time(self) -> float:
+        """Max simulated time across all registered per-node clocks."""
+        return max((c.now for c in self._clocks), default=0.0)
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, when: float, fn: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``fn`` at absolute simulated time ``when``."""
+        if when < 0:
+            raise SchedulerError(f"cannot schedule in negative time: {when}")
+        event = Event(float(when), next(self._seq), fn, label)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        self.events_scheduled += 1
+        return event
+
+    def schedule_after(
+        self, clock: SimClock, delay: float, fn: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``fn`` at ``clock.now + delay`` (a per-node timer)."""
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule a negative delay: {delay}")
+        return self.schedule(clock.now + delay, fn, label)
+
+    def timer(self, clock: SimClock, delay: float, label: str = "timer") -> Completion:
+        """A completion that resolves at ``clock.now + delay``, advancing
+        ``clock`` to the fire time first (observers see the advance)."""
+        completion = Completion(label)
+        due = clock.now + delay
+
+        def fire() -> None:
+            clock.advance_to(due)
+            completion.resolve(due)
+
+        self.schedule(due, fire, label)
+        return completion
+
+    def pending(self) -> int:
+        """Live (non-cancelled) events still in the heap."""
+        return sum(1 for _, _, e in self._heap if not e.cancelled)
+
+    # -- execution -------------------------------------------------------
+
+    def _pop_runnable(self) -> Optional[Event]:
+        while self._heap:
+            event = heapq.heappop(self._heap)[2]
+            if not event.cancelled:
+                return event
+            # Cancelled events vanish silently (lazy deletion).
+        return None
+
+    def step(self) -> bool:
+        """Execute the earliest pending event; False when heap is empty."""
+        event = self._pop_runnable()
+        if event is None:
+            return False
+        self.events_processed += 1
+        event.fn()
+        return True
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Drain the heap (optionally only events with ``time <= until``).
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            if until is not None and heap[0][0] > until:
+                break
+            event = pop(heap)[2]
+            if event.cancelled:
+                continue
+            self.events_processed += 1
+            event.fn()
+            executed += 1
+        return executed
+
+    def run_until(self, completion: Completion) -> Any:
+        """Drive the heap until ``completion`` resolves; its result.
+
+        This is the *blocking bridge*: synchronous code (the legacy
+        drive loops, ``Network.call``) parks here, keeping its Python
+        stack, while the scheduler executes whatever the fleet has
+        pending — including events that belong to other parked calls.
+        Re-entrant: an event handler may itself park, nesting another
+        ``run_until`` on the stack (depth equals RPC nesting of
+        *synchronous* callers only; coroutine activities never nest).
+        """
+        while not completion.done:
+            if not self.step():
+                raise SchedulerError(
+                    f"deadlock: completion {completion.label!r} cannot resolve "
+                    f"(event heap is empty)"
+                )
+        return completion.result()
+
+    # -- activities ------------------------------------------------------
+
+    def spawn(
+        self,
+        activity: Activity,
+        name: str = "activity",
+        at: Optional[float] = None,
+        clock: Optional[SimClock] = None,
+    ) -> Completion:
+        """Run ``activity`` as a resumable coroutine; completion of exit.
+
+        The generator is first stepped at ``at`` (or ``clock.now``, or
+        immediately at time 0).  Each ``yield completion`` parks the
+        activity with *no retained Python stack*; it resumes — in the
+        resolver's deterministic order — with the completion's value, or
+        has the completion's error thrown into it.  ``return value``
+        resolves the returned completion with ``value``; an uncaught
+        exception fails it.
+        """
+        done = Completion(name)
+        self.activities_running += 1
+
+        def step(value: Any = None, error: Optional[BaseException] = None) -> None:
+            try:
+                if error is not None:
+                    target = activity.throw(error)
+                else:
+                    target = activity.send(value)
+            except StopIteration as stop:
+                self.activities_running -= 1
+                done.resolve(getattr(stop, "value", None))
+                return
+            except BaseException as exc:  # noqa: BLE001 - fail the handle
+                self.activities_running -= 1
+                done.fail(exc)
+                return
+            if not isinstance(target, Completion):
+                self.activities_running -= 1
+                failure = SchedulerError(
+                    f"activity {name!r} yielded {type(target).__name__}; "
+                    "activities may only yield Completions"
+                )
+                done.fail(failure)
+                return
+            target.add_waiter(lambda c: step(c.value, c.error))
+
+        start = at if at is not None else (clock.now if clock is not None else 0.0)
+        self.schedule(start, step, label=f"spawn:{name}")
+        return done
+
+    def __repr__(self) -> str:
+        return (
+            f"Scheduler(pending={len(self._heap)}, "
+            f"processed={self.events_processed})"
+        )

@@ -4,12 +4,16 @@ Models the paper's deployment substrate (§5.1): three SGX servers on a
 1 Gb/s switched LAN, Docker containers, elastic scaling, and the
 parameter-server architecture of distributed TensorFlow (§3.3, Fig. 2).
 
-Timing is a discrete-event style simulation with **one clock per node**:
-an RPC advances the callee to the request's arrival time, runs the
-handler on the callee's clock (so a busy parameter server naturally
-serializes its callers), and advances the caller to the response's
-arrival.  Barriers take the max across clocks — which is exactly how
-synchronous data-parallel training behaves on real clusters.
+Timing is a discrete-event simulation on a **global event heap**
+(:class:`~repro._sim.scheduler.Scheduler`) with one clock per node as
+the per-node *view*: an RPC is a delivery event that advances the
+callee to the request's arrival time, runs the handler on the callee's
+clock (so a busy parameter server naturally serializes its callers),
+and a reply event that advances the caller to the response's arrival —
+blocking callers park on the heap, fleet-scale replicas run as
+stackless activities (:mod:`repro.cluster.fleet`).  Barriers take the
+max across clocks — which is exactly how synchronous data-parallel
+training behaves on real clusters.
 
 The network carries opaque bytes and exposes a Dolev-Yao adversary hook
 (drop/tamper/replay); every protected channel in the test suite must
@@ -25,6 +29,7 @@ through it.
 from repro.cluster.network import FaultAction, Network, NetworkStats
 from repro.cluster.node import Node, make_cluster
 from repro.cluster.container import Container, ContainerState
+from repro.cluster.fleet import FleetStats, ReplicaFleet
 from repro.cluster.faults import (
     CrashFault,
     FaultCounters,
@@ -40,7 +45,7 @@ from repro.cluster.retry import (
     RetryingExecutor,
 )
 from repro.cluster.rpc import RpcClient, RpcServer, SecureRpcClient, SecureRpcServer
-from repro.cluster.orchestrator import Orchestrator, ContainerSpec
+from repro.cluster.orchestrator import Orchestrator, ContainerSpec, Watchdog
 from repro.cluster.parameter_server import (
     AsyncTrainer,
     InMemoryCheckpointStore,
@@ -59,6 +64,8 @@ __all__ = [
     "make_cluster",
     "Container",
     "ContainerState",
+    "FleetStats",
+    "ReplicaFleet",
     "CrashFault",
     "FaultCounters",
     "FaultPlan",
@@ -75,6 +82,7 @@ __all__ = [
     "SecureRpcServer",
     "Orchestrator",
     "ContainerSpec",
+    "Watchdog",
     "ParameterServer",
     "PSCheckpoint",
     "InMemoryCheckpointStore",

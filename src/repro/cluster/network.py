@@ -1,39 +1,58 @@
 """The simulated LAN: latency, bandwidth, faults, and a Dolev-Yao adversary.
 
 Endpoints are named addresses backed by synchronous request handlers.
-``Network.call`` implements RPC timing across per-node clocks:
+Delivery runs on the global event-heap scheduler
+(:class:`~repro._sim.scheduler.Scheduler`): a call is a **send event +
+park/resume pair** rather than a nested synchronous walk —
 
-    arrival   = max(caller.now + rtt/2 + req_size/bw, callee.now)
-    callee.advance_to(arrival); response = handler(request)
-    caller.advance_to(callee.now + rtt/2 + resp_size/bw)
+    send:     fault/adversary checks on the caller's clock, then a
+              delivery event scheduled at
+              ``arrival = caller.now + rtt/2 + req_size/bw (+ spike)``
+    deliver:  ``callee.advance_to(arrival)`` (no-op if the callee is
+              already past it — a saturated callee delays its callers),
+              charge the socket read, run the handler, then schedule
+              the reply event at ``callee.now + rtt/2 + resp_size/bw``
+    reply:    advance the caller to the reply time and resume it with
+              the response
 
-so a saturated callee delays its callers, and parallel callers of
-different nodes overlap — no threads required.
+so timing is *identical* to the old per-node-clock walk, but a
+256-node fleet costs O(events · log events) with no Python recursion
+tied to call nesting: blocking callers park via
+:meth:`~repro._sim.scheduler.Scheduler.run_until` (legacy drive loops
+keep working unchanged), coroutine activities park stacklessly via
+:meth:`call_async` + ``yield``.
 
 Two interception layers run on every payload, in order:
 
 - the **fault chain** (``Network.faults``): composable injectors — the
   seeded chaos plane of :mod:`repro.cluster.faults` — that may drop a
-  message, add a latency spike, or duplicate its delivery.  Faults model
-  the *cloud* misbehaving (paper challenge ❹: containers and links come
-  and go), so they are counted separately from adversarial drops.
+  message, add a latency spike (which simply shifts the delivery
+  event), or duplicate its delivery.  Faults model the *cloud*
+  misbehaving (paper challenge ❹: containers and links come and go), so
+  they are counted separately from adversarial drops.
 - the **adversary hook** (``Network.adversary``): sees (and may mutate,
   drop, or replay) every payload — the paper's threat model (§2.3) is
   an attacker who controls the network, and the test suite uses this
   hook to mount those attacks.
 
 Lost messages raise :class:`~repro.errors.RpcTransportError` (the one
-retryable RPC failure); ``NetworkStats`` counts only *delivered* bytes,
-so dropped traffic never inflates ``bytes_transferred``.
+retryable RPC failure); ``NetworkStats`` counts only *wire-delivered*
+bytes, so dropped traffic never inflates ``bytes_transferred``.
+Duplicate accounting is symmetric on both legs: a duplicated request's
+handler runs and its extra socket read *and* the discarded response's
+socket write + bytes are charged, mirroring the extra-traffic counting
+the response leg always had.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from repro._sim import probe
 from repro._sim.clock import SimClock
+from repro._sim.scheduler import Completion, Scheduler
 from repro.enclave.cost_model import CostModel
 from repro.errors import RpcError, RpcTransportError
 from repro.runtime.syscall import SyscallInterface
@@ -61,7 +80,10 @@ class FaultAction:
             drop=self.drop or other.drop,
             delay=self.delay + other.delay,
             duplicate=self.duplicate or other.duplicate,
-            reason=self.reason or other.reason,
+            # Keep every injector's reason: compound faults (e.g. a
+            # partition drop AND an injected loss from separate plans)
+            # must all surface in logs and RpcTransportError messages.
+            reason="; ".join(r for r in (self.reason, other.reason) if r),
         )
 
 
@@ -93,13 +115,29 @@ class _Endpoint:
 class Network:
     """A switched LAN connecting named endpoints."""
 
-    def __init__(self, cost_model: CostModel) -> None:
+    def __init__(
+        self, cost_model: CostModel, scheduler: Optional[Scheduler] = None
+    ) -> None:
         self._model = cost_model
+        #: The event core every delivery, timer, and probe of this
+        #: simulation runs on.  Independent simulations coexist by
+        #: owning independent schedulers (like independent clocks).
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
         self._endpoints: Dict[str, _Endpoint] = {}
         self._partitioned: Set[str] = set()
         self.adversary: Optional[Adversary] = None
         self.faults: List[FaultInjector] = []
         self.stats = NetworkStats()
+        #: Distinguishes RPC client instances *within this network* so
+        #: call IDs never collide, even when a replacement worker reuses
+        #: a crashed worker's address.  Per-network (not process-global)
+        #: so seeded simulations are byte-identical no matter how many
+        #: ran earlier in the process.
+        self._client_instances = itertools.count(1)
+
+    def next_client_instance(self) -> int:
+        """A network-unique RPC client instance number (call-ID salt)."""
+        return next(self._client_instances)
 
     def register(
         self,
@@ -112,6 +150,7 @@ class Network:
         if address in self._endpoints:
             raise RpcError(f"address {address!r} is already registered")
         self._endpoints[address] = _Endpoint(address, clock, handler, syscalls)
+        self.scheduler.register_clock(clock)
 
     def unregister(self, address: str) -> None:
         self._endpoints.pop(address, None)
@@ -150,9 +189,44 @@ class Network:
         declared_request: Optional[int] = None,
         declared_response: Optional[int] = None,
     ) -> bytes:
-        """Synchronous RPC from ``src`` to ``dst``; returns the response."""
-        endpoint = self._endpoints.get(dst)
-        if endpoint is None or dst in self._partitioned or src in self._partitioned:
+        """Blocking RPC from ``src`` to ``dst``; returns the response.
+
+        The send half runs synchronously on the caller's clock; the
+        caller then *parks*, draining the event heap (which may execute
+        other nodes' deliveries and timers that come first) until its
+        reply event resumes it.  Timing and side-effect order are
+        byte-identical to the old nested synchronous walk.
+        """
+        completion = self.call_async(
+            src,
+            src_clock,
+            dst,
+            request,
+            declared_request=declared_request,
+            declared_response=declared_response,
+        )
+        return self.scheduler.run_until(completion)
+
+    def call_async(
+        self,
+        src: str,
+        src_clock: SimClock,
+        dst: str,
+        request: bytes,
+        declared_request: Optional[int] = None,
+        declared_response: Optional[int] = None,
+    ) -> Completion:
+        """Send half of an RPC: returns the completion the reply event
+        resolves (with the response bytes) after advancing the caller's
+        clock to the reply time.  Coroutine activities ``yield`` it;
+        :meth:`call` parks on it.
+
+        Send-time failures (unknown endpoint, partition, request-leg
+        drop) raise synchronously, exactly as the caller would observe
+        them on a real socket write.
+        """
+        if self._endpoints.get(dst) is None or dst in self._partitioned \
+                or src in self._partitioned:
             raise RpcTransportError(f"endpoint {dst!r} is unreachable from {src!r}")
 
         request_size = declared_request if declared_request is not None else len(request)
@@ -175,7 +249,87 @@ class Network:
         if action.delay:
             self.stats.delayed += 1
 
+        # A latency spike is not modelled time — it *is* the event's
+        # position in the heap.
         arrival = src_clock.now + self._transfer_time(request_size) + action.delay
+        completion = Completion(f"net:{src}->{dst}")
+        self.scheduler.schedule(
+            arrival,
+            lambda: self._deliver(
+                src,
+                src_clock,
+                dst,
+                request,
+                request_size,
+                arrival,
+                action,
+                declared_response,
+                completion,
+            ),
+            label=f"deliver:{src}->{dst}",
+        )
+        return completion
+
+    def _deliver(
+        self,
+        src: str,
+        src_clock: SimClock,
+        dst: str,
+        request: bytes,
+        request_size: int,
+        arrival: float,
+        action: FaultAction,
+        declared_response: Optional[int],
+        completion: Completion,
+    ) -> None:
+        """The delivery event: handler execution on the callee's clock.
+
+        Any failure from here on fails ``completion`` (resuming the
+        parked caller with the error) rather than propagating into
+        whichever drain loop happened to pop this event.
+        """
+        try:
+            self._deliver_inner(
+                src,
+                src_clock,
+                dst,
+                request,
+                request_size,
+                arrival,
+                action,
+                declared_response,
+                completion,
+            )
+        except BaseException as exc:  # noqa: BLE001 - route to the caller
+            completion.fail(exc)
+
+    def _deliver_inner(
+        self,
+        src: str,
+        src_clock: SimClock,
+        dst: str,
+        request: bytes,
+        request_size: int,
+        arrival: float,
+        action: FaultAction,
+        declared_response: Optional[int],
+        completion: Completion,
+    ) -> None:
+        # Re-resolve the endpoint: in a concurrent fleet another event
+        # (a crash, a partition) may have fired while this message was
+        # in flight.  Legacy blocking chains never interleave, so this
+        # check is a no-op for them.
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None or dst in self._partitioned:
+            self.stats.dropped += 1
+            completion.fail(
+                RpcTransportError(
+                    f"endpoint {dst!r} vanished while a message from "
+                    f"{src!r} was in flight"
+                )
+            )
+            return
+
         callee_idle = arrival - endpoint.clock.now
         endpoint.clock.advance_to(arrival)
         if probe.ACTIVE is not None and callee_idle > 0:
@@ -196,7 +350,21 @@ class Network:
             self.stats.bytes_transferred += request_size
             if endpoint.syscalls is not None:
                 endpoint.syscalls.socket_recv(request_size)
-            endpoint.handler(request)
+            dup_response = endpoint.handler(request)
+            # Symmetric accounting: the duplicate's response is still
+            # *sent* (and crosses the wire) before the caller's
+            # transport discards it — charge the server's socket write
+            # and count the extra traffic, like the response-duplicate
+            # branch below always did.
+            dup_size = (
+                declared_response
+                if declared_response is not None
+                else len(dup_response)
+            )
+            if endpoint.syscalls is not None:
+                endpoint.syscalls.socket_send(dup_size)
+            self.stats.messages += 1
+            self.stats.bytes_transferred += dup_size
 
         response_size = (
             declared_response if declared_response is not None else len(response)
@@ -206,15 +374,24 @@ class Network:
         r_action = self._apply_faults(dst, src, response_size, endpoint.clock.now)
         if r_action.drop:
             self.stats.dropped += 1
-            raise RpcTransportError(
-                f"response from {dst!r} to {src!r} was lost"
-                + (f" ({r_action.reason})" if r_action.reason else "")
+            # The caller's clock does NOT advance: from its point of
+            # view the reply simply never lands (its retry layer owns
+            # the backoff time).
+            completion.fail(
+                RpcTransportError(
+                    f"response from {dst!r} to {src!r} was lost"
+                    + (f" ({r_action.reason})" if r_action.reason else "")
+                )
             )
+            return
         if self.adversary is not None:
             mutated = self.adversary(dst, src, response)
             if mutated is None:
                 self.stats.dropped += 1
-                raise RpcTransportError(f"response from {dst!r} to {src!r} was lost")
+                completion.fail(
+                    RpcTransportError(f"response from {dst!r} to {src!r} was lost")
+                )
+                return
             response = mutated
 
         self.stats.messages += 1
@@ -229,6 +406,20 @@ class Network:
             self.stats.delayed += 1
 
         reply_at = endpoint.clock.now + self._transfer_time(response_size) + r_action.delay
+        self.scheduler.schedule(
+            reply_at,
+            lambda: self._resume_caller(src_clock, reply_at, response, completion),
+            label=f"reply:{dst}->{src}",
+        )
+
+    def _resume_caller(
+        self,
+        src_clock: SimClock,
+        reply_at: float,
+        response: bytes,
+        completion: Completion,
+    ) -> None:
+        """The reply event: land the response on the caller's clock."""
         caller_wait = reply_at - src_clock.now
         src_clock.advance_to(reply_at)
         if probe.ACTIVE is not None and caller_wait > 0:
@@ -236,7 +427,7 @@ class Network:
             # — server occupancy plus both wire legs — is network wait
             # from the caller's point of view.
             probe.ACTIVE.charge(src_clock, "network_wait", caller_wait)
-        return response
+        completion.resolve(response)
 
     def barrier(self, clocks) -> float:
         """Advance all ``clocks`` to the max (synchronous round barrier)."""

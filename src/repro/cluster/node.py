@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro._sim.clock import SimClock
 from repro._sim.rng import DeterministicRng
+from repro._sim.scheduler import Scheduler
 from repro.enclave.attestation import ProvisioningAuthority
 from repro.enclave.cost_model import CostModel
 from repro.enclave.sgx import SgxCpu
@@ -55,13 +56,21 @@ def make_cluster(
     provisioning: ProvisioningAuthority,
     seed: int = 0,
     epc_policy: str = "random",
+    scheduler: Optional[Scheduler] = None,
 ) -> List[Node]:
-    """Build ``n_nodes`` homogeneous nodes, each with its own clock/EPC."""
+    """Build ``n_nodes`` homogeneous nodes, each with its own clock/EPC.
+
+    With ``scheduler`` given, every node clock is registered as a view
+    onto that scheduler's timeline (so ``fleet_time()`` and fleet-wide
+    event accounting see the whole cluster).
+    """
     root = DeterministicRng(seed, label="cluster")
     nodes = []
     for index in range(n_nodes):
         node_id = f"node-{index}"
         clock = SimClock()
+        if scheduler is not None:
+            scheduler.register_clock(clock)
         rng = root.child(node_id)
         cpu = SgxCpu(
             f"cpu-{index}",

@@ -15,6 +15,13 @@ memory and must re-prove itself.  Restarts are budgeted per replica
 lineage (a crash-looping container is quarantined, not restarted
 forever), and every supervision decision is appended to
 :attr:`Orchestrator.events` for the monitoring plane.
+
+Health probing scales two ways: the synchronous sweeps above (called
+from drive loops, as the training supervisor does at round boundaries)
+and a :class:`Watchdog` that schedules the same sweeps as **recurring
+events on the event-heap scheduler** — the fleet-scale form, where a
+256-replica deployment is probed on a simulated period without any
+drive loop having to iterate the fleet between its own steps.
 """
 
 from __future__ import annotations
@@ -22,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro._sim.clock import SimClock
+from repro._sim.scheduler import Scheduler
 from repro.cluster.container import Container, ContainerState
 from repro.cluster.node import Node
 from repro.errors import ClusterError
@@ -233,7 +242,85 @@ class Orchestrator:
             if replacement is not None
         ]
 
+    def start_watchdog(
+        self,
+        scheduler: Scheduler,
+        interval: float,
+        specs: Optional[List[ContainerSpec]] = None,
+        clock: Optional[SimClock] = None,
+    ) -> "Watchdog":
+        """Probe health on a simulated period, as scheduler events.
+
+        Every ``interval`` simulated seconds the watchdog runs one
+        supervision pass (container restarts for ``specs``, singleton-
+        service failovers for everything registered via
+        :meth:`register_service`) on ``clock`` — by default the first
+        node's, standing in for the control-plane machine.  The probes
+        interleave with whatever the fleet is doing purely by heap
+        order; nothing scans the fleet between drive-loop steps.
+        """
+        watchdog = Watchdog(
+            self,
+            scheduler,
+            clock if clock is not None else self._nodes[0].clock,
+            interval,
+            specs or [],
+        )
+        watchdog.start()
+        return watchdog
+
     def stop_all(self) -> None:
         for container in self.all_containers():
             if container.running:
                 container.stop()
+
+
+class Watchdog:
+    """Recurring orchestrator health probes on the event heap."""
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        scheduler: Scheduler,
+        clock: SimClock,
+        interval: float,
+        specs: List[ContainerSpec],
+    ) -> None:
+        if interval <= 0:
+            raise ClusterError(f"probe interval must be positive: {interval}")
+        self._orchestrator = orchestrator
+        self._scheduler = scheduler
+        self._clock = clock
+        self._interval = interval
+        self._specs = specs
+        self._stopped = True
+        self.ticks = 0
+        self.restarts = 0
+        self.failovers = 0
+
+    def start(self) -> None:
+        self._stopped = False
+        self._schedule_next(self._clock.now + self._interval)
+
+    def stop(self) -> None:
+        """No further probes fire (the pending event is skipped)."""
+        self._stopped = True
+
+    def _schedule_next(self, due: float) -> None:
+        self._scheduler.schedule(
+            due, lambda: self._tick(due), label="watchdog:probe"
+        )
+
+    def _tick(self, due: float) -> None:
+        if self._stopped:
+            return
+        self._clock.advance_to(due)
+        self.ticks += 1
+        for spec in self._specs:
+            for replacement in self._orchestrator.supervise(spec).values():
+                if replacement is not None:
+                    self.restarts += 1
+        for name, healthy in self._orchestrator.supervise_services().items():
+            if not healthy:
+                self.failovers += 1
+        self._schedule_next(due + self._interval)

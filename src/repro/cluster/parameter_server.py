@@ -236,6 +236,9 @@ class TrainingResult:
     final_loss: float
     wall_clock: float
     per_worker_time: Dict[str, float]
+    #: Scheduler events executed during this run (deliveries, replies,
+    #: backoff timers, probes) — the event core's work metric.
+    simulated_events: int = 0
 
 
 class SyncTrainer:
@@ -345,6 +348,7 @@ class SyncTrainer:
         total_steps = min(steps, len(batches)) if steps is not None else len(batches)
         clocks = [w.node.clock for w in self._workers] + [self._ps.node.clock]
         start = max(clock.now for clock in clocks)
+        events_before = self._network.scheduler.events_processed
         losses: List[float] = []
 
         declared = self._workers[0].declared_model_bytes
@@ -421,6 +425,7 @@ class SyncTrainer:
             final_loss=float(np.mean(losses[-len(self._workers):])) if losses else float("nan"),
             wall_clock=wall,
             per_worker_time={w.name: w.node.clock.now for w in self._workers},
+            simulated_events=self._network.scheduler.events_processed - events_before,
         )
 
 
@@ -519,6 +524,7 @@ class AsyncTrainer:
         declared = self._workers[0].declared_model_bytes
         clocks = [w.node.clock for w in self._workers] + [self._ps.node.clock]
         start = max(clock.now for clock in clocks)
+        events_before = self._network.scheduler.events_processed
         losses: List[float] = []
 
         index = 0
@@ -562,6 +568,7 @@ class AsyncTrainer:
             else float("nan"),
             wall_clock=wall,
             per_worker_time={w.name: w.node.clock.now for w in self._workers},
+            simulated_events=self._network.scheduler.events_processed - events_before,
         )
 
 

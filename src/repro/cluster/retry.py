@@ -24,6 +24,12 @@ turns them from run-ending crashes into bounded latency:
 
 Backoff advances the caller's *simulated* clock, so retry storms cost
 simulated time exactly like they cost wall-clock time in production.
+With a :class:`~repro._sim.scheduler.Scheduler` attached (the normal
+case — RPC clients pass their network's scheduler), each backoff is a
+**timer event on the global heap** rather than an inline advance: the
+sleeping caller parks, the rest of the fleet keeps executing whatever
+deliveries and probes come first, and the wake-up event advances the
+caller's clock to the exact same instant the inline advance reached.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from typing import Callable, Dict, Optional, TypeVar
 from repro._sim import probe
 from repro._sim.clock import SimClock
 from repro._sim.rng import DeterministicRng
+from repro._sim.scheduler import Scheduler
 from repro.errors import (
     CircuitOpenError,
     RpcTransportError,
@@ -178,10 +185,12 @@ class RetryingExecutor:
         breakers: Optional[BreakerRegistry] = None,
         stats: Optional[RecoveryStats] = None,
         on_event: Optional[Callable[[str], None]] = None,
+        scheduler: Optional[Scheduler] = None,
     ) -> None:
         self.policy = policy
         self._clock = clock
         self._rng = rng
+        self._scheduler = scheduler
         self.stats = stats if stats is not None else RecoveryStats()
         self.breakers = breakers if breakers is not None else BreakerRegistry(
             stats=self.stats
@@ -228,7 +237,18 @@ class RetryingExecutor:
             self.stats.retries += 1
             self.stats.backoff_time += delay
             self._event(f"retry {endpoint} attempt={retry_index + 1}")
-            self._clock.advance(delay)
+            if self._scheduler is not None:
+                # Backoff as a heap event: park until the wake-up timer
+                # advances this clock to now + delay.  Identical clock
+                # trajectory to the inline advance, but other nodes'
+                # events scheduled inside the window execute first.
+                self._scheduler.run_until(
+                    self._scheduler.timer(
+                        self._clock, delay, label=f"backoff:{endpoint}"
+                    )
+                )
+            else:
+                self._clock.advance(delay)
             if probe.ACTIVE is not None:
                 probe.ACTIVE.charge(self._clock, "retry_backoff", delay)
                 probe.ACTIVE.event(

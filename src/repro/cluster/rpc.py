@@ -73,11 +73,6 @@ _ERROR_TYPES = {
     if isinstance(obj, type) and issubclass(obj, ReproError)
 }
 
-#: Distinguishes client instances so call IDs never collide, even when a
-#: replacement worker reuses a crashed worker's address.
-_CLIENT_INSTANCES = itertools.count(1)
-
-
 def _envelope(kind: str, **fields: object) -> bytes:
     return encoding.encode({"kind": kind, **fields})
 
@@ -265,12 +260,19 @@ class RpcClient:
                 node.rng.child(f"retry|{address}"),
                 breakers=breakers or BreakerRegistry(stats=self.stats),
                 stats=self.stats,
+                # Backoffs ride the network's event heap, so a parked
+                # retry never blocks the rest of the fleet.
+                scheduler=network.scheduler,
             )
-        self._call_nonce = f"{address}#{next(_CLIENT_INSTANCES)}"
+        # The instance number is drawn from the *network* (not a process
+        # global): unique within the simulation — which is all dedup
+        # needs — and reproducible however many simulations ran earlier
+        # in this process.
+        self._call_nonce = f"{address}#{network.next_client_instance()}"
         self._call_seq = itertools.count(1)
 
     def next_call_id(self) -> str:
-        """A process-unique call ID (at-most-once dedup key)."""
+        """A network-unique call ID (at-most-once dedup key)."""
         return f"{self._call_nonce}/{next(self._call_seq)}"
 
     def reset_breaker(self, dst: str) -> None:

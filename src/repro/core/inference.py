@@ -31,7 +31,7 @@ from repro.cluster.rpc import SecureRpcServer
 from repro.core.platform import SecureTFPlatform
 from repro.crypto.ed25519 import Ed25519PublicKey
 from repro.enclave.sgx import SgxMode
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.runtime.fs_shield import FileSystemShield, PathRule, ShieldPolicy
 from repro.runtime.scone import RuntimeConfig, SconeRuntime
 from repro.runtime.syscall import SyscallInterface
@@ -284,3 +284,66 @@ class _FullTfRunner:
         )
         output = np.asarray(output)
         return int(np.argmax(output[0] if output.ndim > 1 else output))
+
+
+def _boot_activity(
+    platform: SecureTFPlatform,
+    service: InferenceService,
+    delay: float,
+    after=None,
+):
+    """One service's boot as a scheduler activity.
+
+    ``start()`` is synchronous legacy code: its RPCs park via the
+    blocking bridge (``run_until``), which drains the heap and would
+    execute *other* replicas' pending boots inside this one's Python
+    stack — O(fleet) recursion.  Two guards keep the stack constant:
+
+    - gate on ``after`` (the previous replica's boot completion), so at
+      most one synchronous boot body is ever live.  Boots still overlap
+      in *simulated* time: each advances only its own node's clock.
+    - always park on the stagger timer (even at delay 0), so the boot
+      body runs from the scheduler's top-level loop, never inside
+      another boot's resolution stack.
+    """
+    if after is not None:
+        try:
+            yield after
+        except ReproError:
+            pass  # the failed boot reports through its own completion
+    yield platform.scheduler.timer(
+        service.node.clock, delay, label=f"boot:{service.name}"
+    )
+    service.start()
+    return service
+
+
+def launch_fleet(
+    platform: SecureTFPlatform,
+    services: List[InferenceService],
+    stagger: float = 0.0,
+) -> List[InferenceService]:
+    """Boot many inference services as activities on the event heap.
+
+    Elastic scale-out (paper challenge ❹) at fleet size: each service's
+    start sequence — container start, attestation round-trip to CAS,
+    key provisioning, model load through the fs shield — runs as a
+    scheduler activity, so boots on *different* nodes interleave by
+    simulated-time order on the global heap instead of executing in
+    Python list order.  ``stagger`` spaces the boots ``i * stagger``
+    simulated seconds apart (0 = thundering herd).
+
+    Returns the services once every boot completed; a failed boot
+    (attestation rejection, policy violation) re-raises here.
+    """
+    completions = []
+    previous = None
+    for index, service in enumerate(services):
+        previous = platform.scheduler.spawn(
+            _boot_activity(platform, service, index * stagger, after=previous),
+            name=f"boot:{service.name}",
+            clock=service.node.clock,
+        )
+        completions.append(previous)
+    platform.scheduler.run()
+    return [completion.result() for completion in completions]

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro._sim.rng import DeterministicRng
+from repro._sim.scheduler import Scheduler
 from repro._sim.trace import EventTrace
 from repro.cas import CasService, Policy
 from repro.cas.client import RemoteCasClient, serve_cas
@@ -59,14 +60,18 @@ class SecureTFPlatform:
             raise ConfigurationError("platform needs at least one node")
         self.rng = DeterministicRng(self.config.seed, label="platform")
         self.provisioning = ProvisioningAuthority(self.rng.child("intel"))
+        #: The global event heap every network delivery, retry timer and
+        #: watchdog probe of this deployment runs on.
+        self.scheduler = Scheduler()
         self.nodes: List[Node] = make_cluster(
             self.config.n_nodes,
             self.config.cost_model,
             self.provisioning,
             seed=self.config.seed,
             epc_policy=self.config.epc_policy,
+            scheduler=self.scheduler,
         )
-        self.network = Network(self.config.cost_model)
+        self.network = Network(self.config.cost_model, scheduler=self.scheduler)
         self.cas = CasService(
             self.nodes[self.config.cas_node],
             self.provisioning.public_key(),

@@ -273,6 +273,11 @@ class TrainingJob:
             raise ConfigurationError("start() the job before training")
         return self.trainer.train(batches, steps=steps)
 
+    def simulated_events(self) -> int:
+        """Total event-heap events executed on this job's platform so
+        far (deliveries, replies, retry timers, watchdog probes)."""
+        return self.platform.scheduler.events_processed
+
     # ------------------------------------------------------------------
     # Chaos attachment + recovery supervision (SyncTrainer's ``recovery``
     # protocol: tick / worker_ok / replace_worker / ps_ok / recover_ps).

@@ -4,6 +4,15 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_configure(config: pytest.Config) -> None:
+    # Registered in pyproject.toml too; re-registering here keeps the
+    # marker known when pytest is invoked from outside the repo root.
+    config.addinivalue_line(
+        "markers",
+        "simcore: event-heap scheduler perf smokes (run via -m simcore)",
+    )
+
 from repro._sim import DeterministicRng, SimClock
 from repro.enclave.attestation import ProvisioningAuthority
 from repro.enclave.cost_model import DEFAULT_COST_MODEL, CostModel

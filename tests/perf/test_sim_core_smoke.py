@@ -1,0 +1,90 @@
+"""Tier-2 perf smoke: the event-heap core must stay fast at fleet scale.
+
+Excluded from tier-1 (see ``addopts`` in pyproject.toml); run with
+``pytest -m simcore tests/perf``.  Two floors:
+
+- **throughput**: a 64-replica heartbeat fleet must sustain a minimum
+  simulated-events/s rate through the scheduler (the floor is far below
+  healthy hardware — it trips on algorithmic regressions such as the
+  heap degenerating to an O(N) scan, not on machine noise);
+- **fleet wall budget**: a 256-replica fleet round (the ISSUE's target
+  scale) must finish well inside a fixed wall budget, where the old
+  synchronous walk's O(N) next-actor scans would blow through it.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import ReplicaFleet
+from repro.cluster.network import Network
+from repro.cluster.node import make_cluster
+from repro.enclave.attestation import ProvisioningAuthority
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro._sim import DeterministicRng, Scheduler
+
+#: Floor in scheduler events per wall second.  The bench records ~two
+#: orders of magnitude above this on developer hardware.
+MIN_EVENTS_PER_SEC = 5_000.0
+
+#: Wall budget for one 256-replica fleet round (ISSUE: < 2 min; the
+#: smoke uses a much tighter bound so CI catches drift early).
+FLEET_256_WALL_BUDGET = 30.0
+
+
+def _fleet(n_replicas: int, rounds: int):
+    rng = DeterministicRng(9, label="simcore-smoke")
+    scheduler = Scheduler()
+    nodes = make_cluster(
+        min(n_replicas, 16),
+        CM,
+        ProvisioningAuthority(rng.child("intel")),
+        seed=9,
+        scheduler=scheduler,
+    )
+    network = Network(CM, scheduler=scheduler)
+    return ReplicaFleet(
+        network, nodes, n_replicas, rounds=rounds, payload=128, spacing=0.005
+    )
+
+
+@pytest.mark.tier2
+@pytest.mark.simcore
+def test_event_core_sustains_minimum_event_rate():
+    fleet = _fleet(64, rounds=50)
+    started = time.perf_counter()
+    stats = fleet.run()
+    wall = time.perf_counter() - started
+    scheduler = fleet._scheduler
+    assert stats.responses > 0
+    assert scheduler.events_processed > 64 * 50  # timers + deliveries + replies
+    rate = scheduler.events_processed / wall
+    assert rate >= MIN_EVENTS_PER_SEC, (
+        f"event core processed {scheduler.events_processed} events in "
+        f"{wall:.2f}s wall = {rate:,.0f} ev/s, below the "
+        f"{MIN_EVENTS_PER_SEC:,.0f} ev/s floor"
+    )
+
+
+@pytest.mark.tier2
+@pytest.mark.simcore
+def test_256_replica_fleet_round_fits_wall_budget():
+    fleet = _fleet(256, rounds=5)
+    started = time.perf_counter()
+    stats = fleet.run()
+    wall = time.perf_counter() - started
+    assert wall < FLEET_256_WALL_BUDGET, (
+        f"256-replica fleet took {wall:.1f}s wall "
+        f"(budget {FLEET_256_WALL_BUDGET:.0f}s)"
+    )
+    # Every replica completed every round despite the all-live fleet.
+    assert stats.responses == 256 * 5
+    assert fleet._scheduler.activities_running == 0
+
+
+@pytest.mark.tier2
+@pytest.mark.simcore
+def test_fleet_traffic_is_seed_deterministic():
+    first = _fleet(32, rounds=10).run()
+    second = _fleet(32, rounds=10).run()
+    assert first == second
