@@ -4,73 +4,75 @@
 Public clouds scale services with load.  Every spawned secureTF
 container must be attested and provisioned before serving — which is
 only practical because CAS attests locally (~tens of ms) instead of
-via Intel's WAN service (~hundreds of ms).  This example scales a
-classification service up and down, injects a container crash, and
-recovers — counting attestations all the way.
+via Intel's WAN service (~hundreds of ms).
+
+This example runs the full resilient serving plane: an attested
+front-end router with admission control, deadline propagation and
+hedged requests, an elastic replica pool supervised by the
+orchestrator watchdog, and an SLO autoscaler that rides the
+cold-start → attested path on every scale-out.  A diurnal load spike
+drives scaling; a mid-spike replica crash drives recovery — with
+attestations counted all the way.
 
 Run:  python examples/elastic_inference_service.py
 """
 
-from repro.cluster import ContainerSpec
-from repro.core import SecureTFPlatform
-from repro.core.inference import deploy_encrypted_model, service_runtime_config
-from repro.core.platform import PlatformConfig
-from repro.enclave.sgx import SgxMode
-from repro.models import pretrained_lite_model
+from repro.core.monitoring import collect_metrics
+from repro.serving import AutoscalerPolicy, DiurnalProfile, ServingPlane
 
 
 def main() -> None:
-    platform = SecureTFPlatform(PlatformConfig(n_nodes=3, seed=8))
-    platform.user_attest_cas()
+    plane = ServingPlane(
+        seed=8,
+        n_nodes=4,
+        initial_replicas=2,
+        autoscaler_policy=AutoscalerPolicy(
+            slo_p99=0.2, min_replicas=2, max_replicas=6
+        ),
+    )
 
-    model = pretrained_lite_model("densenet")
-    session = "elastic-classify"
-    config = service_runtime_config("elastic-svc", SgxMode.HW)
-    platform.register_session(session, [config])
-    for node in platform.nodes:
-        deploy_encrypted_model(platform, session, node, model)
+    print("== deployed: attested router + 2 attested replicas ==")
+    for entry in plane.scoreboard.entries():
+        print(f"  {entry.address}: {entry.state.value}, cold start -> "
+              f"attested in {entry.cold_start_latency * 1e3:.0f} ms (simulated)")
 
-    provisioned = []
+    print("== a replica crashes mid-spike; the watchdog replaces it ==")
+    plane.platform.scheduler.schedule(
+        5.0, lambda: plane.pool.crash("replica-0"), label="demo:crash"
+    )
 
-    def attest_and_provision(container):
-        before = container.node.clock.now
-        identity = platform.provision_runtime(
-            container.runtime, container.node, session
-        )
-        elapsed = container.node.clock.now - before
-        provisioned.append(identity)
-        print(f"  {container.name} on {container.node.node_id}: attested + "
-              f"provisioned in {elapsed * 1e3:.0f} ms (simulated), "
-              f"cert {identity.tls_identity().certificate.subject!r}")
+    print("== diurnal spike: 12 closed-loop clients, 8 s, 0.5 s deadlines ==")
+    stats = plane.run_traffic(
+        clients=12, duration=8.0, profile=DiurnalProfile(), deadline_budget=0.5
+    )
+    plane.check_invariants()
 
-    platform.orchestrator.on_start.append(attest_and_provision)
-    spec = ContainerSpec(session, lambda node, index: config)
+    print(f"\n  sent {stats.sent}, ok {stats.ok}, "
+          f"overload {stats.overload}, deadline {stats.deadline}, "
+          f"transport {stats.transport}")
+    print(f"  client p50 {stats.latency.percentile(50) * 1e3:.1f} ms, "
+          f"p99 {stats.latency.percentile(99) * 1e3:.1f} ms")
+    router = plane.router.stats
+    print(f"  router: {router.retries} retries, "
+          f"{router.hedges_won}/{router.hedges_fired} hedges won, "
+          f"{router.dedup_replays} dedup replays")
 
-    print("== morning load: scale to 2 replicas ==")
-    platform.orchestrator.scale_to(spec, 2)
+    cold = plane.pool.cold_starts
+    print(f"\ntotal attestations performed: {len(cold)} "
+          f"(one per spawned replica — scale-outs and the watchdog's "
+          f"replacement alike; no key ever left CAS unsealed)")
+    print(f"cold start -> attested: mean "
+          f"{sum(cold) / len(cold) * 1e3:.0f} ms over {len(cold)} replicas")
 
-    print("== peak load: scale to 6 replicas ==")
-    platform.orchestrator.scale_to(spec, 6)
-    print(f"   running replicas: {len(platform.orchestrator.replicas(session))}")
+    print("\nfinal pool state:")
+    for entry in plane.scoreboard.entries():
+        print(f"  {entry.address}: {entry.state.value}, served {entry.served}")
 
-    print("== a container crashes ==")
-    victim = platform.orchestrator.replicas(session)[0]
-    platform.orchestrator.fail_container(victim)
-    print(f"   {victim.name} failed; "
-          f"{len(platform.orchestrator.replicas(session))} replicas left")
-    replaced = platform.orchestrator.recover(spec)
-    print(f"   recovered: {replaced[0].name} restarted on "
-          f"{replaced[0].node.node_id} and re-attested")
-
-    print("== evening: scale back to 1 ==")
-    platform.orchestrator.scale_to(spec, 1)
-    print(f"\ntotal attestations performed: {len(provisioned)} "
-          f"(one per spawned container — no key ever left CAS unsealed)\n")
-
-    # TEEMon-style platform snapshot (related work [51]).
-    from repro.core.monitoring import collect_metrics
-    print(collect_metrics(platform).format())
-    platform.orchestrator.stop_all()
+    # TEEMon-style platform snapshot (related work [51]) — the recovery
+    # line includes the circuit-breaker census (closed/open/half-open).
+    print()
+    print(collect_metrics(plane.platform).format())
+    plane.close()
 
 
 if __name__ == "__main__":

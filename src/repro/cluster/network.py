@@ -57,8 +57,12 @@ from repro.enclave.cost_model import CostModel
 from repro.errors import RpcError, RpcTransportError
 from repro.runtime.syscall import SyscallInterface
 
-#: handler(request_bytes) -> response_bytes
-Handler = Callable[[bytes], bytes]
+#: handler(request_bytes) -> response_bytes, or a Completion that will
+#: resolve with the response bytes later (a *deferred reply*: the
+#: endpoint parks the caller while it does asynchronous work — e.g. the
+#: serving router forwarding to a replica — and the reply leg runs when
+#: the completion resolves, at the endpoint clock's then-current time).
+Handler = Callable[[bytes], object]
 
 #: adversary(src, dst, payload) -> payload or None (None = drop)
 Adversary = Callable[[str, str, bytes], Optional[bytes]]
@@ -351,21 +355,83 @@ class Network:
             if endpoint.syscalls is not None:
                 endpoint.syscalls.socket_recv(request_size)
             dup_response = endpoint.handler(request)
+
             # Symmetric accounting: the duplicate's response is still
             # *sent* (and crosses the wire) before the caller's
             # transport discards it — charge the server's socket write
             # and count the extra traffic, like the response-duplicate
             # branch below always did.
-            dup_size = (
-                declared_response
-                if declared_response is not None
-                else len(dup_response)
-            )
-            if endpoint.syscalls is not None:
-                endpoint.syscalls.socket_send(dup_size)
-            self.stats.messages += 1
-            self.stats.bytes_transferred += dup_size
+            def charge_discarded(dup_bytes: bytes) -> None:
+                dup_size = (
+                    declared_response
+                    if declared_response is not None
+                    else len(dup_bytes)
+                )
+                if endpoint.syscalls is not None:
+                    endpoint.syscalls.socket_send(dup_size)
+                self.stats.messages += 1
+                self.stats.bytes_transferred += dup_size
 
+            if isinstance(dup_response, Completion):
+                # A deferred endpoint answers the duplicate too (its
+                # dedup window makes the second execution a cache hit);
+                # the discarded wire traffic is charged when it does.
+                dup_response.add_waiter(
+                    lambda c: charge_discarded(c.value) if c.error is None else None
+                )
+            else:
+                charge_discarded(dup_response)
+
+        if isinstance(response, Completion):
+            # Deferred reply: the endpoint parked this caller while it
+            # performs asynchronous work (events on the same heap).  The
+            # reply leg runs — on the endpoint's clock at resolve time —
+            # when the endpoint settles the completion; a failure routes
+            # to the caller exactly like a synchronous handler raise.
+            def on_settled(settled: Completion) -> None:
+                if settled.error is not None:
+                    completion.fail(settled.error)
+                    return
+                try:
+                    if self._endpoints.get(dst) is not endpoint \
+                            or dst in self._partitioned:
+                        # The endpoint died while the work was deferred:
+                        # its reply never makes it onto the wire.
+                        self.stats.dropped += 1
+                        completion.fail(
+                            RpcTransportError(
+                                f"endpoint {dst!r} vanished before replying "
+                                f"to {src!r}"
+                            )
+                        )
+                        return
+                    self._finish_reply(
+                        src, src_clock, dst, endpoint, settled.value,
+                        declared_response, completion,
+                    )
+                except BaseException as exc:  # noqa: BLE001 - route to caller
+                    completion.fail(exc)
+
+            response.add_waiter(on_settled)
+            return
+
+        self._finish_reply(
+            src, src_clock, dst, endpoint, response, declared_response, completion
+        )
+
+    def _finish_reply(
+        self,
+        src: str,
+        src_clock: SimClock,
+        dst: str,
+        endpoint: _Endpoint,
+        response: bytes,
+        declared_response: Optional[int],
+        completion: Completion,
+    ) -> None:
+        """The reply leg: charge the send, roll response faults, schedule
+        the reply event.  Runs inside the delivery event for synchronous
+        handlers and at completion-resolve time for deferred ones."""
         response_size = (
             declared_response if declared_response is not None else len(response)
         )

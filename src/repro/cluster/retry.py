@@ -94,6 +94,22 @@ class RecoveryStats:
     breaker_rejections: int = 0
     dedup_hits: int = 0
     handshakes_expired: int = 0
+    # Live per-state breaker census (gauges, not cumulative counters):
+    # how many of this endpoint set's circuit breakers currently sit in
+    # each state.  Kept incrementally by every breaker transition so the
+    # monitoring plane can show *which way* the fleet is leaning, not
+    # just how often breakers tripped historically.
+    breakers_closed: int = 0
+    breakers_open: int = 0
+    breakers_half_open: int = 0
+
+
+#: RecoveryStats gauge field per public breaker state name.
+_STATE_GAUGES = {
+    "closed": "breakers_closed",
+    "open": "breakers_open",
+    "half-open": "breakers_half_open",
+}
 
 
 class CircuitBreaker:
@@ -111,6 +127,8 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._open_until: Optional[float] = None
         self._half_open = False
+        if stats is not None:
+            stats.breakers_closed += 1  # born closed
 
     @property
     def state(self) -> str:
@@ -118,26 +136,46 @@ class CircuitBreaker:
             return "half-open" if self._half_open else "closed"
         return "open"
 
+    def _transition(self, before: str) -> None:
+        after = self.state
+        if self._stats is not None and after != before:
+            setattr(
+                self._stats,
+                _STATE_GAUGES[before],
+                getattr(self._stats, _STATE_GAUGES[before]) - 1,
+            )
+            setattr(
+                self._stats,
+                _STATE_GAUGES[after],
+                getattr(self._stats, _STATE_GAUGES[after]) + 1,
+            )
+
     def allow(self, now: float) -> bool:
         if self._open_until is None:
             return True
         if now >= self._open_until:
             # Cooldown elapsed: let one probe through.
+            before = self.state
             self._open_until = None
             self._half_open = True
+            self._transition(before)
             return True
         return False
 
     def on_success(self) -> None:
+        before = self.state
         self._consecutive_failures = 0
         self._open_until = None
         self._half_open = False
+        self._transition(before)
 
     def on_failure(self, now: float) -> None:
+        before = self.state
         self._consecutive_failures += 1
         if self._half_open or self._consecutive_failures >= self.failure_threshold:
             self._open_until = now + self.reset_timeout
             self._half_open = False
+            self._transition(before)
             if self._stats is not None:
                 self._stats.breaker_trips += 1
 
@@ -201,12 +239,25 @@ class RetryingExecutor:
         if self._on_event is not None:
             self._on_event(message)
 
-    def run(self, endpoint: str, attempt_fn: Callable[[], T]) -> T:
+    def run(
+        self,
+        endpoint: str,
+        attempt_fn: Callable[[], T],
+        deadline: Optional[float] = None,
+    ) -> T:
+        """Run ``attempt_fn`` with retries.  ``deadline`` (absolute
+        simulated seconds) overrides the policy-derived budget — the
+        propagated request deadline bounds the retry loop, so a doomed
+        call is abandoned instead of backing off past the point anyone
+        still cares about the answer."""
         policy = self.policy
         breaker = self.breakers.get(endpoint)
-        deadline = (
-            self._clock.now + policy.deadline if policy.deadline is not None else None
-        )
+        if deadline is None:
+            deadline = (
+                self._clock.now + policy.deadline
+                if policy.deadline is not None
+                else None
+            )
         self.stats.calls += 1
         retry_index = 0
         while True:

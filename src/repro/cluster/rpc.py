@@ -212,6 +212,17 @@ class RpcServer:
             if hit is not None:
                 self.stats.dedup_hits += 1
                 return hit[1]
+        deadline = msg.get("deadline")
+        if isinstance(deadline, (int, float)) and now > deadline:
+            # Server-side shed of already-expired work: the caller's
+            # budget ran out while this request sat on the wire or in
+            # queue — executing it would burn enclave time on a reply
+            # nobody is waiting for.  (A dedup hit above still replays
+            # its cached reply: the work already happened.)
+            raise _errors.DeadlineExceededError(
+                f"request deadline {deadline:.6f} expired at "
+                f"{self.address!r} (now {now:.6f})"
+            )
         response = self._dispatch(msg["method"], msg["payload"], peer)
         if call_id is not None:
             self._dedup[call_id] = (now, response)
@@ -313,7 +324,12 @@ class RpcClient:
         payload: bytes,
         declared_request: Optional[int] = None,
         declared_response: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> bytes:
+        """Issue an RPC.  ``deadline`` (absolute simulated seconds) is
+        stamped into the call envelope so the server can shed the request
+        if it arrives already expired, and bounds this client's retry
+        loop to the same budget."""
         with probe.span(
             self._node.clock,
             "rpc.call",
@@ -321,19 +337,24 @@ class RpcClient:
             attrs={"dst": dst, "method": method},
         ):
             trace = _trace_fields(probe.ACTIVE, self._node.clock)
+            budget = {"deadline": deadline} if deadline is not None else {}
             if self._executor is None:
-                request = _envelope("call", method=method, payload=payload, **trace)
+                request = _envelope(
+                    "call", method=method, payload=payload, **budget, **trace
+                )
                 return self._roundtrip(dst, request, declared_request, declared_response)
             request = _envelope(
                 "call",
                 method=method,
                 payload=payload,
                 call_id=self.next_call_id(),
+                **budget,
                 **trace,
             )
             return self._executor.run(
                 dst,
                 lambda: self._roundtrip(dst, request, declared_request, declared_response),
+                deadline=deadline,
             )
 
 
@@ -543,6 +564,7 @@ class SecureConnection:
         payload: bytes,
         declared_request: Optional[int] = None,
         declared_response: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> bytes:
         client = self._client
         with probe.span(
@@ -551,7 +573,9 @@ class SecureConnection:
             category="rpc",
             attrs={"dst": self._dst, "method": method, "secure": True},
         ):
-            return self._call_traced(method, payload, declared_request, declared_response)
+            return self._call_traced(
+                method, payload, declared_request, declared_response, deadline
+            )
 
     def _call_traced(
         self,
@@ -559,15 +583,22 @@ class SecureConnection:
         payload: bytes,
         declared_request: Optional[int],
         declared_response: Optional[int],
+        deadline: Optional[float] = None,
     ) -> bytes:
         client = self._client
         trace = _trace_fields(probe.ACTIVE, client._node.clock)
+        budget = {"deadline": deadline} if deadline is not None else {}
         if client._executor is None:
-            inner = _envelope("call", method=method, payload=payload, **trace)
+            inner = _envelope("call", method=method, payload=payload, **budget, **trace)
             return self._call_once(inner, declared_request, declared_response)
 
         inner = _envelope(
-            "call", method=method, payload=payload, call_id=client.next_call_id(), **trace
+            "call",
+            method=method,
+            payload=payload,
+            call_id=client.next_call_id(),
+            **budget,
+            **trace,
         )
 
         def attempt() -> bytes:
@@ -586,7 +617,7 @@ class SecureConnection:
                     ) from exc
                 raise
 
-        return client._executor.run(self._dst, attempt)
+        return client._executor.run(self._dst, attempt, deadline=deadline)
 
     def _try_reconnect(self) -> None:
         try:

@@ -34,6 +34,9 @@ _GAUGE_FIELDS = frozenset(
         "epc_fault_rate",
         "cas_sessions",
         "cas_secrets",
+        "breakers_closed",
+        "breakers_open",
+        "breakers_half_open",
     }
 )
 
@@ -200,6 +203,11 @@ class RecoveryMetrics:
     reconnects: int = 0
     breaker_trips: int = 0
     breaker_rejections: int = 0
+    # Live breaker census (gauges): how many per-endpoint breakers sit in
+    # each state right now, summed across every executor in the fleet.
+    breakers_closed: int = 0
+    breakers_open: int = 0
+    breakers_half_open: int = 0
     dedup_hits: int = 0
     handshakes_expired: int = 0
     restarts: int = 0
@@ -310,7 +318,9 @@ class PlatformMetrics:
             f"{r.giveups} giveups, {r.reconnects} reconnects, "
             f"{r.dedup_hits} dedup hits, {r.handshakes_expired} handshakes "
             f"expired, breakers {r.breaker_trips} trips/"
-            f"{r.breaker_rejections} rejections, "
+            f"{r.breaker_rejections} rejections "
+            f"({r.breakers_closed} closed/{r.breakers_open} open/"
+            f"{r.breakers_half_open} half-open), "
             f"{r.restarts} restarts, {r.quarantined} quarantined"
         )
         lines.append(

@@ -115,3 +115,18 @@ class StaleConnectionError(RpcError):
 class CircuitOpenError(RpcError):
     """A circuit breaker is open: calls to the endpoint are being shed
     until the cooldown elapses."""
+
+
+class OverloadError(RpcError):
+    """A server shed the request under admission control (queue bound or
+    rate limit).  Deliberately typed — load shedding must be an explicit,
+    observable decision, never a silent drop — and deliberately *not*
+    retryable by default: hammering an overloaded service makes the
+    overload worse; backpressure belongs at the client."""
+
+
+class DeadlineExceededError(RpcError):
+    """A request's propagated deadline expired before a reply was
+    produced.  Raised client-side when the budget runs out waiting, and
+    server-side when already-expired work is shed instead of burning
+    enclave time on a reply nobody is waiting for."""

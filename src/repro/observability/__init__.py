@@ -26,6 +26,7 @@ from repro.observability.metrics import (
     Histogram,
     MetricsSampler,
     Series,
+    WindowedHistogram,
     flatten_metrics,
 )
 from repro.observability.plane import Telemetry
@@ -54,6 +55,7 @@ __all__ = [
     "Span",
     "Telemetry",
     "Tracer",
+    "WindowedHistogram",
     "activate",
     "active_tracer",
     "build_flame",

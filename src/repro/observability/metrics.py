@@ -103,6 +103,65 @@ class Histogram:
         }
 
 
+class WindowedHistogram:
+    """Percentiles over the most recent ``window`` observations.
+
+    The serving router's hedge delay tracks the *current* p99, not the
+    lifetime p99: a cold-start spike an hour ago must not inflate hedge
+    delays forever.  A ring buffer of the last ``window`` raw values
+    gives a sliding-window estimate that adapts as the distribution
+    moves, at O(window log window) per percentile query — fine at the
+    scales the simulator runs.
+    """
+
+    def __init__(self, name: str, window: int = 256) -> None:
+        if window < 1:
+            raise ValueError(f"window must be positive: {window}")
+        self.name = name
+        self.window = window
+        self._values: List[float] = []
+        self._head = 0  # next write slot once the window is full
+        self.count = 0  # lifetime observations, not window occupancy
+        self.sum = 0.0  # lifetime sum
+
+    def observe(self, value: float) -> None:
+        if len(self._values) < self.window:
+            self._values.append(value)
+        else:
+            self._values[self._head] = value
+            self._head = (self._head + 1) % self.window
+        self.count += 1
+        self.sum += value
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100]) over the current window,
+        or 0.0 before any observation (callers treat that as "no signal
+        yet" and fall back to their configured floor)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {q}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1, int(q / 100.0 * len(ordered) + 0.5) - 1))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
 def flatten_metrics(tree: Dict[str, object], prefix: str = "") -> Dict[str, float]:
     """Flatten a ``PlatformMetrics.to_json()`` tree into dotted numeric
     leaves (booleans become 0/1; the per-node list is keyed by node_id)."""

@@ -1,0 +1,90 @@
+"""Wire format of the serving plane (canonically encoded envelopes).
+
+Requests carry their **absolute deadline** so every hop — router
+admission, replica dispatch, the retry loop — can decide locally whether
+work is still worth doing; replies are either a payload or a *typed*
+error (the error class name travels in the envelope and is resolved
+back to the real exception type on the client, exactly like
+:mod:`repro.cluster.rpc` does for its remote errors).  Everything is
+:mod:`repro.crypto.encoding` — deterministic bytes, so seeded runs are
+byte-identical end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import repro.errors as _errors
+from repro.crypto import encoding
+from repro.errors import RpcError
+
+#: Typed serving errors resolvable from a reply envelope.  Built from
+#: the error module's namespace so a newly added RpcError subclass is
+#: automatically round-trippable.
+_ERROR_TYPES = {
+    name: obj
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, Exception)
+}
+
+
+def encode_request(
+    request_id: str, payload: bytes, deadline: Optional[float] = None
+) -> bytes:
+    """A client → router (or router → replica) inference request."""
+    msg = {"kind": "req", "id": request_id, "payload": payload}
+    if deadline is not None:
+        msg["deadline"] = float(deadline)
+    return encoding.encode(msg)
+
+
+def decode_request(raw: bytes) -> dict:
+    msg = encoding.decode(raw)
+    if not isinstance(msg, dict) or msg.get("kind") != "req":
+        raise RpcError(f"malformed serving request: {msg!r}")
+    if not isinstance(msg.get("id"), str) or not isinstance(msg.get("payload"), bytes):
+        raise RpcError("serving request is missing id/payload")
+    deadline = msg.get("deadline")
+    if deadline is not None and not isinstance(deadline, float):
+        raise RpcError(f"serving request deadline must be a float: {deadline!r}")
+    return msg
+
+
+def encode_ok(request_id: str, payload: bytes, replica: str) -> bytes:
+    """A successful reply, stamped with the replica that served it."""
+    return encoding.encode(
+        {"kind": "ok", "id": request_id, "payload": payload, "replica": replica}
+    )
+
+
+def encode_error(request_id: str, error: BaseException) -> bytes:
+    """A typed error reply (class name + message travel on the wire)."""
+    return encoding.encode(
+        {
+            "kind": "err",
+            "id": request_id,
+            "error": type(error).__name__,
+            "message": str(error),
+        }
+    )
+
+
+def decode_reply(raw: bytes) -> dict:
+    """Decode a reply envelope; typed error replies **raise**.
+
+    The raised exception is the same class the far side raised (falling
+    back to :class:`~repro.errors.RpcError` for unknown names), so
+    client code handles remote sheds exactly like local ones.
+    """
+    msg = encoding.decode(raw)
+    if not isinstance(msg, dict):
+        raise RpcError(f"malformed serving reply: {msg!r}")
+    kind = msg.get("kind")
+    if kind == "ok":
+        return msg
+    if kind == "err":
+        error_type = _ERROR_TYPES.get(msg.get("error", ""), RpcError)
+        if not issubclass(error_type, RpcError):
+            error_type = RpcError
+        raise error_type(msg.get("message", "remote serving error"))
+    raise RpcError(f"unknown serving reply kind: {kind!r}")

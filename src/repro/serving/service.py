@@ -1,0 +1,210 @@
+"""One-call assembly of the resilient serving plane.
+
+:class:`ServingPlane` wires the full deployment story on a
+:class:`~repro.core.platform.SecureTFPlatform`:
+
+1. the user attests CAS and registers one session whose policy admits
+   the router measurement and the (single, shared) replica measurement;
+2. the front-end router launches as an **attested container** on the
+   control node and registers its endpoint;
+3. the replica pool scales to its initial size — each replica attests
+   to CAS before becoming routable;
+4. the orchestrator watchdog supervises replica containers (restart
+   budgets, quarantine) and syncs outcomes into the scoreboard every
+   tick;
+5. optionally, the SLO autoscaler starts scraping.
+
+``run_traffic`` then drives a closed-loop client fleet (optionally
+under a seeded chaos plan) and :meth:`check_invariants` asserts the
+plane's core promise: every admitted request terminated in exactly one
+reply or one typed error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.faults import FaultPlan
+from repro.cluster.orchestrator import ContainerSpec, Watchdog
+from repro.core.inference import service_runtime_config
+from repro.core.platform import PlatformConfig, SecureTFPlatform
+from repro.enclave.sgx import SgxMode
+from repro.serving.admission import AdmissionController, TokenBucket
+from repro.serving.autoscaler import AutoscalerPolicy, SloAutoscaler
+from repro.serving.pool import BackendFactory, ReplicaPool
+from repro.serving.router import FrontEndRouter, RouterPolicy
+from repro.serving.scoreboard import ReplicaScoreboard
+from repro.serving.traffic import DiurnalProfile, TrafficGenerator, TrafficStats
+
+ROUTER_ADDRESS = "router"
+
+
+class ServingPlane:
+    """A deployed, supervised, optionally autoscaled inference service."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        n_nodes: int = 4,
+        initial_replicas: int = 2,
+        mode: SgxMode = SgxMode.HW,
+        session: str = "serving",
+        router_policy: Optional[RouterPolicy] = None,
+        rate_limit: float = 500.0,
+        rate_burst: float = 50.0,
+        service_time: float = 0.01,
+        service_jitter: float = 0.2,
+        backend_factory: Optional[BackendFactory] = None,
+        watchdog_interval: float = 0.25,
+        autoscaler_policy: Optional[AutoscalerPolicy] = None,
+    ) -> None:
+        self.platform = SecureTFPlatform(PlatformConfig(n_nodes=n_nodes, seed=seed))
+        self.platform.user_attest_cas()
+        self.session = session
+        self.scoreboard = ReplicaScoreboard()
+        self.pool = ReplicaPool(
+            self.platform,
+            session,
+            self.scoreboard,
+            mode=mode,
+            service_time=service_time,
+            service_jitter=service_jitter,
+            backend_factory=backend_factory,
+        )
+        router_config = service_runtime_config(
+            ROUTER_ADDRESS, mode, fs_shield=False
+        )
+        # One session, two measurements: the router's and the replicas'.
+        # Every future replica (scale-out or watchdog replacement) is
+        # admitted by the same policy line — no per-container ceremony.
+        self.platform.register_session(
+            session, [self.pool.runtime_config(), router_config]
+        )
+
+        # The router is itself an attested enclave on the control node.
+        control = self.platform.nodes[0]
+        router_spec = ContainerSpec(
+            name=ROUTER_ADDRESS, config_factory=lambda node, index: router_config
+        )
+        self.router_container = self.platform.orchestrator.launch(
+            router_spec, node=control
+        )
+        self.router_identity = self.platform.provision_runtime(
+            self.router_container.runtime, control, session
+        )
+        self.router = FrontEndRouter(
+            self.platform.network,
+            control,
+            ROUTER_ADDRESS,
+            self.scoreboard,
+            AdmissionController(TokenBucket(rate_limit, rate_burst)),
+            policy=router_policy,
+        )
+
+        self.pool.scale_out(initial_replicas)
+        self.pool.watch()
+        self.watchdog: Watchdog = self.platform.orchestrator.start_watchdog(
+            self.platform.scheduler, watchdog_interval, specs=[self.pool.spec]
+        )
+        self.autoscaler: Optional[SloAutoscaler] = None
+        if autoscaler_policy is not None:
+            self.autoscaler = SloAutoscaler(
+                self.pool,
+                self.router,
+                self.platform.scheduler,
+                control.clock,
+                policy=autoscaler_policy,
+            )
+            self.autoscaler.start()
+
+    # -- chaos -----------------------------------------------------------
+
+    def add_faults(self, plan: FaultPlan) -> None:
+        """Compose a seeded chaos plan into the network's fault chain."""
+        self.platform.network.faults.append(plan.inject)
+
+    # -- traffic ---------------------------------------------------------
+
+    def make_traffic(
+        self,
+        clients: int,
+        duration: float,
+        profile: Optional[DiurnalProfile] = None,
+        deadline_budget: float = 1.0,
+        client_node: int = -1,
+    ) -> TrafficGenerator:
+        return TrafficGenerator(
+            self.platform.network,
+            self.platform.nodes[client_node],
+            ROUTER_ADDRESS,
+            clients,
+            duration,
+            self.platform.rng.child("traffic"),
+            profile=profile,
+            deadline_budget=deadline_budget,
+        )
+
+    def run_traffic(
+        self,
+        clients: int,
+        duration: float,
+        profile: Optional[DiurnalProfile] = None,
+        deadline_budget: float = 1.0,
+    ) -> TrafficStats:
+        """Drive a closed-loop client fleet to completion, then stop the
+        recurring probes so the heap drains."""
+        traffic = self.make_traffic(
+            clients, duration, profile=profile, deadline_budget=deadline_budget
+        )
+        stats = traffic.run()
+        self.quiesce()
+        return stats
+
+    def quiesce(self) -> None:
+        """Stop recurring events (watchdog, autoscaler) and drain."""
+        self.watchdog.stop()
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
+        self.platform.scheduler.run()
+
+    # -- invariants + trace ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Every admitted request terminated in exactly one outcome, and
+        nothing is still pending once the heap has drained."""
+        admitted = self.router.admission.stats.admitted
+        terminal = self.router.stats.terminal
+        if admitted != terminal:
+            raise AssertionError(
+                f"{admitted} requests admitted but {terminal} terminal "
+                "outcomes recorded: a request was dropped or double-counted"
+            )
+        if self.router.pending_count() != 0:
+            raise AssertionError(
+                f"{self.router.pending_count()} requests still pending "
+                "after quiesce"
+            )
+
+    def trace_bytes(self) -> bytes:
+        """Canonical decision trace of the whole plane (router + pool +
+        autoscaler), byte-identical across runs with the same seed."""
+        sections: List[bytes] = [
+            b"[router]",
+            self.router.trace_bytes(),
+            b"[pool]",
+            self.pool.trace_bytes(),
+        ]
+        if self.autoscaler is not None:
+            sections.extend([b"[autoscaler]", self.autoscaler.trace_bytes()])
+        return b"\n".join(sections)
+
+    # -- teardown --------------------------------------------------------
+
+    def close(self) -> None:
+        self.quiesce()
+        self.router.close()
+        self.platform.orchestrator.stop_all()
+
+    @property
+    def time(self) -> float:
+        return self.platform.time

@@ -12,6 +12,10 @@ def pytest_configure(config: pytest.Config) -> None:
         "markers",
         "simcore: event-heap scheduler perf smokes (run via -m simcore)",
     )
+    config.addinivalue_line(
+        "markers",
+        "serving: resilient serving-plane tests (select via -m serving; in tier 1)",
+    )
 
 from repro._sim import DeterministicRng, SimClock
 from repro.enclave.attestation import ProvisioningAuthority

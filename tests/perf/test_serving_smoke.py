@@ -1,0 +1,61 @@
+"""Tier-2 perf smoke: the serving plane must stay fast and on-SLO.
+
+Excluded from tier-1 (see ``addopts`` in pyproject.toml); run with
+``pytest -m serving tests/perf`` or ``pytest -m tier2``.  Two floors:
+
+- **sustained throughput**: a clean (chaos-free) closed-loop run must
+  push a minimum number of simulated requests per wall second through
+  the router — the floor trips on algorithmic regressions (e.g. the
+  replica pick degenerating, the dedup window scanning), not on
+  machine noise;
+- **tail latency**: the p99 of client-observed latency on the same run
+  must stay inside a generous multiple of the modeled service time —
+  a regression here means queueing or hedging logic broke, since the
+  simulated cost model itself is deterministic.
+"""
+
+import time
+
+import pytest
+
+from repro.serving.service import ServingPlane
+
+#: Floor in simulated requests per wall second (clean run, 4 replicas).
+MIN_REQUESTS_PER_SEC = 200.0
+
+#: p99 ceiling as observed by clients, in simulated seconds.  Service
+#: time is 10 ms ± 20 %; routing, queueing, and the LAN legs must keep
+#: the tail within this budget on an unloaded pool.
+MAX_P99_SECONDS = 0.2
+
+
+def _run_clean_plane():
+    plane = ServingPlane(seed=5, n_nodes=4, initial_replicas=4)
+    started = time.perf_counter()
+    stats = plane.run_traffic(clients=8, duration=4.0, deadline_budget=1.0)
+    wall = time.perf_counter() - started
+    plane.check_invariants()
+    return plane, stats, wall
+
+
+@pytest.mark.tier2
+@pytest.mark.serving
+def test_serving_plane_sustains_minimum_request_rate():
+    plane, stats, wall = _run_clean_plane()
+    stats.assert_accounted()
+    assert stats.ok > 0
+    rate = stats.sent / max(wall, 1e-9)
+    assert rate >= MIN_REQUESTS_PER_SEC, (
+        f"serving plane sustained only {rate:.0f} req/s "
+        f"(floor {MIN_REQUESTS_PER_SEC:.0f})"
+    )
+
+
+@pytest.mark.tier2
+@pytest.mark.serving
+def test_serving_plane_p99_within_slo_on_clean_run():
+    plane, stats, _ = _run_clean_plane()
+    p99 = stats.latency.percentile(99)
+    assert 0.0 < p99 <= MAX_P99_SECONDS, (
+        f"client p99 {p99:.4f}s breaches the {MAX_P99_SECONDS:.2f}s smoke SLO"
+    )

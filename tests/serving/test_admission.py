@@ -1,0 +1,82 @@
+"""Admission control: typed sheds, token-bucket refill, total accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError, OverloadError
+from repro.serving.admission import AdmissionController, AdmissionStats, TokenBucket
+
+pytestmark = pytest.mark.serving
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        bucket = TokenBucket(rate=10.0, burst=3)
+        assert [bucket.allow(0.0) for _ in range(3)] == [True, True, True]
+        assert not bucket.allow(0.0)
+
+    def test_refills_by_simulated_time(self):
+        bucket = TokenBucket(rate=10.0, burst=1)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+        # 0.1 simulated seconds at 10/s refills exactly one token.
+        assert bucket.allow(0.1)
+        assert not bucket.allow(0.1)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        bucket.allow(0.0)
+        bucket.allow(0.0)
+        # A long idle period must not bank unbounded credit.
+        assert [bucket.allow(100.0) for _ in range(3)] == [True, True, False]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def test_admits_and_counts(self):
+        controller = AdmissionController(TokenBucket(rate=100.0, burst=10))
+        controller.admit(0.0, has_capacity=True)
+        assert controller.stats.admitted == 1
+        assert controller.stats.arrivals == 1
+
+    def test_rate_shed_is_typed(self):
+        controller = AdmissionController(TokenBucket(rate=1.0, burst=1))
+        controller.admit(0.0, has_capacity=True)
+        with pytest.raises(OverloadError):
+            controller.admit(0.0, has_capacity=True)
+        assert controller.stats.shed_rate == 1
+
+    def test_capacity_shed_is_typed(self):
+        controller = AdmissionController(TokenBucket(rate=100.0, burst=10))
+        with pytest.raises(OverloadError):
+            controller.admit(0.0, has_capacity=False)
+        assert controller.stats.shed_capacity == 1
+
+    def test_rate_checked_before_capacity(self):
+        """A flood beyond the rate sheds on rate even when queues are
+        also full — the cheaper check runs first and its counter tells
+        the autoscaler *which* resource ran out."""
+        controller = AdmissionController(TokenBucket(rate=1.0, burst=1))
+        controller.admit(0.0, has_capacity=True)
+        with pytest.raises(OverloadError):
+            controller.admit(0.0, has_capacity=False)
+        assert controller.stats.shed_rate == 1
+        assert controller.stats.shed_capacity == 0
+
+    def test_every_arrival_lands_in_one_bucket(self):
+        controller = AdmissionController(TokenBucket(rate=2.0, burst=2))
+        outcomes = []
+        for i in range(6):
+            try:
+                controller.admit(0.1 * i, has_capacity=(i % 2 == 0))
+                outcomes.append("ok")
+            except OverloadError:
+                outcomes.append("shed")
+        stats = controller.stats
+        assert stats.arrivals == 6
+        assert stats.admitted == outcomes.count("ok")
+        assert stats.shed_rate + stats.shed_capacity == outcomes.count("shed")

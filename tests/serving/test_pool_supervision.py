@@ -1,0 +1,120 @@
+"""S3: watchdog-driven recovery — restart budgets, quarantine, drains.
+
+These tests crash *running* replicas and let the orchestrator watchdog
+(not a manual ``supervise`` call) do the recovery, then assert the
+scoreboard and the routing plane converge on the supervision outcome.
+"""
+
+import pytest
+
+from repro.serving import messages
+from repro.serving.scoreboard import ReplicaState
+from repro.serving.service import ServingPlane
+
+pytestmark = pytest.mark.serving
+
+
+def make_plane(seed=3, initial_replicas=2, restart_budget=None, **kwargs):
+    plane = ServingPlane(
+        seed=seed,
+        n_nodes=4,
+        initial_replicas=initial_replicas,
+        watchdog_interval=0.25,
+        **kwargs,
+    )
+    if restart_budget is not None:
+        plane.platform.orchestrator.restart_budget = restart_budget
+    return plane
+
+
+def send(plane, request_id, deadline=None):
+    network = plane.platform.network
+    clock = plane.platform.nodes[-1].clock
+    raw = network.call(
+        "client",
+        clock,
+        "router",
+        messages.encode_request(request_id, b"p", deadline=deadline),
+    )
+    return messages.decode_reply(raw)
+
+
+def states(plane):
+    return {e.address: e.state for e in plane.scoreboard.entries()}
+
+
+def test_watchdog_restarts_crashed_replica_and_reattests_it():
+    plane = make_plane()
+    scheduler = plane.platform.scheduler
+    attested_before = len(plane.pool.cold_starts)
+    plane.pool.crash("replica-0")
+    assert states(plane)["replica-0"] is ReplicaState.FAILED
+    scheduler.run(until=plane.time + 2.0)
+    # The replacement came up under a fresh name, re-ran the full
+    # attestation path (fresh enclave memory ⇒ fresh proof), and the
+    # reconcile pass reaped the dead entry.
+    board = states(plane)
+    assert "replica-0" not in board
+    assert board["replica-2"] is ReplicaState.HEALTHY
+    assert len(plane.pool.cold_starts) == attested_before + 1
+    assert any("restart replica-0" in e for e in plane.platform.orchestrator.events)
+    reply = send(plane, "after-recovery")
+    assert reply["replica"] in ("replica-1", "replica-2")
+    plane.quiesce()
+
+
+def test_restart_budget_exhaustion_quarantines_the_lineage():
+    plane = make_plane(restart_budget=1)
+    scheduler = plane.platform.scheduler
+    plane.pool.crash("replica-0")
+    scheduler.run(until=plane.time + 2.0)
+    assert states(plane)["replica-2"] is ReplicaState.HEALTHY
+    # Crash the *running* replacement: the lineage's budget (1) is now
+    # spent, so the watchdog must quarantine instead of restarting.
+    plane.pool.crash("replica-2")
+    scheduler.run(until=plane.time + 2.0)
+    board = states(plane)
+    assert board["replica-2"] is ReplicaState.QUARANTINED
+    quarantined = {
+        c.name for c in plane.platform.orchestrator.quarantined("replica")
+    }
+    assert "replica-2" in quarantined
+    # No further replacements appear for the quarantined lineage.
+    assert "replica-3" not in board
+    plane.quiesce()
+
+
+def test_routing_avoids_quarantined_replicas():
+    plane = make_plane(restart_budget=0)
+    scheduler = plane.platform.scheduler
+    plane.pool.crash("replica-0")
+    scheduler.run(until=plane.time + 2.0)
+    assert states(plane)["replica-0"] is ReplicaState.QUARANTINED
+    # Every request lands on the one surviving replica; the quarantined
+    # entry is not in the routable set.
+    for i in range(4):
+        assert send(plane, f"q{i}")["replica"] == "replica-1"
+    routable = {e.address for e in plane.scoreboard.routable(per_replica_limit=8)}
+    assert routable == {"replica-1"}
+    plane.quiesce()
+
+
+def test_drain_finishes_inflight_work_before_stopping():
+    plane = make_plane(initial_replicas=1, service_time=0.2)
+    scheduler = plane.platform.scheduler
+    network = plane.platform.network
+    clock = plane.platform.nodes[-1].clock
+    completion = network.call_async(
+        "client", clock, "router", messages.encode_request("slow", b"p")
+    )
+    # Let the request reach the replica, then begin the drain while it
+    # is still being served.
+    scheduler.run(until=plane.time + 0.01)
+    assert plane.scoreboard.in_flight("replica-0") == 1
+    assert plane.pool.drain_one() == "replica-0"
+    reply = messages.decode_reply(scheduler.run_until(completion))
+    assert reply["replica"] == "replica-0"  # admitted work completed
+    scheduler.run(until=plane.time + 2.0)
+    assert states(plane)["replica-0"] is ReplicaState.STOPPED
+    assert "drained replica-0" in plane.pool.events
+    plane.quiesce()

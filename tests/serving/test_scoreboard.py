@@ -1,0 +1,97 @@
+"""Scoreboard: lifecycle transitions, deterministic least-loaded picking."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.serving.scoreboard import ReplicaScoreboard, ReplicaState
+
+pytestmark = pytest.mark.serving
+
+
+def board(*addresses, state=ReplicaState.HEALTHY):
+    sb = ReplicaScoreboard()
+    for address in addresses:
+        sb.add(address, state=state)
+    return sb
+
+
+def test_add_tracks_transitions_and_rejects_duplicates():
+    sb = ReplicaScoreboard()
+    entry = sb.add("r-0", state=ReplicaState.ATTESTING)
+    sb.set_state("r-0", ReplicaState.HEALTHY)
+    assert entry.transitions == ["attesting", "healthy"]
+    with pytest.raises(ClusterError):
+        sb.add("r-0")
+
+
+def test_pick_least_loaded_with_address_tiebreak():
+    sb = board("r-0", "r-1", "r-2")
+    sb.on_dispatch("r-0")
+    # r-1 and r-2 tie on load; the address string breaks the tie.
+    assert sb.pick(per_replica_limit=4).address == "r-1"
+    sb.on_dispatch("r-1")
+    sb.on_dispatch("r-2")
+    sb.on_dispatch("r-2")
+    # r-0 and r-1 now tie at one in-flight each; r-0 wins on address.
+    assert sb.pick(per_replica_limit=4).address == "r-0"
+
+
+def test_pick_prefers_healthy_over_degraded():
+    sb = board("r-0", "r-1")
+    sb.mark_degraded("r-0")
+    sb.on_dispatch("r-1")
+    sb.on_dispatch("r-1")
+    # r-0 is lighter but degraded: the loaded healthy replica wins.
+    assert sb.pick(per_replica_limit=4).address == "r-1"
+
+
+def test_per_replica_limit_bounds_the_queue():
+    sb = board("r-0")
+    sb.on_dispatch("r-0")
+    sb.on_dispatch("r-0")
+    assert sb.pick(per_replica_limit=2) is None
+    assert not sb.has_capacity(per_replica_limit=2)
+    sb.on_complete("r-0", ok=True)
+    assert sb.pick(per_replica_limit=2).address == "r-0"
+
+
+def test_exclude_supports_retry_and_hedge_spreading():
+    sb = board("r-0", "r-1")
+    assert sb.pick(4, exclude=frozenset({"r-0"})).address == "r-1"
+    assert sb.pick(4, exclude=frozenset({"r-0", "r-1"})) is None
+
+
+def test_only_healthy_and_degraded_are_routable():
+    sb = ReplicaScoreboard()
+    for state in ReplicaState:
+        sb.add(f"r-{state.value}", state=state)
+    routable = {e.address for e in sb.routable(per_replica_limit=4)}
+    assert routable == {"r-healthy", "r-degraded"}
+
+
+def test_degraded_heals_on_success_only_from_degraded():
+    sb = board("r-0")
+    sb.mark_degraded("r-0")
+    assert sb.get("r-0").state is ReplicaState.DEGRADED
+    sb.mark_healthy("r-0")
+    assert sb.get("r-0").state is ReplicaState.HEALTHY
+    # DRAINING must not be "healed" back into the routable set.
+    sb.set_state("r-0", ReplicaState.DRAINING)
+    sb.mark_healthy("r-0")
+    assert sb.get("r-0").state is ReplicaState.DRAINING
+    # Nor degraded: a draining replica stays draining on failure.
+    sb.mark_degraded("r-0")
+    assert sb.get("r-0").state is ReplicaState.DRAINING
+
+
+def test_served_failure_and_counts_accounting():
+    sb = board("r-0", "r-1")
+    sb.on_dispatch("r-0")
+    sb.on_complete("r-0", ok=True)
+    sb.on_dispatch("r-0")
+    sb.on_complete("r-0", ok=False)
+    entry = sb.get("r-0")
+    assert (entry.served, entry.failures, entry.in_flight) == (1, 1, 0)
+    sb.set_state("r-1", ReplicaState.FAILED)
+    assert sb.counts() == {"healthy": 1, "failed": 1}
+    assert sb.total_in_flight() == 0
