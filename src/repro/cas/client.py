@@ -148,9 +148,17 @@ def serve_cas(network: Network, service: CasService, address: str = "cas") -> Rp
         )
         return b"ok"
 
+    def handle_ping(payload: bytes, peer) -> bytes:
+        # Liveness probe for partition-aware supervision: a reply proves
+        # the endpoint is reachable *through the network*, which
+        # registration alone cannot (a one-way-partitioned zombie stays
+        # registered while its replies vanish).
+        return b"ok"
+
     server.register("provision", handle_provision)
     server.register("audit_commit", handle_audit_commit)
     server.register("audit_verify", handle_audit_verify)
+    server.register("ping", handle_ping)
     server.start()
     return server
 

@@ -35,11 +35,16 @@ from typing import Optional
 
 from repro.cas.client import serve_cas
 from repro.cas.service import CasService
+from repro.cluster.epoch import EpochLease, EpochService
 from repro.cluster.network import Network
+from repro.cluster.node import Node
 from repro.cluster.retry import RetryPolicy
 from repro.cluster.rpc import RpcClient, RpcServer
 from repro.crypto import encoding
 from repro.errors import RpcError
+
+#: Epoch role name for the CAS pair's leader.
+CAS_PRIMARY_ROLE = "cas-primary"
 
 
 @dataclass
@@ -63,6 +68,7 @@ class ReplicatedCasPair:
         address: str = "cas",
         backup_address: str = "cas-backup",
         retry: Optional[RetryPolicy] = None,
+        epochs: Optional[EpochService] = None,
     ) -> None:
         if primary.node is backup.node:
             raise RpcError("a CAS pair must span two nodes to survive one")
@@ -74,6 +80,11 @@ class ReplicatedCasPair:
         self.stats = CasPairStats()
         #: The instance currently serving the well-known address.
         self.active = primary
+        #: Epoch authority (None = fencing off, the pre-fencing plane).
+        self._epochs = epochs
+        #: The active instance's leadership lease.
+        self.lease: Optional[EpochLease] = None
+        self._probe_client: Optional[RpcClient] = None
 
         # Shared trust root (see module docstring): certificates issued
         # by either instance verify against the one CA.
@@ -94,6 +105,25 @@ class ReplicatedCasPair:
 
         primary.replicator = self._replicate_op
         primary.audit.add_commit_hook(self._replicate_record)
+
+        if epochs is not None:
+            # Grant the founding lease and enroll every acceptor the
+            # primary's writes flow through: the standby's replication
+            # endpoint (require=True — it only ever serves a fenced
+            # leader) and, when the pair shares one monotonic-counter
+            # service, the counter's commit-point increment.
+            self.lease = epochs.grant(CAS_PRIMARY_ROLE, holder=address)
+            primary.set_lease(self.lease)
+            self._repl_client.fence = self.lease
+            self._backup_server.add_guard(
+                epochs.make_guard(
+                    CAS_PRIMARY_ROLE, name=backup_address, require=True
+                )
+            )
+            if primary.counter is backup.counter:
+                primary.counter.guard = epochs.make_guard(
+                    CAS_PRIMARY_ROLE, name="hw-counter"
+                )
 
         # The primary's public CAS API at the well-known address.
         self.primary_server = serve_cas(network, primary, address=address)
@@ -154,20 +184,57 @@ class ReplicatedCasPair:
         # A dead primary stops replicating; the hook dies with it.
         self.primary.replicator = None
 
+    def attach_probe(self, node: Node) -> None:
+        """Probe the pair by RPC ping from ``node`` instead of by
+        registration.  Registration-based probing cannot see chaos-plane
+        partitions: a one-way-partitioned zombie primary stays
+        registered while being unreachable, so the watchdog never fails
+        over.  The ping client deliberately has **no retry policy** —
+        one attempt, one verdict — because the watchdog's recurring
+        probe events are the retry loop."""
+        self._probe_client = RpcClient(
+            self.network, f"cas-probe@{node.node_id}", node
+        )
+
     def probe(self) -> bool:
-        """Is the well-known CAS address being served?"""
-        return self.network.is_registered(self.address)
+        """Is the well-known CAS address serving (reachably)?"""
+        if self._probe_client is None:
+            return self.network.is_registered(self.address)
+        try:
+            return self._probe_client.call(self.address, "ping", b"") == b"ok"
+        except RpcError:
+            return False
 
     def promote(self) -> None:
         """Serve the standby at the well-known address (failover).
 
-        Idempotent: promoting an already-active pair is a no-op, so the
-        orchestrator's watchdog can call this unconditionally.
+        Idempotent: promoting an already-active (or healthy) pair is a
+        no-op, so the orchestrator's watchdog can call this
+        unconditionally.
+
+        With an epoch authority attached, promotion is **fence first**:
+        the ``cas-primary`` epoch is bumped (advancing the standby's
+        replication guard and the shared counter's guard) *before* the
+        standby serves a single request, so there is no window in which
+        both instances hold committable authority — anything the old
+        primary still sends carries a dead epoch.  The address claim is
+        a VIP flip: a zombie still registered at the well-known address
+        on the wrong side of a partition is unregistered, exactly as a
+        floating IP moves regardless of the old holder's opinion.
         """
-        if self.probe():
-            return
         if self.active is self.backup:
             return
+        if self.probe():
+            return
+        if self._epochs is not None:
+            self.lease = self._epochs.grant(
+                CAS_PRIMARY_ROLE, holder=self.backup_address
+            )
+            self.backup.set_lease(self.lease)
+        if self.network.is_registered(self.address):
+            # VIP flip (see docstring): reclaim the address from the
+            # partitioned-but-alive previous holder.
+            self.network.unregister(self.address)
         self.backup_public_server = serve_cas(
             self.network, self.backup, address=self.address
         )
@@ -175,4 +242,4 @@ class ReplicatedCasPair:
         self.stats.failovers += 1
 
 
-__all__ = ["CasPairStats", "ReplicatedCasPair"]
+__all__ = ["CAS_PRIMARY_ROLE", "CasPairStats", "ReplicatedCasPair"]

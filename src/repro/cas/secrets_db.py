@@ -38,16 +38,31 @@ class HardwareCounter:
 
     Stands in for TPM NV counters / SGX monotonic counters: state lives
     "in hardware", outside the VFS an attacker can rewrite.
+
+    A replicated CAS pair shares one counter object (a replicated
+    monotonic-counter *service* in production — rollback protection
+    across failover requires both instances to bind snapshots to the
+    same counter).  A shared counter is a shared acceptor, so it can be
+    **fenced**: when ``guard`` is attached (an
+    :class:`~repro.cluster.epoch.EpochGuard`, duck-typed here to keep
+    this module free of cluster imports), :meth:`increment` demands the
+    caller's epoch and rejects a stale one with ``FencedError`` — the
+    commit point of the seal-first/bump-last protocol is exactly where a
+    zombie primary must be stopped from double-issuing a counter value.
     """
 
     def __init__(self) -> None:
         self._value = 0
+        #: Optional epoch guard over the increment (commit) operation.
+        self.guard = None
 
     @property
     def value(self) -> int:
         return self._value
 
-    def increment(self) -> int:
+    def increment(self, epoch: "int | None" = None) -> int:
+        if self.guard is not None:
+            self.guard.check(epoch)
         self._value += 1
         return self._value
 
@@ -66,6 +81,11 @@ class SecretsDatabase:
         self._counter = counter
         self._records: Dict[str, bytes] = {}
         self._version = 0
+        #: The owning CAS instance's epoch lease (set by the failover
+        #: pair).  Its epoch is presented to the counter's guard at every
+        #: commit-point increment, so a fenced zombie's acknowledgements
+        #: are rejected by the shared counter service.
+        self.lease = None
 
     # -- in-memory operations -------------------------------------------
 
@@ -108,13 +128,18 @@ class SecretsDatabase:
         )
         return self._seal(payload)
 
+    def _lease_epoch(self) -> "int | None":
+        return self.lease.epoch if self.lease is not None else None
+
     def acknowledge_persisted(self) -> int:
         """Bump the hardware counter after the sealed blob is durable.
 
         The counter is the commit point: once bumped, every older
-        snapshot is rejectable as a rollback.
+        snapshot is rejectable as a rollback.  A guarded (shared)
+        counter rejects the bump when this instance's epoch is stale —
+        the sealed blob then never becomes authoritative.
         """
-        self._version = self._counter.increment()
+        self._version = self._counter.increment(self._lease_epoch())
         return self._version
 
     def load_sealed(self, blob: bytes) -> int:
@@ -134,7 +159,7 @@ class SecretsDatabase:
         version = payload["version"]
         if version == self._counter.value + 1:
             # Roll forward: the blob was durable, the ack bump was not.
-            self._counter.increment()
+            self._counter.increment(self._lease_epoch())
         elif version != self._counter.value:
             raise FreshnessError(
                 f"secrets database rollback detected: snapshot version "

@@ -127,8 +127,28 @@ class CasService:
         #: Replication hook: called with ``(op, payload)`` after every
         #: state mutation (installed by :mod:`repro.cas.failover`).
         self.replicator = None
+        #: Leadership lease (an :class:`~repro.cluster.epoch.EpochLease`,
+        #: installed by the failover pair when fencing is on).  Checked
+        #: at every persist so a superseded instance cannot seal new
+        #: state — the holder-side half of the fence, modelling the
+        #: lease-expiry timer a real CAS runs locally.
+        self.lease = None
 
     # ------------------------------------------------------------------
+
+    @property
+    def counter(self) -> HardwareCounter:
+        """The monotonic counter this instance binds snapshots to."""
+        return self._counter
+
+    def set_lease(self, lease) -> None:
+        """Install (or replace) this instance's leadership lease.
+
+        Propagated to the secrets database so the shared counter's
+        guard sees the lease epoch at every commit-point increment.
+        """
+        self.lease = lease
+        self.db.lease = lease
 
     def attest(self, report_data: bytes = b"") -> Quote:
         """A quote over the CAS enclave itself (users verify CAS first)."""
@@ -204,7 +224,14 @@ class CasService:
         )
 
     def persist(self) -> None:
-        """Seal + persist the database (two-slot, crash-consistent)."""
+        """Seal + persist the database (two-slot, crash-consistent).
+
+        With a lease installed, a superseded instance is stopped here:
+        sealing new state after losing the leadership epoch is exactly
+        the zombie write fencing exists to prevent.
+        """
+        if self.lease is not None:
+            self.lease.check()
         if self.store is not None:
             self.store.save(self.db)
         else:

@@ -1,0 +1,39 @@
+"""Distributed chaos-campaign harness.
+
+Enumerates fault schedules (crash points x partition directions x
+duplicate storms) over the platform's leader-shaped protocols, replays
+each deterministically on the event heap, and checks the recorded
+histories against split-brain invariants.  See DESIGN.md §5i.
+"""
+
+from repro.chaos.campaign import CampaignReport, ScheduleOutcome, run_campaign
+from repro.chaos.history import History, Op
+from repro.chaos.invariants import CHECKS, check
+from repro.chaos.scenarios import FAMILY_INVARIANTS, ScenarioRun, run_schedule
+from repro.chaos.schedule import (
+    FAMILIES,
+    FAULT_KINDS,
+    FaultSchedule,
+    STEPS_PER_FAMILY,
+    default_campaign,
+    enumerate_schedules,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CHECKS",
+    "FAMILIES",
+    "FAMILY_INVARIANTS",
+    "FAULT_KINDS",
+    "FaultSchedule",
+    "History",
+    "Op",
+    "STEPS_PER_FAMILY",
+    "ScenarioRun",
+    "ScheduleOutcome",
+    "check",
+    "default_campaign",
+    "enumerate_schedules",
+    "run_campaign",
+    "run_schedule",
+]

@@ -1,0 +1,135 @@
+"""Invariant checkers over recorded chaos histories.
+
+Each checker is a pure function ``History -> List[str]`` returning one
+human-readable violation string per broken promise (empty = the
+invariant held).  The campaign driver runs a family's invariant set
+over every schedule's history; with fencing enabled the whole sweep
+must come back empty, and with fencing disabled the same sweep must
+reproduce at least one split-brain violation — both directions are
+asserted, because an invariant suite that cannot *detect* the bug it
+guards against proves nothing when it passes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, List
+
+from repro.chaos.history import History
+
+Checker = Callable[[History], List[str]]
+
+
+def no_acked_write_loss(history: History) -> List[str]:
+    """Every acknowledged write survives to the final durable readout.
+
+    ``ack`` ops are client-observed successes; ``durable`` ops are what
+    the post-schedule recovery actually found.  An acked key missing
+    from the durable set is lost acknowledged work — the canonical
+    zombie-leader damage (a stale checkpoint overwriting the
+    replacement's, a stale counter bump orphaning a sealed snapshot).
+    """
+    durable = {op.key for op in history.of_kind("durable")}
+    violations = []
+    for op in history.of_kind("ack"):
+        if op.key not in durable:
+            violations.append(
+                f"acked write {op.key!r} (by {op.actor}) is not durable"
+            )
+    return violations
+
+
+def at_most_once(history: History) -> List[str]:
+    """No logical operation executed more than once.
+
+    ``execute`` ops are recorded inside acceptor handlers after their
+    dedup windows, so duplicate *deliveries* that replay a cached reply
+    are invisible here — only genuine re-executions count.
+    """
+    counts = Counter(op.key for op in history.of_kind("execute"))
+    return [
+        f"operation {key!r} executed {n} times"
+        for key, n in sorted(counts.items())
+        if n > 1
+    ]
+
+
+def single_writer_per_epoch(history: History) -> List[str]:
+    """Only the current leader of a role commits under it.
+
+    Leadership generations are delimited by ``promote`` ops (``key`` =
+    role, ``actor`` = new leader).  A ``commit`` attributed to a
+    superseded leader — the zombie writing after the control plane
+    moved on — is exactly the split-brain fencing exists to close.
+    """
+    leader: Dict[str, str] = {}
+    violations = []
+    for op in history.ops:
+        if op.kind == "promote":
+            leader[op.key] = op.actor
+        elif op.kind == "commit" and op.role:
+            current = leader.get(op.role)
+            if current is not None and op.actor != current:
+                violations.append(
+                    f"commit by superseded {op.role} leader {op.actor!r} "
+                    f"(current leader {current!r}) at seq {op.seq}"
+                )
+    return violations
+
+
+def unique_counter_issue(history: History) -> List[str]:
+    """No monotonic-counter value is bound to committed state twice.
+
+    Two sealed snapshots claiming one counter value make rollback
+    detection ambiguous — the double-issue a shared (fenced) counter
+    service must prevent across failover.
+    """
+    counts = Counter((op.role, op.key) for op in history.of_kind("issue"))
+    return [
+        f"counter value {key!r} issued {n} times (role {role!r})"
+        for (role, key), n in sorted(counts.items())
+        if n > 1
+    ]
+
+
+def admitted_equals_terminal(history: History) -> List[str]:
+    """Every admitted operation reached exactly one terminal outcome."""
+    admitted = len(history.of_kind("admit"))
+    terminal = len(history.of_kind("terminal"))
+    if admitted != terminal:
+        return [
+            f"{admitted} operations admitted but {terminal} terminal "
+            "outcomes recorded"
+        ]
+    return []
+
+
+#: Name -> checker registry (scenario families pick by name).
+CHECKS: Dict[str, Checker] = {
+    "no-acked-write-loss": no_acked_write_loss,
+    "at-most-once": at_most_once,
+    "single-writer-per-epoch": single_writer_per_epoch,
+    "unique-counter-issue": unique_counter_issue,
+    "admitted-equals-terminal": admitted_equals_terminal,
+}
+
+
+def check(history: History, names: Iterable[str]) -> List[str]:
+    """Run the named checkers; return all violations, prefixed by name."""
+    violations = []
+    for name in names:
+        for violation in CHECKS[name](history):
+            violations.append(f"[{name}] {violation}")
+    return violations
+
+
+__all__ = [
+    "CHECKS",
+    "Checker",
+    "admitted_equals_terminal",
+    "at_most_once",
+    "check",
+    "no_acked_write_loss",
+    "single_writer_per_epoch",
+    "unique_counter_issue",
+]

@@ -56,14 +56,55 @@ class TransientPartition:
 
     Healing is just simulated time passing — a client that backs off
     past ``end`` reconnects without anyone calling ``heal()``.
+
+    ``direction`` selects which legs the partition severs:
+
+    - ``"both"`` (default): the classic symmetric partition — no message
+      touching ``address`` gets through in either direction.
+    - ``"inbound"``: messages *to* ``address`` are dropped while its own
+      sends still flow — the node is deaf but not mute (e.g. a
+      half-broken switch port, or an iptables rule on its RX path).
+    - ``"outbound"``: messages *from* ``address`` are dropped while it
+      still hears the world — mute but not deaf.
+
+    One-way partitions are the nastiest split-brain schedules: an
+    outbound-partitioned primary still *receives* client writes and
+    believes it is serving them (its replies and replications vanish),
+    while the watchdog — whose probe replies are among the vanished
+    sends — promotes a replacement.  Symmetric windows cannot express
+    this: they silence the zombie's intake too.
     """
 
     address: str
     start: float
     end: float
+    direction: str = "both"  # "both" | "inbound" | "outbound"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("both", "inbound", "outbound"):
+            raise ValueError(
+                f"partition direction must be 'both', 'inbound', or "
+                f"'outbound', got {self.direction!r}"
+            )
 
     def active(self, now: float) -> bool:
         return self.start <= now < self.end
+
+    def drops(self, src: str, dst: str, now: float) -> bool:
+        """Does this partition sever the ``src → dst`` leg at ``now``?
+
+        Each network *leg* (a one-way message: request or reply) is
+        judged independently, which is what makes one-way partitions
+        expressible: the A→B request may die while the B→A reply path
+        would have been fine.
+        """
+        if not self.active(now):
+            return False
+        if self.direction == "both":
+            return self.address in (src, dst)
+        if self.direction == "inbound":
+            return dst == self.address
+        return src == self.address  # outbound
 
 
 @dataclass(frozen=True)
@@ -125,7 +166,7 @@ class FaultPlan:
         self, src: str, dst: str, n_bytes: int, now: float
     ) -> Optional[FaultAction]:
         for partition in self.partitions:
-            if partition.active(now) and partition.address in (src, dst):
+            if partition.drops(src, dst, now):
                 self.counters.partition_drops += 1
                 self.record(f"partition {src}->{dst} @{now:.6f}")
                 return FaultAction(drop=True, reason="transient partition")

@@ -80,8 +80,19 @@ class InMemoryCheckpointStore:
     def __init__(self) -> None:
         self._snapshots: Dict[str, PSCheckpoint] = {}
         self.saves = 0
+        #: Optional :class:`~repro.cluster.epoch.EpochGuard` over the
+        #: ``ps`` role.  The store is the durable volume *shared* between
+        #: a crashed PS and its replacement — the one place a zombie PS
+        #: partitioned away from its workers can still destroy acked
+        #: work by overwriting the replacement's checkpoints.  A fenced
+        #: store rejects saves stamped with a stale epoch.
+        self.guard = None
 
-    def save(self, address: str, snapshot: PSCheckpoint) -> None:
+    def save(
+        self, address: str, snapshot: PSCheckpoint, epoch: Optional[int] = None
+    ) -> None:
+        if self.guard is not None:
+            self.guard.check(epoch)
         self._snapshots[address] = snapshot
         self.saves += 1
 
@@ -102,16 +113,31 @@ class ParameterServer:
         allowed_peers: Optional[List[str]] = None,
         checkpoint_store: Optional[InMemoryCheckpointStore] = None,
         syscalls: Optional["SyscallInterface"] = None,
+        store_key: Optional[str] = None,
     ) -> None:
         if learning_rate <= 0:
             raise ClusterError(f"learning rate must be positive: {learning_rate}")
         self.node = node
         self.address = address
+        #: Logical service identity in the checkpoint store.  Defaults to
+        #: the network address; a replacement PS launched at a *new* pod
+        #: address passes the crashed one's key so it resumes the same
+        #: lineage (and so a zombie predecessor contends for the same
+        #: snapshot slot — which is what the store's fence arbitrates).
+        self.store_key = store_key if store_key is not None else address
         self.learning_rate = learning_rate
         self._weights: Dict[str, np.ndarray] = {}
         self._version = 0
         self._allowed = allowed_peers
         self.updates_applied = 0
+        #: Leadership lease over the ``ps`` role (set by the recovery
+        #: supervisor when fencing is on).  Its cached epoch is presented
+        #: to the checkpoint store's guard on every save: a zombie PS
+        #: keeps stamping its dead epoch and the store says no — the
+        #: rejection propagates through ``on_committed``, which also
+        #: rolls the call out of the dedup window, so the push that
+        #: could not checkpoint never reads as committed.
+        self.lease = None
 
         if shield is not None:
             self._server: RpcServer = SecureRpcServer(
@@ -129,7 +155,7 @@ class ParameterServer:
         self._store = checkpoint_store
         self._checkpointed_version = -1
         if self._store is not None:
-            snapshot = self._store.load(address)
+            snapshot = self._store.load(self.store_key)
             if snapshot is not None:
                 # A predecessor at this address checkpointed: resume at
                 # its exact version, with its dedup window, so retried
@@ -217,7 +243,11 @@ class ParameterServer:
         self._syscalls.write_file(
             f"/checkpoints/{self.address}.ckpt", b"", declared_size=payload_bytes
         )
-        self._store.save(self.address, snapshot)
+        self._store.save(
+            self.store_key,
+            snapshot,
+            epoch=self.lease.epoch if self.lease is not None else None,
+        )
         self._checkpointed_version = self._version
 
     def stop(self) -> None:

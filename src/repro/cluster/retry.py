@@ -43,6 +43,7 @@ from repro._sim.rng import DeterministicRng
 from repro._sim.scheduler import Scheduler
 from repro.errors import (
     CircuitOpenError,
+    FencingError,
     RpcTransportError,
     SecurityError,
     StaleConnectionError,
@@ -53,10 +54,19 @@ T = TypeVar("T")
 #: Failures worth retrying: the message may simply not have arrived.
 RETRYABLE_ERRORS = (RpcTransportError, StaleConnectionError, CircuitOpenError)
 
+#: Failures that are *authoritative*: the rejection IS the answer, and
+#: re-asking (this endpoint or another) must never happen.  Security
+#: errors because a denied request does not become allowed by asking
+#: again; fencing errors because the caller has provably lost its
+#: leadership epoch — retrying a fenced write is exactly the split-brain
+#: commit that fencing exists to prevent.
+AUTHORITATIVE_ERRORS = (SecurityError, FencingError)
+
 
 def is_retryable(exc: BaseException) -> bool:
-    """Transport-level faults are retryable; security failures never are."""
-    if isinstance(exc, SecurityError):
+    """Transport-level faults are retryable; security and fencing
+    failures never are."""
+    if isinstance(exc, AUTHORITATIVE_ERRORS):
         return False
     return isinstance(exc, RETRYABLE_ERRORS)
 
@@ -94,6 +104,12 @@ class RecoveryStats:
     breaker_rejections: int = 0
     dedup_hits: int = 0
     handshakes_expired: int = 0
+    # Calls that died with a typed fencing rejection (FencedError /
+    # LeaseExpiredError).  Counted client-side where the authoritative
+    # error surfaces and the retry loop refuses to re-execute: a nonzero
+    # value here means some sender was operating past the end of its
+    # leadership epoch and the fence held.
+    fenced_calls: int = 0
     # Live per-state breaker census (gauges, not cumulative counters):
     # how many of this endpoint set's circuit breakers currently sit in
     # each state.  Kept incrementally by every breaker transition so the
@@ -274,6 +290,9 @@ class RetryingExecutor:
                     return result
                 except Exception as exc:
                     if not is_retryable(exc):
+                        if isinstance(exc, FencingError):
+                            self.stats.fenced_calls += 1
+                            self._event(f"fenced {endpoint}")
                         raise
                     breaker.on_failure(self._clock.now)
                     failure = exc
@@ -310,6 +329,7 @@ class RetryingExecutor:
 
 
 __all__ = [
+    "AUTHORITATIVE_ERRORS",
     "BreakerRegistry",
     "CircuitBreaker",
     "RecoveryStats",

@@ -22,6 +22,13 @@ messages) is layered on without changing the wire protocol's shape:
   and the cached reply is returned.
 - **Retry/backoff + circuit breaking** on every client call, via
   :class:`~repro.cluster.retry.RetryingExecutor`.
+- **Epoch fencing**: a client holding an
+  :class:`~repro.cluster.epoch.EpochLease` (``client.fence = lease``)
+  stamps its role + epoch into every call envelope; servers guarding a
+  role (:meth:`RpcServer.add_guard`) reject stale-epoch requests with a
+  typed :class:`~repro.errors.FencedError` *before* dispatch, so a
+  zombie leader's writes never execute.  Fencing errors are
+  authoritative — the retry layer refuses to re-issue them.
 - **Transparent secure-session reconnect**: a :class:`SecureConnection`
   that hits a transport fault or a restarted server re-runs the full
   TLS handshake (charged through the shield's cost model) and resends
@@ -36,6 +43,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import repro.errors as _errors
 from repro._sim import probe
+from repro.cluster.epoch import EpochGuard, EpochLease
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.retry import (
@@ -131,6 +139,9 @@ class RpcServer:
         self._methods: Dict[str, MethodHandler] = {}
         self._started = False
         self._dedup: "OrderedDict[str, Tuple[float, bytes]]" = OrderedDict()
+        #: Acceptor-side fencing guards, one per leader role this
+        #: endpoint accepts writes from (see :meth:`add_guard`).
+        self._guards: Dict[str, EpochGuard] = {}
         self.stats = RecoveryStats()
         stats_registry.register_recovery_stats(self.stats, node.clock)
         #: Called after a call commits (dispatched + dedup-recorded);
@@ -140,6 +151,17 @@ class RpcServer:
 
     def register(self, method: str, handler: MethodHandler) -> None:
         self._methods[method] = handler
+
+    def add_guard(self, guard: EpochGuard) -> EpochGuard:
+        """Fence this endpoint for the guard's role: every call envelope
+        stamped for that role must carry an epoch ≥ the highest this
+        guard has seen (requests below it raise
+        :class:`~repro.errors.FencedError` before any handler runs).
+        Guards with ``require=True`` additionally reject *unstamped*
+        calls — an endpoint that only serves a fenced leader demands
+        proof of leadership on every request."""
+        self._guards[guard.role] = guard
+        return guard
 
     def start(self) -> None:
         if self._started:
@@ -203,6 +225,21 @@ class RpcServer:
         ):
             return self._dispatch_call_inner(msg, peer)
 
+    def _check_fence(self, msg: dict) -> None:
+        """Reject stale-epoch (or missing-epoch, for ``require`` guards)
+        requests before any handler executes."""
+        if not self._guards:
+            return
+        fence = msg.get("fence")
+        if not isinstance(fence, dict):
+            fence = None
+        for role, guard in self._guards.items():
+            if fence is not None and fence.get("role") == role:
+                epoch = fence.get("epoch")
+                guard.check(epoch if isinstance(epoch, int) else None)
+            else:
+                guard.check(None)
+
     def _dispatch_call_inner(self, msg: dict, peer: Optional[str]) -> bytes:
         call_id = msg.get("call_id")
         now = self._node.clock.now
@@ -212,6 +249,10 @@ class RpcServer:
             if hit is not None:
                 self.stats.dedup_hits += 1
                 return hit[1]
+        # Fencing before deadline/dispatch (but after dedup replay: a
+        # cached reply is work that already committed under a then-valid
+        # epoch, and replaying it executes nothing).
+        self._check_fence(msg)
         deadline = msg.get("deadline")
         if isinstance(deadline, (int, float)) and now > deadline:
             # Server-side shed of already-expired work: the caller's
@@ -229,7 +270,16 @@ class RpcServer:
             while len(self._dedup) > self.DEDUP_CAPACITY:
                 self._dedup.popitem(last=False)
         if self.on_committed is not None:
-            self.on_committed()
+            try:
+                self.on_committed()
+            except Exception:
+                # The commit hook (e.g. a fenced checkpoint save) vetoed
+                # the call: the success reply must not survive in the
+                # dedup window, or a duplicate delivery would replay an
+                # outcome that never committed.
+                if call_id is not None:
+                    self._dedup.pop(call_id, None)
+                raise
         return response
 
     def _handle(self, request: bytes) -> bytes:
@@ -262,6 +312,11 @@ class RpcClient:
         self._node = node
         self._syscalls = syscalls if syscalls is not None else node.syscall_interface()
         self.stats = RecoveryStats()
+        #: When set (an :class:`~repro.cluster.epoch.EpochLease`), every
+        #: call envelope carries this lease's role + epoch.  The stamp is
+        #: the lease's *cached* epoch — a fenced zombie keeps stamping
+        #: its dead epoch, and the acceptor's guard is what says no.
+        self.fence: Optional[EpochLease] = None
         self._executor: Optional[RetryingExecutor] = None
         if retry is not None:
             stats_registry.register_recovery_stats(self.stats, node.clock)
@@ -338,9 +393,10 @@ class RpcClient:
         ):
             trace = _trace_fields(probe.ACTIVE, self._node.clock)
             budget = {"deadline": deadline} if deadline is not None else {}
+            stamp = {"fence": self.fence.stamp()} if self.fence is not None else {}
             if self._executor is None:
                 request = _envelope(
-                    "call", method=method, payload=payload, **budget, **trace
+                    "call", method=method, payload=payload, **budget, **trace, **stamp
                 )
                 return self._roundtrip(dst, request, declared_request, declared_response)
             request = _envelope(
@@ -350,6 +406,7 @@ class RpcClient:
                 call_id=self.next_call_id(),
                 **budget,
                 **trace,
+                **stamp,
             )
             return self._executor.run(
                 dst,
@@ -588,8 +645,11 @@ class SecureConnection:
         client = self._client
         trace = _trace_fields(probe.ACTIVE, client._node.clock)
         budget = {"deadline": deadline} if deadline is not None else {}
+        stamp = {"fence": client.fence.stamp()} if client.fence is not None else {}
         if client._executor is None:
-            inner = _envelope("call", method=method, payload=payload, **budget, **trace)
+            inner = _envelope(
+                "call", method=method, payload=payload, **budget, **trace, **stamp
+            )
             return self._call_once(inner, declared_request, declared_response)
 
         inner = _envelope(
@@ -599,6 +659,7 @@ class SecureConnection:
             call_id=client.next_call_id(),
             **budget,
             **trace,
+            **stamp,
         )
 
         def attempt() -> bytes:

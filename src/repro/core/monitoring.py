@@ -216,6 +216,14 @@ class RecoveryMetrics:
     cas_failovers: int = 0
     cas_ops_replicated: int = 0
     cas_records_replicated: int = 0
+    # Epoch fencing.  ``fenced_calls`` folds in from every endpoint's
+    # RecoveryStats (authoritative rejections seen by callers); the
+    # epoch_* counters come from the platform's EpochService itself.
+    fenced_calls: int = 0
+    epoch_grants: int = 0
+    epoch_bumps: int = 0
+    fenced_rejections: int = 0
+    lease_expiries: int = 0
 
 
 @dataclass
@@ -328,6 +336,12 @@ class PlatformMetrics:
             f"{r.cas_ops_replicated} ops / {r.cas_records_replicated} audit "
             f"records replicated"
         )
+        lines.append(
+            f"fencing: {r.epoch_grants} grants, {r.epoch_bumps} bumps, "
+            f"{r.fenced_rejections} stale epochs rejected, "
+            f"{r.lease_expiries} lease expiries, "
+            f"{r.fenced_calls} fenced calls"
+        )
         return "\n".join(lines)
 
     # -- serialization + interval deltas --------------------------------
@@ -405,6 +419,12 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
         aggregate_into(recovery, stats)
     recovery.restarts = platform.orchestrator.restarts_total
     recovery.quarantined = platform.orchestrator.quarantined_total
+    if platform.epochs is not None:
+        fencing = platform.epochs.stats
+        recovery.epoch_grants = fencing.grants
+        recovery.epoch_bumps = fencing.bumps
+        recovery.fenced_rejections = fencing.fenced_rejections
+        recovery.lease_expiries = fencing.lease_expiries
     if platform.cas_pair is not None:
         recovery.cas_failovers = platform.cas_pair.stats.failovers
         recovery.cas_ops_replicated = platform.cas_pair.stats.ops_replicated

@@ -19,6 +19,7 @@ from repro.cas import CasService, Policy
 from repro.cas.client import RemoteCasClient, serve_cas
 from repro.cas.failover import ReplicatedCasPair
 from repro.cluster import Network, Node, Orchestrator, make_cluster
+from repro.cluster.epoch import EpochService
 from repro.cluster.retry import RetryPolicy
 from repro.enclave.attestation import AttestationVerifier, ProvisioningAuthority, Report
 from repro.enclave.cost_model import DEFAULT_COST_MODEL, CostModel
@@ -49,6 +50,12 @@ class PlatformConfig:
     #: Simulated seconds between metric samples (0 = no sampler; only
     #: meaningful with ``tracing=True``).
     metrics_interval: float = 0.0
+    #: Epoch-fence every leader-shaped role (CAS primary, parameter
+    #: server, serving router): leases stamped into envelopes, stale
+    #: epochs rejected with FencedError, the watchdog bumps before it
+    #: promotes.  Off by default so pre-fencing runs stay byte-identical;
+    #: the chaos campaigns sweep both settings.
+    fencing: bool = False
 
 
 class SecureTFPlatform:
@@ -78,6 +85,15 @@ class SecureTFPlatform:
             mode=self.config.cas_mode,
         )
         self.orchestrator = Orchestrator(self.nodes)
+        #: The deployment's epoch-fencing authority (None = fencing off).
+        #: In production this registry is ``epoch/<role>`` records in the
+        #: replicated CAS database; the service object is its interface,
+        #: owned by the control plane next to the orchestrator.
+        self.epochs: Optional[EpochService] = (
+            EpochService(backing=self._persist_epoch)
+            if self.config.fencing
+            else None
+        )
         self.cas_pair: Optional[ReplicatedCasPair] = None
         if self.config.cas_backup_node is not None:
             if self.config.cas_backup_node == self.config.cas_node:
@@ -95,8 +111,19 @@ class SecureTFPlatform:
                 backup,
                 address="cas",
                 retry=self.config.cas_retry,
+                epochs=self.epochs,
             )
             self.cas_server = self.cas_pair.primary_server
+            if self.epochs is not None:
+                # Fenced supervision needs a partition-aware probe: ping
+                # by RPC from a non-CAS node (falling back to the CAS
+                # node when the cluster has only one), so a one-way
+                # partitioned primary actually *fails* its probe.
+                probe_node = next(
+                    (n for n in self.nodes if n is not self.cas.node),
+                    self.cas.node,
+                )
+                self.cas_pair.attach_probe(probe_node)
             self.orchestrator.register_service(
                 "cas", self.cas_pair.probe, self.cas_pair.promote
             )
@@ -113,6 +140,12 @@ class SecureTFPlatform:
             self.telemetry = Telemetry(
                 self, sample_interval=self.config.metrics_interval
             )
+
+    def _persist_epoch(self, role: str, epoch: int) -> None:
+        """Epoch-service backing: every bump is durable control-plane
+        state in the CAS database (an ``epoch/<role>`` record), so epochs
+        survive CAS failover exactly like policies do."""
+        self.cas.db.put(f"epoch/{role}", str(epoch).encode())
 
     def close_telemetry(self) -> None:
         """Detach the telemetry plane (restores any previous recorder)."""

@@ -236,6 +236,13 @@ class TrainingJob:
         if cfg.retry_policy is not None:
             self._ps_store = InMemoryCheckpointStore()
             orchestrator.restart_budget = cfg.recovery_budget
+            if self.platform.epochs is not None:
+                # The checkpoint store is the durable acceptor shared by
+                # a crashed PS and its replacement: fence it, so a
+                # zombie PS cannot overwrite the successor's snapshots.
+                self._ps_store.guard = self.platform.epochs.make_guard(
+                    "ps", name="ps-checkpoint-store"
+                )
 
         self._ps_spec = ContainerSpec(
             f"{cfg.session}-ps", lambda node, index: self._ps_config()
@@ -249,6 +256,10 @@ class TrainingJob:
         self._ps_container = orchestrator.launch(self._ps_spec, node=nodes[-1])
         self._containers.append(self._ps_container)
         self.ps = self._build_ps(self._ps_container)
+        if self.platform.epochs is not None:
+            self.ps.lease = self.platform.epochs.grant(
+                "ps", holder=self._ps_container.name
+            )
 
         for index in range(cfg.n_workers):
             # One worker per node, wrapping (the paper's 3-machine cluster
@@ -349,9 +360,19 @@ class TrainingJob:
         )
         if replacement is None:
             return None
+        # Bump BEFORE the replacement serves: the fence round advances
+        # the checkpoint store's guard first, so even if the "crashed"
+        # PS turns out to be a partitioned zombie, nothing it commits
+        # from here on can land.
+        lease = (
+            self.platform.epochs.grant("ps", holder=replacement.name)
+            if self.platform.epochs is not None
+            else None
+        )
         self._ps_container = replacement
         self._containers.append(replacement)
         self.ps = self._build_ps(replacement)
+        self.ps.lease = lease
         self.record_recovery(
             f"ps-restart container={replacement.name} version={self.ps.version}"
         )

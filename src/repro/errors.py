@@ -95,6 +95,34 @@ class ClusterError(ReproError):
     """Node/container lifecycle failure in the simulated cluster."""
 
 
+class FencingError(ClusterError):
+    """Base class for epoch-fencing rejections.
+
+    Fencing errors are *authoritative*, exactly like security errors: a
+    request rejected because its sender lost the leadership epoch must
+    never be retried — the rejection IS the answer, and retrying it
+    against another endpoint would let a zombie leader commit work after
+    its replacement was promoted (split-brain).
+    """
+
+
+class FencedError(FencingError):
+    """An acceptor rejected a request stamped with a stale epoch.
+
+    Raised server-side when a leader-shaped sender (CAS primary,
+    parameter server, serving router) presents an epoch below the
+    highest this acceptor has seen — the sender is a zombie on the wrong
+    side of a partition and its writes must not commit.
+    """
+
+
+class LeaseExpiredError(FencingError):
+    """A leader consulted the epoch authority and learned it was
+    superseded: its lease epoch is no longer current.  Raised holder-side
+    (the polite self-check), where :class:`FencedError` is the acceptor
+    slamming the door."""
+
+
 class RpcError(ClusterError):
     """A simulated RPC failed (timeout, node down, channel closed)."""
 

@@ -16,7 +16,7 @@ from typing import Optional
 
 import repro.errors as _errors
 from repro.crypto import encoding
-from repro.errors import RpcError
+from repro.errors import FencingError, RpcError
 
 #: Typed serving errors resolvable from a reply envelope.  Built from
 #: the error module's namespace so a newly added RpcError subclass is
@@ -29,12 +29,24 @@ _ERROR_TYPES = {
 
 
 def encode_request(
-    request_id: str, payload: bytes, deadline: Optional[float] = None
+    request_id: str,
+    payload: bytes,
+    deadline: Optional[float] = None,
+    fence: Optional[dict] = None,
 ) -> bytes:
-    """A client → router (or router → replica) inference request."""
+    """A client → router (or router → replica) inference request.
+
+    ``fence`` is the sending leader's epoch stamp
+    (``EpochLease.stamp()``): on the router → replica hop it proves the
+    dispatching router still holds the routing epoch, so a replica never
+    executes work for a router that was already superseded.  Omitted
+    fields keep the envelope byte-identical to a pre-fencing build.
+    """
     msg = {"kind": "req", "id": request_id, "payload": payload}
     if deadline is not None:
         msg["deadline"] = float(deadline)
+    if fence is not None:
+        msg["fence"] = fence
     return encoding.encode(msg)
 
 
@@ -84,7 +96,12 @@ def decode_reply(raw: bytes) -> dict:
         return msg
     if kind == "err":
         error_type = _ERROR_TYPES.get(msg.get("error", ""), RpcError)
-        if not issubclass(error_type, RpcError):
+        # Raisable remote types: RPC errors, plus the fencing branch —
+        # a FencedError must survive the hop *as itself*, because the
+        # retry layer's authoritative-never-retry decision keys on the
+        # type (downgrading it to RpcError would make it look like a
+        # transient failure worth re-executing).
+        if not issubclass(error_type, (RpcError, FencingError)):
             error_type = RpcError
         raise error_type(msg.get("message", "remote serving error"))
     raise RpcError(f"unknown serving reply kind: {kind!r}")

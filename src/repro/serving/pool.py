@@ -158,6 +158,15 @@ class ReplicaPool:
     def _make_handler(self, container: Container, backend: Backend):
         clock = container.node.clock
         dedup: "OrderedDict[str, Tuple[float, bytes]]" = OrderedDict()
+        # Each replica is an acceptor for the routing epoch: requests
+        # dispatched by a router that has since been superseded carry a
+        # stale epoch and are rejected before the backend runs — a
+        # zombie router cannot settle work through this replica.
+        guard = (
+            self.platform.epochs.make_guard("router", name=container.name)
+            if self.platform.epochs is not None
+            else None
+        )
 
         def handler(raw: bytes) -> bytes:
             if not container.running:
@@ -178,6 +187,10 @@ class ReplicaPool:
             hit = dedup.get(request_id)
             if hit is not None:
                 return hit[1]  # duplicate delivery: replay, don't re-run
+            if guard is not None:
+                fence = msg.get("fence")
+                epoch = fence.get("epoch") if isinstance(fence, dict) else None
+                guard.check(epoch if isinstance(epoch, int) else None)
             deadline = msg.get("deadline")
             if deadline is not None and now > deadline:
                 # Server-side shed: the budget died in flight or in

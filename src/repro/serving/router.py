@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro._sim.clock import SimClock
 from repro._sim.scheduler import Completion, Event, Scheduler
+from repro.cluster.epoch import EpochLease
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.retry import BreakerRegistry, RecoveryStats
@@ -174,6 +175,11 @@ class FrontEndRouter:
         self.latency = WindowedHistogram(
             f"{address}.latency", window=self.policy.latency_window
         )
+        #: Routing-epoch lease (set by the serving plane when fencing is
+        #: on).  Every replica dispatch is stamped with it; a router that
+        #: has been superseded keeps stamping its *stale* epoch — which
+        #: is exactly what lets the replica-side guards fence it.
+        self.fence: Optional[EpochLease] = None
         self._pending: Dict[str, _PendingRequest] = {}
         #: request id -> (settle time, ok?, reply bytes or error).
         self._replied: "OrderedDict[str, Tuple[float, bool, object]]" = OrderedDict()
@@ -301,7 +307,10 @@ class FrontEndRouter:
             info.hedge_addresses.append(address)
         self.scoreboard.on_dispatch(address)
         request = messages.encode_request(
-            info.request_id, info.payload, deadline=info.deadline
+            info.request_id,
+            info.payload,
+            deadline=info.deadline,
+            fence=self.fence.stamp() if self.fence is not None else None,
         )
         self.record(
             f"{'hedge' if hedge else 'dispatch'} {info.request_id} -> "

@@ -57,8 +57,11 @@ class ServingPlane:
         backend_factory: Optional[BackendFactory] = None,
         watchdog_interval: float = 0.25,
         autoscaler_policy: Optional[AutoscalerPolicy] = None,
+        fencing: bool = False,
     ) -> None:
-        self.platform = SecureTFPlatform(PlatformConfig(n_nodes=n_nodes, seed=seed))
+        self.platform = SecureTFPlatform(
+            PlatformConfig(n_nodes=n_nodes, seed=seed, fencing=fencing)
+        )
         self.platform.user_attest_cas()
         self.session = session
         self.scoreboard = ReplicaScoreboard()
@@ -100,6 +103,12 @@ class ServingPlane:
             AdmissionController(TokenBucket(rate_limit, rate_burst)),
             policy=router_policy,
         )
+        if self.platform.epochs is not None:
+            # The routing epoch: replicas guard it (in the pool's
+            # handler); the router stamps it into every dispatch.
+            self.router.fence = self.platform.epochs.grant(
+                "router", holder=self.router_container.name
+            )
 
         self.pool.scale_out(initial_replicas)
         self.pool.watch()
@@ -122,6 +131,40 @@ class ServingPlane:
     def add_faults(self, plan: FaultPlan) -> None:
         """Compose a seeded chaos plan into the network's fault chain."""
         self.platform.network.faults.append(plan.inject)
+
+    def replace_router(self, router_policy: Optional[RouterPolicy] = None) -> FrontEndRouter:
+        """Router handoff, fenced: bump the routing epoch **before** the
+        replacement takes the address.
+
+        The old router object is returned still holding its (now stale)
+        lease — any dispatch it makes from here on is rejected by the
+        replica-side guards, which is the whole point: a partitioned
+        front end that the control plane has given up on can no longer
+        settle work through the pool.
+        """
+        old = self.router
+        lease = (
+            self.platform.epochs.grant("router", holder=f"{ROUTER_ADDRESS}-next")
+            if self.platform.epochs is not None
+            else None
+        )
+        # VIP flip: the well-known address moves to the replacement even
+        # if the old holder never acknowledged losing it.
+        if self.platform.network.is_registered(ROUTER_ADDRESS):
+            self.platform.network.unregister(ROUTER_ADDRESS)
+        control = self.platform.nodes[0]
+        self.router = FrontEndRouter(
+            self.platform.network,
+            control,
+            ROUTER_ADDRESS,
+            self.scoreboard,
+            old.admission,
+            policy=router_policy if router_policy is not None else old.policy,
+        )
+        self.router.fence = lease
+        if self.autoscaler is not None:
+            self.autoscaler.router = self.router
+        return old
 
     # -- traffic ---------------------------------------------------------
 

@@ -1,0 +1,98 @@
+"""Asymmetric (one-way) transient partitions."""
+
+import pytest
+
+from repro.cluster import Network, make_cluster
+from repro.cluster.faults import FaultPlan, TransientPartition
+from repro.cluster.rpc import RpcClient, RpcServer
+from repro.enclave.cost_model import DEFAULT_COST_MODEL as CM
+from repro.errors import RpcError
+
+
+@pytest.fixture
+def cluster(provisioning):
+    return make_cluster(2, CM, provisioning, seed=13)
+
+
+# -- leg semantics ---------------------------------------------------------
+
+
+def test_both_direction_severs_every_leg_touching_the_address():
+    p = TransientPartition("a", 0.0, 10.0, direction="both")
+    assert p.drops("a", "b", 5.0)
+    assert p.drops("b", "a", 5.0)
+    assert not p.drops("b", "c", 5.0)
+
+
+def test_inbound_partition_is_deaf_but_not_mute():
+    p = TransientPartition("a", 0.0, 10.0, direction="inbound")
+    assert p.drops("b", "a", 5.0)      # messages TO a die
+    assert not p.drops("a", "b", 5.0)  # a's own sends still flow
+
+
+def test_outbound_partition_is_mute_but_not_deaf():
+    p = TransientPartition("a", 0.0, 10.0, direction="outbound")
+    assert p.drops("a", "b", 5.0)      # messages FROM a die
+    assert not p.drops("b", "a", 5.0)  # a still hears the world
+
+
+def test_partition_window_is_half_open_and_heals_by_time():
+    p = TransientPartition("a", 1.0, 2.0, direction="inbound")
+    assert not p.drops("b", "a", 0.999)
+    assert p.drops("b", "a", 1.0)
+    assert not p.drops("b", "a", 2.0)  # end is exclusive: healed
+
+
+def test_unknown_direction_rejected():
+    with pytest.raises(ValueError):
+        TransientPartition("a", 0.0, 1.0, direction="sideways")
+
+
+# -- through the network ---------------------------------------------------
+
+
+def _echo(network, node, address):
+    server = RpcServer(network, address, node)
+    server.register("echo", lambda payload, peer: payload)
+    server.start()
+    return server
+
+
+def test_inbound_partition_drops_request_leg(cluster):
+    network = Network(CM)
+    _echo(network, cluster[0], "srv")
+    plan = FaultPlan(
+        1, partitions=[TransientPartition("srv", 0.0, 5.0, direction="inbound")]
+    )
+    network.faults.append(plan.inject)
+    client = RpcClient(network, "cli", cluster[1])
+    # The request leg (cli → srv) dies: the server never runs.
+    with pytest.raises(RpcError):
+        client.call("srv", "echo", b"x")
+    # Heal by time: advance past the window and the call succeeds.
+    for node in cluster:
+        node.clock.advance_to(6.0)
+    assert client.call("srv", "echo", b"x") == b"x"
+
+
+def test_outbound_partition_executes_but_loses_the_reply(cluster):
+    network = Network(CM)
+    served = []
+    server = RpcServer(network, "srv", cluster[0])
+
+    def handler(payload, peer):
+        served.append(payload)
+        return payload
+
+    server.register("echo", handler)
+    server.start()
+    plan = FaultPlan(
+        1, partitions=[TransientPartition("srv", 0.0, 5.0, direction="outbound")]
+    )
+    network.faults.append(plan.inject)
+    client = RpcClient(network, "cli", cluster[1])
+    # The nasty half: the server EXECUTES (request got through) but its
+    # reply vanishes — the caller sees failure for work that happened.
+    with pytest.raises(RpcError):
+        client.call("srv", "echo", b"x")
+    assert served == [b"x"]

@@ -16,6 +16,11 @@ def pytest_configure(config: pytest.Config) -> None:
         "markers",
         "serving: resilient serving-plane tests (select via -m serving; in tier 1)",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos_campaign: exhaustive fault-schedule sweeps over the "
+        "epoch-fenced control plane (tier 2; run via -m chaos_campaign)",
+    )
 
 from repro._sim import DeterministicRng, SimClock
 from repro.enclave.attestation import ProvisioningAuthority
