@@ -55,6 +55,7 @@ class CasPairStats:
     records_replicated: int = 0  # audit records mirrored
     quorum_acks: int = 0         # standby acknowledgements received
     failovers: int = 0           # promotions performed
+    epochs_replicated: int = 0   # epoch records double-written
 
 
 class ReplicatedCasPair:
@@ -175,6 +176,23 @@ class ReplicatedCasPair:
             body["owner"], body["path"], body["version"], body["digest"]
         )
         return b"ok"
+
+    # -- control-plane records ---------------------------------------------
+
+    def put_control_record(self, key: str, value: bytes) -> None:
+        """Write a control-plane record into *both* instances' databases.
+
+        Epoch records take this administrative path, not the primary's
+        replication stream: the epoch authority lives with the
+        orchestrator (which has a channel to each instance), and a bump
+        during failover — exactly when the record matters most — must
+        not depend on primary→standby reachability.  Double-writing from
+        the control plane keeps the registry durable on whichever
+        replica survives.
+        """
+        self.primary.db.put(key, value)
+        self.backup.db.put(key, value)
+        self.stats.epochs_replicated += 1
 
     # -- failure + promotion ----------------------------------------------
 

@@ -1,7 +1,7 @@
 """Campaign driver: sweep fault schedules, check invariants, verify replay.
 
 A campaign runs every schedule in a grid (by default the full
-:func:`~repro.chaos.schedule.default_campaign` — 216 schedules) under
+:func:`~repro.chaos.schedule.default_campaign` — 288 schedules) under
 one fencing setting, collecting per-schedule outcomes:
 
 - the family's invariant violations over the recorded history;

@@ -1,4 +1,4 @@
-"""Three leader-handoff scenario families, replayed under fault schedules.
+"""Leader-handoff scenario families, replayed under fault schedules.
 
 Each family drives one of the platform's leader-shaped protocols over
 the real event-heap network with a schedule's faults injected, records
@@ -26,6 +26,16 @@ what acceptors did, and checks the family's invariant set:
     superseded router retries an in-flight request after the handoff;
     without fencing the retry executes a second time on a replica the
     first execution never reached, breaking at-most-once.
+
+``sharded-ps``
+    Two weight shards sharing one durable checkpoint store, plus the
+    cross-shard commit barrier (an atomic version vector spanning both
+    shards' snapshot slots).  Shard 0 is lost mid-round; a straggler
+    worker still pushes to the zombie shard *and* the superseded
+    barrier coordinator retries its in-flight ``commit_vector`` after
+    the heal.  Without fencing the zombie clobbers its replacement's
+    checkpoint lineage and appends a stale barrier vector; with
+    fencing the store's per-shard-key guards veto both.
 
 Scenarios are **deterministic**: all randomness flows from the
 schedule's identity-derived seed, so a schedule replays byte-identically
@@ -69,6 +79,10 @@ from repro.tensor.arrays import encode_array_dict
 
 PS_ROLE = "ps"
 ROUTER_ROLE = "router"
+#: Sharded-PS family: one leadership role per weight shard, plus a
+#: coordinator role for the cross-shard commit barrier.
+SHARD_ROLES = ("ps-shard-0", "ps-shard-1")
+BARRIER_ROLE = "ps-barrier"
 
 #: Simulated seconds a transient partition stays up.
 PARTITION_WINDOW = 2.0
@@ -104,6 +118,12 @@ FAMILY_INVARIANTS: Dict[str, Tuple[str, ...]] = {
         "admitted-equals-terminal",
     ),
     "router-handoff": (
+        "at-most-once",
+        "single-writer-per-epoch",
+        "admitted-equals-terminal",
+    ),
+    "sharded-ps": (
+        "no-acked-write-loss",
         "at-most-once",
         "single-writer-per-epoch",
         "admitted-equals-terminal",
@@ -379,18 +399,19 @@ class _RecordingStore:
 
     def __init__(
         self, inner: InMemoryCheckpointStore, actor: str, history: History,
-        clock: SimClock,
+        clock: SimClock, role: str = PS_ROLE,
     ) -> None:
         self._inner = inner
         self._actor = actor
         self._history = history
         self._clock = clock
+        self._role = role
 
     def save(self, address: str, snapshot, epoch=None) -> None:
         self._inner.save(address, snapshot, epoch=epoch)
         self._history.record(
-            "commit", self._actor, f"ckpt/{snapshot.version}",
-            time=self._clock.now, epoch=epoch, role=PS_ROLE,
+            "commit", self._actor, f"ckpt/{address}/{snapshot.version}",
+            time=self._clock.now, epoch=epoch, role=self._role,
         )
 
     def load(self, address: str):
@@ -726,11 +747,230 @@ def _run_router_handoff(schedule: FaultSchedule, fencing: bool) -> ScenarioRun:
 
 
 # ----------------------------------------------------------------------
+# Family 4: sharded PS — shard restart racing the cross-shard barrier
+# ----------------------------------------------------------------------
+
+def _run_sharded_ps(schedule: FaultSchedule, fencing: bool) -> ScenarioRun:
+    """Two weight shards, one checkpoint store, one commit barrier.
+
+    Pushes alternate shards (digit ``i`` lands on shard ``i % 2``); the
+    barrier coordinator (riding shard 0's container) commits a version
+    vector after every completed pair.  The schedule's fault takes out
+    shard 0 mid-sequence; the replacement pod shares the crashed one's
+    store key and resumes its checkpoint lineage.  After the heal, two
+    zombies act: a straggler worker pushes to the old shard-0 pod, and
+    the superseded coordinator retries its in-flight barrier commit.
+    """
+    from repro.chaos.schedule import STEPS_PER_FAMILY
+
+    history = History()
+    scheduler = Scheduler()
+    rng = DeterministicRng(schedule.seed, label="chaos-sharded-ps")
+    provisioning = ProvisioningAuthority(rng.child("intel"))
+    nodes = make_cluster(
+        2, DEFAULT_COST_MODEL, provisioning, seed=schedule.seed, scheduler=scheduler
+    )
+    network = Network(DEFAULT_COST_MODEL, scheduler=scheduler)
+    plan = FaultPlan(
+        schedule.seed, spec=_storm_spec(schedule, ("sps0-a", "sps0-b", "sps1"))
+    )
+    network.faults.append(plan.inject)
+
+    store = InMemoryCheckpointStore()
+    epochs = EpochService() if fencing else None
+    if epochs is not None:
+        # Per-shard-key guards: each shard's snapshot slot fences on its
+        # own role's epoch, and the barrier checks every key's guard
+        # before appending a vector (all-or-nothing).
+        for k in (0, 1):
+            store.guards[f"sps{k}"] = epochs.make_guard(
+                SHARD_ROLES[k], name=f"sps{k}-checkpoint-store"
+            )
+
+    def install_shard(node, address: str, shard: int) -> ParameterServer:
+        ps = ParameterServer(
+            node,
+            address,
+            network,
+            learning_rate=1.0,
+            checkpoint_store=_RecordingStore(
+                store, address, history, node.clock, role=SHARD_ROLES[shard]
+            ),
+            store_key=f"sps{shard}",  # lineage shared across pods
+        )
+        orig_push = ps._handle_push
+        orig_commit = ps._server.on_committed
+        pending: List[str] = []
+
+        def wrapped_push(payload: bytes, peer) -> bytes:
+            body = encoding.decode(payload)
+            out = orig_push(payload, peer)
+            pending.append(str(body.get("push_id")))
+            return out
+
+        def committed() -> None:
+            # As in ps-restart: ``execute`` is recorded at the commit
+            # point, so a fenced checkpoint vetoes the dispatch's
+            # execution record along with its dedup entry.
+            try:
+                orig_commit()
+            except Exception:
+                pending.clear()
+                raise
+            while pending:
+                history.record(
+                    "execute", address, f"push/{pending.pop(0)}",
+                    time=node.clock.now,
+                )
+
+        ps._server.register("push", wrapped_push)
+        ps._server.on_committed = committed
+        return ps
+
+    ps0 = install_shard(nodes[0], "sps0-a", 0)
+    ps1 = install_shard(nodes[1], "sps1", 1)
+    if epochs is not None:
+        ps0.lease = epochs.grant(SHARD_ROLES[0], holder="sps0-a")
+        ps1.lease = epochs.grant(SHARD_ROLES[1], holder="sps1")
+    history.record("promote", "sps0-a", SHARD_ROLES[0])
+    history.record("promote", "sps1", SHARD_ROLES[1])
+    history.record("promote", "sps0-a", BARRIER_ROLE)
+    ps0.initialize({"w": np.zeros(1, dtype=np.float32)})
+    ps1.initialize({"w": np.zeros(1, dtype=np.float32)})
+
+    def commit_barrier(actor: str, shard0: ParameterServer, clock: SimClock) -> None:
+        """The coordinator's atomic cross-shard vector commit."""
+        vector = {"sps0": shard0.version, "sps1": ps1.version}
+        stamps = {
+            "sps0": shard0.lease.epoch if shard0.lease is not None else None,
+            "sps1": ps1.lease.epoch if ps1.lease is not None else None,
+        }
+        try:
+            seq = store.commit_vector(vector, epochs=stamps)
+        except FencedError:
+            history.record("fenced", actor, "barrier", time=clock.now)
+            return
+        history.record(
+            "commit", actor, f"barrier/{seq}", time=clock.now,
+            epoch=stamps["sps0"], role=BARRIER_ROLE,
+        )
+
+    once = RetryPolicy(max_attempts=1, deadline=None)
+    worker = RpcClient(network, "worker-0@node-1", nodes[1], retry=once)
+    straggler = RpcClient(network, "worker-1@node-1", nodes[1], retry=once)
+    control = RpcClient(network, "control@node-1", nodes[1], retry=once)
+
+    shard_addr = ["sps0-a", "sps1"]
+
+    def push(client: RpcClient, dst: str, push_id: str, digit: int) -> bool:
+        history.record("admit", "client", f"push/{push_id}",
+                       time=nodes[1].clock.now)
+        try:
+            client.call(dst, "push", _push_payload(push_id, digit))
+        except FencedError:
+            history.record("fenced", dst, f"push/{push_id}",
+                           time=nodes[1].clock.now)
+            history.record("terminal", "client", f"push/{push_id}",
+                           value="fenced", time=nodes[1].clock.now)
+            return False
+        except RpcError:
+            history.record("terminal", "client", f"push/{push_id}",
+                           value="gave-up", time=nodes[1].clock.now)
+            return False
+        history.record("ack", "client", f"push/{push_id}",
+                       time=nodes[1].clock.now)
+        history.record("terminal", "client", f"push/{push_id}",
+                       time=nodes[1].clock.now)
+        return True
+
+    step = schedule.crash_step
+    for i in range(step):
+        push(worker, shard_addr[i % 2], str(i), i)
+        if i % 2 == 1:
+            commit_barrier("sps0-a", ps0, nodes[0].clock)
+
+    t0 = max(nodes[0].clock.now, nodes[1].clock.now)
+    if schedule.is_crash:
+        ps0._server.abort()
+    else:
+        plan.partitions.append(
+            TransientPartition(
+                "sps0-a", t0, t0 + PARTITION_WINDOW,
+                direction=schedule.partition_direction,
+            )
+        )
+    # The push in flight when the fault hits (it targets whichever shard
+    # the alternation says — shard 1 stays healthy throughout).
+    push(worker, shard_addr[step % 2], str(step), step)
+
+    # Control plane: probe shard 0; on failure, fence-first replacement
+    # at a new pod address sharing the store key.
+    try:
+        control.call("sps0-a", "pull", b"")
+        probe_ok = True
+    except RpcError:
+        probe_ok = False
+    if not probe_ok:
+        lease_b = (
+            epochs.grant(SHARD_ROLES[0], holder="sps0-b")
+            if epochs is not None
+            else None
+        )
+        ps0_b = install_shard(nodes[1], "sps0-b", 0)
+        ps0_b.lease = lease_b
+        history.record("promote", "sps0-b", SHARD_ROLES[0])
+        history.record("promote", "sps0-b", BARRIER_ROLE)
+        shard_addr[0] = "sps0-b"
+        live_shard0 = ps0_b
+        coordinator = ("sps0-b", ps0_b, nodes[1].clock)
+    else:  # pragma: no cover - the fault always takes the probe down
+        live_shard0 = ps0
+        coordinator = ("sps0-a", ps0, nodes[0].clock)
+
+    for j in range(step + 1, STEPS_PER_FAMILY):
+        push(worker, shard_addr[j % 2], str(j), j)
+        if j % 2 == 1:
+            commit_barrier(*coordinator)
+
+    if not schedule.is_crash:
+        # Heal, then both zombies fire: the straggler worker pushes to
+        # the superseded shard-0 pod (its checkpoint save contends on
+        # the shared store key), and the superseded coordinator retries
+        # its in-flight barrier vector with its stale epoch stamps.
+        t_heal = t0 + PARTITION_WINDOW + 0.5
+        for node in nodes:
+            node.clock.advance_to(t_heal)
+        push(straggler, "sps0-a", "straggler", STEPS_PER_FAMILY)
+        commit_barrier("sps0-a", ps0, nodes[0].clock)
+
+    # Final durability readout: recover each shard's lineage from the
+    # shared store and decompose its weight into the digit set (shard k
+    # owns digits congruent to k; the straggler digit rides shard 0).
+    for shard, key in enumerate(("sps0", "sps1")):
+        final = store.load(key)
+        if final is None:
+            continue
+        total = int(round(float(final.weights["w"][0])))
+        digits = [d for d in range(STEPS_PER_FAMILY) if d % 2 == shard]
+        if shard == 0:
+            digits.append(STEPS_PER_FAMILY)
+        for digit in digits:
+            push_id = (
+                "straggler" if digit == STEPS_PER_FAMILY else str(digit)
+            )
+            if (total // 3 ** digit) % 3 == 1:
+                history.record("durable", "readout", f"push/{push_id}")
+
+    return _finish(schedule, fencing, history, plan, epochs)
+
+
+# ----------------------------------------------------------------------
 
 _FAMILY_RUNNERS: Dict[str, Callable[[FaultSchedule, bool], ScenarioRun]] = {
     "cas-failover": _run_cas_failover,
     "ps-restart": _run_ps_restart,
     "router-handoff": _run_router_handoff,
+    "sharded-ps": _run_sharded_ps,
 }
 
 
@@ -744,10 +984,12 @@ def run_schedule(schedule: FaultSchedule, fencing: bool = True) -> ScenarioRun:
 
 
 __all__ = [
+    "BARRIER_ROLE",
     "FAMILY_INVARIANTS",
     "PARTITION_WINDOW",
     "PS_ROLE",
     "ROUTER_ROLE",
+    "SHARD_ROLES",
     "ScenarioRun",
     "run_schedule",
 ]

@@ -3,7 +3,8 @@
 A :class:`FaultSchedule` is one point in the campaign's fault grid:
 
 - **family** — which leader-shaped protocol is under test
-  (``cas-failover``, ``ps-restart``, ``router-handoff``);
+  (``cas-failover``, ``ps-restart``, ``router-handoff``,
+  ``sharded-ps``);
 - **crash_step** — the protocol step at which the leader is lost
   (crashed or partitioned away), sweeping the loss across every point
   of the write sequence;
@@ -42,7 +43,12 @@ FAULT_KINDS: Tuple[str, ...] = (
 #: Protocol steps swept per family (crash_step in [0, STEPS_PER_FAMILY)).
 STEPS_PER_FAMILY = 9
 
-FAMILIES: Tuple[str, ...] = ("cas-failover", "ps-restart", "router-handoff")
+FAMILIES: Tuple[str, ...] = (
+    "cas-failover",
+    "ps-restart",
+    "router-handoff",
+    "sharded-ps",
+)
 
 
 @dataclass(frozen=True)
@@ -102,7 +108,7 @@ def enumerate_schedules(
 
 def default_campaign() -> Tuple[FaultSchedule, ...]:
     """The standard sweep: every family x step x kind x storm —
-    3 * 9 * 4 * 2 = 216 distinct schedules (the >= 200 floor the
+    4 * 9 * 4 * 2 = 288 distinct schedules (the >= 200 floor the
     acceptance bench asserts)."""
     return tuple(enumerate_schedules())
 

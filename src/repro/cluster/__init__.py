@@ -52,7 +52,14 @@ from repro.cluster.parameter_server import (
     ParameterServer,
     PSCheckpoint,
     ShardedParameterService,
+    ShardedSyncTrainer,
     SyncTrainer,
+)
+from repro.cluster.sharding import (
+    GradientQuantizer,
+    ShardMap,
+    ShardPiece,
+    ShardTrainingStats,
 )
 from repro.cluster.worker import TrainingWorker
 
@@ -87,6 +94,11 @@ __all__ = [
     "PSCheckpoint",
     "InMemoryCheckpointStore",
     "ShardedParameterService",
+    "ShardedSyncTrainer",
+    "GradientQuantizer",
+    "ShardMap",
+    "ShardPiece",
+    "ShardTrainingStats",
     "SyncTrainer",
     "AsyncTrainer",
     "TrainingWorker",

@@ -252,16 +252,62 @@ class EpochService:
         self.events.append(f"grant {role} epoch={epoch} holder={holder}")
         return lease
 
+    def restore(self, epochs: Dict[str, int]) -> None:
+        """Rebuild authority state from persisted ``epoch/<role>`` records.
+
+        Used when the control plane itself restarts (or fails over to
+        the CAS standby's copy of the registry): epochs only ever move
+        *forward* — a persisted record older than what this service
+        already knows is ignored, so a stale replica of the registry can
+        never un-fence a zombie.  Registered guards are advanced to the
+        restored epochs, and a bump after restore is strictly greater
+        than anything ever granted.
+        """
+        for role in sorted(epochs):
+            epoch = int(epochs[role])
+            if epoch <= self._epochs.get(role, 0):
+                continue
+            self._epochs[role] = epoch
+            for guard in self._guards.get(role, []):
+                guard.advance(epoch)
+            self.events.append(f"restore {role} -> {epoch}")
+
     def trace_bytes(self) -> bytes:
         """Canonical grant/bump log (compared across seeded runs)."""
         return "\n".join(self.events).encode()
 
 
+#: Key prefix epoch records use in the CAS secrets database.
+EPOCH_KEY_PREFIX = "epoch/"
+
+
+def load_epochs(db) -> Dict[str, int]:
+    """Read persisted epoch records out of a CAS secrets database.
+
+    Duck-typed over anything with ``keys()``/``get()`` returning bytes
+    values, so the caller can hand in whichever replica survived.
+    Malformed records are skipped (a half-written value must not brick
+    the authority's restart).
+    """
+    epochs: Dict[str, int] = {}
+    for key in db.keys():
+        if not key.startswith(EPOCH_KEY_PREFIX):
+            continue
+        value = db.get(key)
+        try:
+            epochs[key[len(EPOCH_KEY_PREFIX):]] = int(bytes(value).decode())
+        except (TypeError, ValueError):
+            continue
+    return epochs
+
+
 __all__ = [
+    "EPOCH_KEY_PREFIX",
     "EpochBacking",
     "EpochGuard",
     "EpochLease",
     "EpochService",
     "FencingStats",
     "FenceToken",
+    "load_epochs",
 ]

@@ -159,13 +159,15 @@ class Orchestrator:
         )
 
     def restart(
-        self, spec: ContainerSpec, container: Container
+        self, spec: ContainerSpec, container: Container, reason: str = ""
     ) -> Optional[Container]:
         """Replace one failed replica, consuming its lineage's budget.
 
         Returns the replacement (attested and provisioned via the
         ``on_start`` hooks), or ``None`` when the lineage is out of
-        budget and the replica was quarantined instead.
+        budget and the replica was quarantined instead.  ``reason`` (a
+        short tag like ``ps-shard-2``) is recorded in the event log so
+        a sharded service's restarts are attributable per shard.
         """
         if container.state is not ContainerState.FAILED:
             raise ClusterError(
@@ -192,6 +194,7 @@ class Orchestrator:
         self.events.append(
             f"restart {container.name} -> {replacement.name} "
             f"budget={self.restart_budget - used - 1}"
+            + (f" reason={reason}" if reason else "")
         )
         return replacement
 

@@ -32,6 +32,7 @@ from repro._sim import probe
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.rpc import (
+    PendingRpc,
     RpcClient,
     RpcServer,
     SecureConnection,
@@ -39,6 +40,7 @@ from repro.cluster.rpc import (
     SecureRpcServer,
 )
 from repro.cluster.retry import RetryPolicy
+from repro.cluster.sharding import GradientQuantizer, ShardMap, ShardTrainingStats
 from repro.cluster.worker import TrainingWorker
 from repro.crypto import encoding
 from repro.errors import (
@@ -48,6 +50,7 @@ from repro.errors import (
     RpcTransportError,
     StaleConnectionError,
 )
+from repro.runtime import stats_registry
 from repro.runtime.net_shield import NetworkShield
 from repro.runtime.syscall import SyscallInterface
 from repro.tensor.arrays import decode_array_dict, encode_array_dict
@@ -87,17 +90,60 @@ class InMemoryCheckpointStore:
         #: work by overwriting the replacement's checkpoints.  A fenced
         #: store rejects saves stamped with a stale epoch.
         self.guard = None
+        #: Per-store-key guards for the sharded plane: each shard role
+        #: (``ps-0`` … ``ps-{N-1}``) fences its own snapshot slot, so a
+        #: zombie shard cannot clobber its replacement while the other
+        #: shards' epochs are unaffected.  Falls back to :attr:`guard`.
+        self.guards: Dict[str, object] = {}
+        #: Cross-shard commit barrier: an append-only sequence of
+        #: version vectors (store key -> checkpointed version).  A
+        #: vector is appended only after *every* shard's snapshot for
+        #: the round landed, so the latest vector always names a
+        #: mutually-consistent resume point — a crash between per-shard
+        #: saves leaves the previous vector intact (atomicity).
+        self._vectors: List[Dict[str, int]] = []
+
+    def _guard_for(self, address: str):
+        return self.guards.get(address, self.guard)
 
     def save(
         self, address: str, snapshot: PSCheckpoint, epoch: Optional[int] = None
     ) -> None:
-        if self.guard is not None:
-            self.guard.check(epoch)
+        guard = self._guard_for(address)
+        if guard is not None:
+            guard.check(epoch)
         self._snapshots[address] = snapshot
         self.saves += 1
 
     def load(self, address: str) -> Optional[PSCheckpoint]:
         return self._snapshots.get(address)
+
+    def commit_vector(
+        self,
+        vector: Dict[str, int],
+        epochs: Optional[Dict[str, Optional[int]]] = None,
+    ) -> int:
+        """Atomically commit a cross-shard version vector.
+
+        Every shard's guard must admit its stamped epoch *before* the
+        vector is appended — a barrier half-written by a zombie
+        coordinator is rejected whole, never partially applied.
+        Returns the barrier sequence number (1-based).
+        """
+        for key in sorted(vector):
+            guard = self._guard_for(key)
+            if guard is not None:
+                guard.check(epochs.get(key) if epochs else None)
+        self._vectors.append(dict(vector))
+        return len(self._vectors)
+
+    def latest_vector(self) -> Optional[Dict[str, int]]:
+        """The most recent committed cross-shard version vector."""
+        return dict(self._vectors[-1]) if self._vectors else None
+
+    @property
+    def barrier_commits(self) -> int:
+        return len(self._vectors)
 
 
 class ParameterServer:
@@ -114,11 +160,21 @@ class ParameterServer:
         checkpoint_store: Optional[InMemoryCheckpointStore] = None,
         syscalls: Optional["SyscallInterface"] = None,
         store_key: Optional[str] = None,
+        quantizer: Optional[GradientQuantizer] = None,
     ) -> None:
         if learning_rate <= 0:
             raise ClusterError(f"learning rate must be positive: {learning_rate}")
         self.node = node
         self.address = address
+        #: Decodes ``q{bits}``-encoded pushes; ``None`` accepts only
+        #: float32 gradients.  Must match the workers' quantizer.
+        self.quantizer = quantizer
+        #: Per-shard training-plane counters, registered under this
+        #: node's clock so ``collect_metrics`` finds them.
+        self.shard_stats = ShardTrainingStats(
+            shard=store_key if store_key is not None else address
+        )
+        stats_registry.register_training_stats(self.shard_stats, node.clock)
         #: Logical service identity in the checkpoint store.  Defaults to
         #: the network address; a replacement PS launched at a *new* pod
         #: address passes the crashed one's key so it resumes the same
@@ -193,6 +249,7 @@ class ParameterServer:
         self._check_peer(peer)
         if not self._weights:
             raise ClusterError("parameter server has no initialized weights")
+        self.shard_stats.pulls += 1
         return encoding.encode(
             {"version": self._version, "weights": encode_array_dict(self._weights)}
         )
@@ -201,6 +258,18 @@ class ParameterServer:
         self._check_peer(peer)
         body = encoding.decode(payload)
         gradients = decode_array_dict(body["gradients"])
+        wire_bytes = len(body["gradients"])
+        if str(body.get("encoding", "")).startswith("q"):
+            if self.quantizer is None:
+                raise ClusterError(
+                    "received quantized gradients but no quantizer is configured"
+                )
+            gradients = self.quantizer.dequantize(gradients, body.get("scales", {}))
+            self.shard_stats.quantized_pushes += 1
+            float_bytes = sum(4 * g.size for g in gradients.values())
+            self.shard_stats.gradient_bytes_saved += max(0, float_bytes - wire_bytes)
+        self.shard_stats.pushes += 1
+        self.shard_stats.gradient_bytes_in += wire_bytes
         # Apply SGD on the PS node's clock (this is real PS work).
         flops = 0
         for name, grad in gradients.items():
@@ -463,57 +532,456 @@ class ShardedParameterService:
     """Weights partitioned across several parameter servers (Fig. 2).
 
     Distributed TensorFlow shards variables across PS tasks so no single
-    server's memory or network link bottlenecks the model.  Variables
-    are assigned round-robin by sorted name; pulls/pushes fan out to the
-    owning shard.
+    server's memory or network link bottlenecks the model.  The
+    partition is a deterministic :class:`~repro.cluster.sharding.ShardMap`
+    (byte-balanced, oversized tensors row-split), so every worker and
+    every restarted shard derives the identical assignment.  The service
+    also coordinates the **cross-shard checkpoint commit barrier**: after
+    each round it appends a version vector to the shared store, and a
+    shard restarted by the orchestrator is verified against the latest
+    committed vector before it serves.
     """
 
-    def __init__(self, shards: List[ParameterServer]) -> None:
+    def __init__(
+        self,
+        shards: List[ParameterServer],
+        shard_map: Optional[ShardMap] = None,
+        barrier_store: Optional[InMemoryCheckpointStore] = None,
+    ) -> None:
         if not shards:
             raise ClusterError("sharded service needs at least one PS")
-        self._shards = shards
-        self._assignment: Dict[str, ParameterServer] = {}
+        self._shards = list(shards)
+        self.shard_map = shard_map
+        self.barrier_store = barrier_store
 
     @property
     def shards(self) -> List[ParameterServer]:
         return list(self._shards)
 
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard(self, index: int) -> ParameterServer:
+        return self._shards[index]
+
+    def replace_shard(self, index: int, ps: ParameterServer) -> None:
+        """Swap in a restarted shard (same store key, new container)."""
+        self._shards[index] = ps
+
+    @property
+    def active_shards(self) -> List[int]:
+        """Shard indices that own weights (tail shards idle when the
+        model has fewer pieces than shards)."""
+        if self.shard_map is None:
+            return list(range(len(self._shards)))
+        return self.shard_map.active_shards
+
     def initialize(self, weights: Dict[str, np.ndarray]) -> None:
-        partitions: List[Dict[str, np.ndarray]] = [
-            {} for _ in self._shards
-        ]
-        for index, name in enumerate(sorted(weights)):
-            shard = self._shards[index % len(self._shards)]
-            self._assignment[name] = shard
-            partitions[index % len(self._shards)][name] = weights[name]
-        for shard, partition in zip(self._shards, partitions):
-            shard.initialize(partition)
+        if self.shard_map is None:
+            self.shard_map = ShardMap.build(weights, len(self._shards))
+        for index, partition in enumerate(self.shard_map.partition(weights)):
+            if partition:
+                self._shards[index].initialize(partition)
 
     def shard_of(self, name: str) -> ParameterServer:
-        if name not in self._assignment:
-            raise ClusterError(f"no shard owns weight {name!r}")
-        return self._assignment[name]
+        """The shard owning ``name`` (its first slice, if row-split)."""
+        if self.shard_map is None:
+            raise ClusterError("service is not initialized")
+        return self._shards[self.shard_map.shards_of(name)[0]]
 
     @property
     def weights(self) -> Dict[str, np.ndarray]:
-        merged: Dict[str, np.ndarray] = {}
-        for shard in self._shards:
-            merged.update(shard.weights)
-        return merged
+        if self.shard_map is None:
+            raise ClusterError("service is not initialized")
+        parts: Dict[str, np.ndarray] = {}
+        for index in self.active_shards:
+            parts.update(self._shards[index].weights)
+        return self.shard_map.merge(parts)
 
     def partition_gradients(
         self, gradients: Dict[str, np.ndarray]
     ) -> Dict[str, Dict[str, np.ndarray]]:
-        """Group a gradient dict by owning shard address."""
+        """Group a gradient dict by owning shard address (piece-keyed:
+        a row-split variable appears as ``var#start:stop`` slices)."""
+        if self.shard_map is None:
+            raise ClusterError("service is not initialized")
         grouped: Dict[str, Dict[str, np.ndarray]] = {}
-        for name, grad in gradients.items():
-            address = self.shard_of(name).address
-            grouped.setdefault(address, {})[name] = grad
+        for index, part in enumerate(self.shard_map.partition(gradients)):
+            if part:
+                grouped.setdefault(self._shards[index].address, {}).update(part)
         return grouped
+
+    def commit_barrier(self) -> Optional[int]:
+        """Commit the round's cross-shard version vector (if a shared
+        durable store is attached and every shard has checkpointed)."""
+        store = self.barrier_store
+        if store is None or self.shard_map is None:
+            return None
+        vector: Dict[str, int] = {}
+        epochs: Dict[str, Optional[int]] = {}
+        for index in self.active_shards:
+            ps = self._shards[index]
+            if ps._checkpointed_version < 0:
+                return None  # this round has no durable snapshot yet
+            vector[ps.store_key] = ps._checkpointed_version
+            epochs[ps.store_key] = ps.lease.epoch if ps.lease is not None else None
+        seq = store.commit_vector(vector, epochs)
+        coordinator = self._shards[self.active_shards[0]]
+        coordinator.shard_stats.barrier_commits += 1
+        return seq
+
+    def verify_resume(self, index: int) -> None:
+        """Check a restarted shard against the latest barrier vector: a
+        restored snapshot *behind* the committed vector means durable
+        state was lost — refuse to serve an inconsistent lineage."""
+        store = self.barrier_store
+        if store is None:
+            return
+        vector = store.latest_vector()
+        if vector is None:
+            return
+        ps = self._shards[index]
+        committed = vector.get(ps.store_key)
+        if committed is not None and ps._checkpointed_version < committed:
+            raise ClusterError(
+                f"shard {ps.store_key!r} resumed at version "
+                f"{ps._checkpointed_version} behind committed barrier "
+                f"{committed}"
+            )
 
     def stop(self) -> None:
         for shard in self._shards:
             shard.stop()
+
+
+class ShardedSyncTrainer:
+    """Synchronous data-parallel rounds against N weight shards.
+
+    The round structure matches :class:`SyncTrainer` (pull, compute,
+    push, barrier), but every PS interaction **fans out per shard**:
+    the send halves of a worker's shard calls are issued back-to-back
+    on its clock via ``begin_call`` (overlapped transfers riding the
+    async syscall ring), then settled as heap events in shard order.
+    Pushes stay serialized *across workers* — worker *i*'s fan-out
+    settles before worker *i+1* issues — so each shard applies updates
+    in worker order and the final weights are byte-identical run to
+    run, chaos or not.  An optional :class:`GradientQuantizer`
+    compresses push payloads (and their declared wire sizes, which is
+    what the shield crypto and syscall ring charge for).
+    """
+
+    #: Shard-level recovery attempts per call (beyond in-connection retries).
+    MAX_RECOVERIES_PER_CALL = 3
+
+    def __init__(
+        self,
+        network: Network,
+        service: ShardedParameterService,
+        workers: List[TrainingWorker],
+        retry: Optional[RetryPolicy] = None,
+        recovery: Optional[object] = None,
+        quantizer: Optional[GradientQuantizer] = None,
+    ) -> None:
+        if not workers:
+            raise ClusterError("training needs at least one worker")
+        self._network = network
+        self._service = service
+        self._workers = workers
+        self._retry = retry
+        self._recovery = recovery
+        self._quantizer = quantizer
+        # One session per (worker, shard address): secure record layers
+        # are per-connection streams, so concurrent fan-out to distinct
+        # shards never reorders a single session's records.
+        self._connections: Dict[tuple, Union[SecureConnection, RpcClient]] = {}
+
+    # -- connections -----------------------------------------------------
+
+    def _connection(self, worker: TrainingWorker, ps: ParameterServer):
+        key = (worker.name, ps.address)
+        if key in self._connections:
+            return self._connections[key]
+        if worker.shield is not None:
+            client = SecureRpcClient(
+                self._network,
+                worker.address,
+                worker.node,
+                worker.shield,
+                retry=self._retry,
+            )
+            conn: Union[SecureConnection, RpcClient] = client.connect(
+                ps.address, expected_server=None
+            )
+        else:
+            conn = _PlainConnection(
+                RpcClient(
+                    self._network, worker.address, worker.node, retry=self._retry
+                ),
+                ps.address,
+            )
+        self._connections[key] = conn
+        return conn
+
+    def _drop_connections(self, worker: Optional[TrainingWorker] = None,
+                          address: Optional[str] = None) -> None:
+        for key in list(self._connections):
+            if worker is not None and key[0] != worker.name:
+                continue
+            if address is not None and key[1] != address:
+                continue
+            del self._connections[key]
+
+    # -- recovery hooks --------------------------------------------------
+
+    def _ensure_alive(self, slot: int) -> TrainingWorker:
+        worker = self._workers[slot]
+        if self._recovery is None or self._recovery.worker_ok(worker):
+            return worker
+        replacement = self._recovery.replace_worker(worker)
+        self._drop_connections(worker=worker)
+        self._workers[slot] = replacement
+        return replacement
+
+    def _recover_shard(self, index: int) -> None:
+        """Replace a dead shard via the supervisor (fence-first)."""
+        if self._recovery is None:
+            raise ClusterError(f"shard {index} is down and no recovery is wired")
+        old = self._service.shard(index)
+        if not self._recovery.shard_ok(index):
+            replacement = self._recovery.recover_shard(index)
+            if replacement is None:
+                raise ClusterError(f"shard {index} could not be recovered")
+            self._service.replace_shard(index, replacement)
+            self._service.verify_resume(index)
+            for conn in self._connections.values():
+                conn._client.reset_breaker(replacement.address)
+        self._drop_connections(address=old.address)
+
+    def _shard_call(
+        self,
+        worker: TrainingWorker,
+        index: int,
+        method: str,
+        payload: bytes,
+        declared_request: Optional[int] = None,
+        declared_response: Optional[int] = None,
+    ) -> bytes:
+        """One blocking shard call, recovering a crashed shard between
+        attempts (the sequential fallback under the fan-out)."""
+        recoveries = 0
+        while True:
+            ps = self._service.shard(index)
+            conn = self._connection(worker, ps)
+            try:
+                return conn.call(
+                    method,
+                    payload,
+                    declared_request=declared_request,
+                    declared_response=declared_response,
+                )
+            except (RpcTransportError, StaleConnectionError, CircuitOpenError):
+                if self._recovery is None:
+                    raise
+                recoveries += 1
+                if recoveries > self.MAX_RECOVERIES_PER_CALL:
+                    raise
+                self._recover_shard(index)
+
+    def _fanout(
+        self,
+        worker: TrainingWorker,
+        requests: List[tuple],
+    ) -> Dict[int, bytes]:
+        """Issue every shard call's send half now, settle in shard order.
+
+        ``requests`` holds ``(shard_index, method, payload,
+        declared_request, declared_response)``.  All send halves run at
+        the worker's current clock (overlapped transfers); settling
+        drives the heap to each reply.  A shard whose optimistic
+        attempt *and* executor retries fail falls back to the blocking
+        recovery path.
+        """
+        pending: List[tuple] = []
+        for index, method, payload, dreq, dresp in requests:
+            ps = self._service.shard(index)
+            conn = self._connection(worker, ps)
+            handle: Optional[PendingRpc]
+            try:
+                handle = conn.begin_call(
+                    method, payload,
+                    declared_request=dreq, declared_response=dresp,
+                )
+            except (RpcTransportError, StaleConnectionError, CircuitOpenError):
+                handle = None
+            pending.append((index, method, payload, dreq, dresp, handle))
+
+        results: Dict[int, bytes] = {}
+        for index, method, payload, dreq, dresp, handle in pending:
+            if handle is not None:
+                try:
+                    results[index] = handle.settle()
+                    continue
+                except (RpcTransportError, StaleConnectionError, CircuitOpenError):
+                    pass
+            results[index] = self._shard_call(
+                worker, index, method, payload,
+                declared_request=dreq, declared_response=dresp,
+            )
+        return results
+
+    # -- training --------------------------------------------------------
+
+    def _declared_sizes(self, worker: TrainingWorker) -> Dict[int, tuple]:
+        """Per-shard (pull, push) declared wire sizes: the shard's byte
+        share scaled to the declared model, pushes shrunk by the
+        quantizer's lattice width."""
+        scale = worker.declared_model_bytes / max(
+            1, sum(self._service.shard_map.shard_nbytes())
+        )
+        declared: Dict[int, tuple] = {}
+        for index in self._service.active_shards:
+            nbytes = self._service.shard_map.shard_nbytes()[index]
+            pull = max(1, int(nbytes * scale))
+            if self._quantizer is None:
+                push = pull
+            else:
+                push = self._quantizer.declared_bytes(
+                    pull, len(self._service.shard_map.keys_on(index))
+                )
+            declared[index] = (pull, push)
+        return declared
+
+    def _encode_push(
+        self, gradients: Dict[str, np.ndarray], declared_flops: int
+    ) -> bytes:
+        if self._quantizer is None:
+            return encoding.encode(
+                {
+                    "gradients": encode_array_dict(gradients),
+                    "declared_flops": declared_flops,
+                }
+            )
+        quantized, scales = self._quantizer.quantize(gradients)
+        return encoding.encode(
+            {
+                "gradients": encode_array_dict(quantized),
+                "scales": scales,
+                "encoding": f"q{self._quantizer.bits}",
+                "declared_flops": declared_flops,
+            }
+        )
+
+    def train(self, batches: List, steps: Optional[int] = None) -> TrainingResult:
+        """Run synchronous sharded rounds until batches run out."""
+        if self._service.shard_map is None:
+            raise ClusterError("service must be initialized before training")
+        total_steps = min(steps, len(batches)) if steps is not None else len(batches)
+        shard_clocks = [s.node.clock for s in self._service.shards]
+        clocks = [w.node.clock for w in self._workers] + shard_clocks
+        start = max(clock.now for clock in clocks)
+        events_before = self._network.scheduler.events_processed
+        losses: List[float] = []
+
+        declared = self._declared_sizes(self._workers[0])
+        active = self._service.active_shards
+
+        index = 0
+        round_index = 0
+        while index < total_steps:
+            if self._recovery is not None:
+                self._recovery.tick(round_index)
+            round_workers = []
+            for slot in range(len(self._workers)):
+                if index >= total_steps:
+                    break
+                round_workers.append((self._ensure_alive(slot), batches[index]))
+                index += 1
+            round_index += 1
+
+            # Phase 1: each worker pulls every shard's slice — the send
+            # halves are issued back-to-back (overlapped transfers), the
+            # replies settle as heap events, and the slices merge into
+            # the full model.
+            for worker, _ in round_workers:
+                with probe.span(
+                    worker.node.clock,
+                    "train.pull",
+                    category="training",
+                    attrs={"worker": worker.name, "round": round_index},
+                ):
+                    pulls = self._fanout(
+                        worker,
+                        [
+                            (k, "pull", b"", None, declared[k][0])
+                            for k in active
+                        ],
+                    )
+                    parts: Dict[str, np.ndarray] = {}
+                    for k in active:
+                        pulled = encoding.decode(pulls[k])
+                        parts.update(decode_array_dict(pulled["weights"]))
+                    worker.load_weights(self._service.shard_map.merge(parts))
+
+            # Phase 2: gradient computation on each worker's own clock.
+            round_grads = []
+            for worker, (images, labels) in round_workers:
+                with probe.span(
+                    worker.node.clock,
+                    "train.compute",
+                    category="training",
+                    attrs={"worker": worker.name, "round": round_index},
+                ):
+                    gradients, loss = worker.compute_gradients(images, labels)
+                losses.append(loss)
+                round_grads.append((worker, gradients))
+
+            # Phase 3: pushes fan out per shard but stay serialized
+            # across workers — each shard applies updates in worker
+            # order, keeping float accumulation (and the final weights)
+            # identical run to run regardless of fault timing.
+            for worker, gradients in round_grads:
+                groups = self._service.shard_map.partition(gradients)
+                requests = []
+                for k in active:
+                    if not groups[k]:
+                        continue
+                    requests.append(
+                        (
+                            k,
+                            "push",
+                            self._encode_push(
+                                groups[k], 2 * declared[k][0] // 4
+                            ),
+                            declared[k][1],
+                            None,
+                        )
+                    )
+                with probe.span(
+                    worker.node.clock,
+                    "train.push",
+                    category="training",
+                    attrs={"worker": worker.name, "round": round_index},
+                ):
+                    self._fanout(worker, requests)
+
+            # Round end: commit the cross-shard checkpoint barrier, then
+            # the synchronous-round clock barrier.
+            self._service.commit_barrier()
+            shard_clocks = [s.node.clock for s in self._service.shards]
+            clocks = [w.node.clock for w in self._workers] + shard_clocks
+            self._network.barrier(clocks)
+
+        wall = max(clock.now for clock in clocks) - start
+        return TrainingResult(
+            steps=total_steps,
+            final_loss=float(np.mean(losses[-len(self._workers):]))
+            if losses
+            else float("nan"),
+            wall_clock=wall,
+            per_worker_time={w.name: w.node.clock.now for w in self._workers},
+            simulated_events=self._network.scheduler.events_processed - events_before,
+        )
 
 
 class AsyncTrainer:
@@ -617,6 +1085,21 @@ class _PlainConnection:
         declared_response: Optional[int] = None,
     ) -> bytes:
         return self._client.call(
+            self._dst,
+            method,
+            payload,
+            declared_request=declared_request,
+            declared_response=declared_response,
+        )
+
+    def begin_call(
+        self,
+        method: str,
+        payload: bytes,
+        declared_request: Optional[int] = None,
+        declared_response: Optional[int] = None,
+    ) -> PendingRpc:
+        return self._client.begin_call(
             self._dst,
             method,
             payload,

@@ -115,6 +115,23 @@ def _open_envelope(data: bytes, expected: Optional[str] = None) -> dict:
     return msg
 
 
+class PendingRpc:
+    """One in-flight call whose send half has already run.
+
+    Returned by the ``begin_call`` methods: the optimistic first attempt
+    is parked on the event heap; :meth:`settle` drives the heap until
+    the reply lands (or falls back to the client's synchronous retry
+    path, resending the **same** envelope under the same call ID).
+    Settling is idempotent-unsafe by design — call it exactly once.
+    """
+
+    def __init__(self, settle) -> None:
+        self._settle = settle
+
+    def settle(self) -> bytes:
+        return self._settle()
+
+
 class RpcServer:
     """Cleartext RPC endpoint with an at-most-once dedup window."""
 
@@ -414,6 +431,73 @@ class RpcClient:
                 deadline=deadline,
             )
 
+    def begin_call(
+        self,
+        dst: str,
+        method: str,
+        payload: bytes,
+        declared_request: Optional[int] = None,
+        declared_response: Optional[int] = None,
+    ) -> "PendingRpc":
+        """Issue the send half of a call now; settle the reply later.
+
+        The envelope (and its dedup call ID) is built exactly once: the
+        optimistic first attempt rides the event heap as an async
+        completion, and if that attempt fails in a retryable way,
+        :meth:`PendingRpc.settle` falls back to the executor's
+        synchronous retry loop **resending the same envelope** — so the
+        server's at-most-once window sees one call ID however the
+        attempt was carried.  Several pending calls issued back-to-back
+        share the caller's send timestamp, overlapping their transfers
+        (this is how sharded training fans out per-shard traffic).
+        """
+        trace = _trace_fields(probe.ACTIVE, self._node.clock)
+        stamp = {"fence": self.fence.stamp()} if self.fence is not None else {}
+        ids = {"call_id": self.next_call_id()} if self._executor is not None else {}
+        request = _envelope(
+            "call", method=method, payload=payload, **ids, **trace, **stamp
+        )
+        completion = None
+        first_error: Optional[Exception] = None
+        try:
+            self._syscalls.socket_send(
+                declared_request if declared_request is not None else len(request)
+            )
+            completion = self._network.call_async(
+                self.address,
+                self._node.clock,
+                dst,
+                request,
+                declared_request=declared_request,
+                declared_response=declared_response,
+            )
+        except (RpcTransportError, StaleConnectionError) as exc:
+            first_error = exc
+
+        def settle() -> bytes:
+            if completion is not None:
+                try:
+                    raw = self._network.scheduler.run_until(completion)
+                    self._syscalls.socket_recv(
+                        declared_response
+                        if declared_response is not None
+                        else len(raw)
+                    )
+                    return _open_envelope(raw, "reply")["payload"]
+                except (RpcTransportError, StaleConnectionError):
+                    if self._executor is None:
+                        raise
+            elif self._executor is None:
+                raise first_error  # type: ignore[misc]
+            return self._executor.run(
+                dst,
+                lambda: self._roundtrip(
+                    dst, request, declared_request, declared_response
+                ),
+            )
+
+        return PendingRpc(settle)
+
 
 class SecureRpcServer(RpcServer):
     """RPC endpoint behind the network shield (TLS sessions per client)."""
@@ -679,6 +763,116 @@ class SecureConnection:
                 raise
 
         return client._executor.run(self._dst, attempt, deadline=deadline)
+
+    def begin_call(
+        self,
+        method: str,
+        payload: bytes,
+        declared_request: Optional[int] = None,
+        declared_response: Optional[int] = None,
+    ) -> PendingRpc:
+        """Issue the send half of a secure call; settle the reply later.
+
+        The inner envelope is protected and written to the wire now (on
+        this caller's clock), so back-to-back ``begin_call``s to
+        different shards overlap their transfers.  Each secure session
+        carries at most one record in flight here, which keeps the
+        record layer's sequence numbers aligned however the replies
+        interleave on the heap.  On a retryable failure,
+        :meth:`PendingRpc.settle` re-handshakes and resends the same
+        inner envelope (same call ID) through the executor, exactly as
+        :meth:`call` would.
+        """
+        client = self._client
+        trace = _trace_fields(probe.ACTIVE, client._node.clock)
+        stamp = {"fence": client.fence.stamp()} if client.fence is not None else {}
+        ids = (
+            {"call_id": client.next_call_id()}
+            if client._executor is not None
+            else {}
+        )
+        inner = _envelope(
+            "call", method=method, payload=payload, **ids, **trace, **stamp
+        )
+        completion = None
+        first_error: Optional[Exception] = None
+        try:
+            charge_record_crypto(
+                client._node.cost_model,
+                client._node.clock,
+                client._shield.stats,
+                declared_request if declared_request is not None else len(inner),
+            )
+            request = _envelope(
+                "secure_call",
+                conn=self._conn,
+                record=protect_timed(self._records, client._shield.stats, inner),
+                declared_request=declared_request,
+                declared_response=declared_response,
+            )
+            client._syscalls.socket_send(
+                declared_request if declared_request is not None else len(request)
+            )
+            completion = client._network.call_async(
+                client.address,
+                client._node.clock,
+                self._dst,
+                request,
+                declared_request=declared_request,
+                declared_response=declared_response,
+            )
+        except (RpcTransportError, StaleConnectionError) as exc:
+            first_error = exc
+
+        def finish(raw: bytes) -> bytes:
+            client._syscalls.socket_recv(
+                declared_response if declared_response is not None else len(raw)
+            )
+            msg = _open_envelope(raw, "secure_reply")
+            try:
+                reply_raw = unprotect_timed(
+                    self._records, client._shield.stats, msg["record"]
+                )
+            except IntegrityError:
+                client._network.stats.tampered_detected += 1
+                raise
+            charge_record_crypto(
+                client._node.cost_model,
+                client._node.clock,
+                client._shield.stats,
+                declared_response
+                if declared_response is not None
+                else len(reply_raw),
+            )
+            return _open_envelope(reply_raw, "reply")["payload"]
+
+        def retry_attempt() -> bytes:
+            try:
+                return self._call_once(inner, declared_request, declared_response)
+            except (RpcTransportError, StaleConnectionError, IntegrityError) as exc:
+                self._try_reconnect()
+                if isinstance(exc, IntegrityError):
+                    raise StaleConnectionError(
+                        f"secure session to {self._dst!r} failed verification; "
+                        "re-established"
+                    ) from exc
+                raise
+
+        def settle() -> bytes:
+            if completion is not None:
+                try:
+                    return finish(client._network.scheduler.run_until(completion))
+                except (RpcTransportError, StaleConnectionError, IntegrityError):
+                    if client._executor is None:
+                        raise
+                    # The optimistic record may be lost or desynced:
+                    # re-handshake before the executor resends.
+                    self._try_reconnect()
+            elif client._executor is None:
+                raise first_error  # type: ignore[misc]
+            return client._executor.run(self._dst, retry_attempt)
+
+        return PendingRpc(settle)
 
     def _try_reconnect(self) -> None:
         try:

@@ -68,6 +68,16 @@ class TrainingWorker:
         """This worker's initialized weights (used to seed the PS)."""
         return {v.name: v.value for v in self._variables}
 
+    def variable_nbytes(self) -> Dict[str, int]:
+        """Per-variable float32 sizes — the shard map's input."""
+        return {v.name: int(v.nbytes) for v in self._variables}
+
+    def declared_bytes_for(self, nbytes: int) -> int:
+        """Declared wire size for ``nbytes`` of local variables, scaled
+        to the paper's model size the same way
+        :attr:`declared_model_bytes` is."""
+        return int(nbytes * self.graph.weight_scale)
+
     def load_weights(self, weights: Dict[str, np.ndarray]) -> None:
         for var in self._variables:
             if var.name not in weights:

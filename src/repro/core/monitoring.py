@@ -227,6 +227,25 @@ class RecoveryMetrics:
 
 
 @dataclass
+class TrainingMetrics:
+    """Sharded-training-plane counters, aggregated over every PS shard
+    (a single-PS job reports here too — it is the 1-shard case)."""
+
+    pulls: int = 0
+    pushes: int = 0
+    quantized_pushes: int = 0
+    gradient_bytes_in: int = 0
+    gradient_bytes_saved: int = 0
+    restarts: int = 0
+    barrier_commits: int = 0
+    # Per-shard breakdowns (keyed by the shard's checkpoint-store key,
+    # which survives container restarts).
+    pulls_by_shard: Dict[str, int] = field(default_factory=dict)
+    pushes_by_shard: Dict[str, int] = field(default_factory=dict)
+    restarts_by_shard: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
 class PlatformMetrics:
     """One snapshot of the whole deployment."""
 
@@ -243,6 +262,7 @@ class PlatformMetrics:
     network_delayed: int = 0
     recovery: RecoveryMetrics = field(default_factory=RecoveryMetrics)
     syscalls: SyscallMetrics = field(default_factory=SyscallMetrics)
+    training: TrainingMetrics = field(default_factory=TrainingMetrics)
 
     def to_rows(self) -> List[List[str]]:
         rows = []
@@ -342,6 +362,19 @@ class PlatformMetrics:
             f"{r.lease_expiries} lease expiries, "
             f"{r.fenced_calls} fenced calls"
         )
+        t = self.training
+        shards = ", ".join(
+            f"{shard}={t.pushes_by_shard[shard]}"
+            for shard in sorted(t.pushes_by_shard)
+        )
+        lines.append(
+            f"training: {t.pulls} pulls, {t.pushes} pushes "
+            f"({t.quantized_pushes} quantized), "
+            f"{t.gradient_bytes_in / 1e6:.2f} MB gradients on the wire "
+            f"({t.gradient_bytes_saved / 1e6:.2f} MB saved by quantization), "
+            f"{t.restarts} shard restarts, {t.barrier_commits} barrier commits"
+            + (f"; pushes by shard: {shards}" if shards else "")
+        )
         return "\n".join(lines)
 
     # -- serialization + interval deltas --------------------------------
@@ -358,6 +391,7 @@ class PlatformMetrics:
         payload["shields"] = ShieldMetrics(**payload["shields"])
         payload["recovery"] = RecoveryMetrics(**payload["recovery"])
         payload["syscalls"] = SyscallMetrics(**payload["syscalls"])
+        payload["training"] = TrainingMetrics(**payload["training"])
         return cls(**payload)
 
     def diff(self, earlier: "PlatformMetrics") -> "PlatformMetrics":
@@ -414,6 +448,17 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
     syscalls = SyscallMetrics()
     for stats in stats_registry.syscall_stats_for(clocks):
         aggregate_into(syscalls, stats)
+    training = TrainingMetrics()
+    for stats in stats_registry.training_stats_for(clocks):
+        aggregate_into(training, stats)
+        for dict_field, count in (
+            (training.pulls_by_shard, stats.pulls),
+            (training.pushes_by_shard, stats.pushes),
+            (training.restarts_by_shard, stats.restarts),
+        ):
+            # Keyed by store key: a restarted shard's replacement folds
+            # into the same lineage entry.
+            dict_field[stats.shard] = dict_field.get(stats.shard, 0) + count
     recovery = RecoveryMetrics()
     for stats in stats_registry.recovery_stats_for(clocks):
         aggregate_into(recovery, stats)
@@ -443,4 +488,5 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
         network_delayed=platform.network.stats.delayed,
         recovery=recovery,
         syscalls=syscalls,
+        training=training,
     )

@@ -19,7 +19,7 @@ from repro.cas import CasService, Policy
 from repro.cas.client import RemoteCasClient, serve_cas
 from repro.cas.failover import ReplicatedCasPair
 from repro.cluster import Network, Node, Orchestrator, make_cluster
-from repro.cluster.epoch import EpochService
+from repro.cluster.epoch import EPOCH_KEY_PREFIX, EpochService, load_epochs
 from repro.cluster.retry import RetryPolicy
 from repro.enclave.attestation import AttestationVerifier, ProvisioningAuthority, Report
 from repro.enclave.cost_model import DEFAULT_COST_MODEL, CostModel
@@ -144,8 +144,22 @@ class SecureTFPlatform:
     def _persist_epoch(self, role: str, epoch: int) -> None:
         """Epoch-service backing: every bump is durable control-plane
         state in the CAS database (an ``epoch/<role>`` record), so epochs
-        survive CAS failover exactly like policies do."""
-        self.cas.db.put(f"epoch/{role}", str(epoch).encode())
+        survive CAS failover exactly like policies do.  With an HA pair
+        the record is double-written to both instances through the
+        control plane's administrative channel (the authority must be
+        able to bump *during* a failover, when the primary→standby
+        replication stream is exactly what's broken)."""
+        record = str(epoch).encode()
+        if self.cas_pair is not None:
+            self.cas_pair.put_control_record(f"{EPOCH_KEY_PREFIX}{role}", record)
+        else:
+            self.cas.db.put(f"{EPOCH_KEY_PREFIX}{role}", record)
+
+    def persisted_epochs(self) -> Dict[str, int]:
+        """The epoch registry as persisted in the *active* CAS replica —
+        what a restarted control plane would rebuild its
+        :class:`EpochService` from (``EpochService.restore``)."""
+        return load_epochs(self.active_cas.db)
 
     def close_telemetry(self) -> None:
         """Detach the telemetry plane (restores any previous recorder)."""

@@ -34,9 +34,12 @@ from repro.cluster.orchestrator import ContainerSpec
 from repro.cluster.parameter_server import (
     InMemoryCheckpointStore,
     ParameterServer,
+    ShardedParameterService,
+    ShardedSyncTrainer,
     SyncTrainer,
     TrainingResult,
 )
+from repro.cluster.sharding import GradientQuantizer
 from repro.cluster.retry import RetryPolicy
 from repro.cluster.worker import TrainingWorker
 from repro.core.platform import SecureTFPlatform
@@ -100,6 +103,17 @@ class TrainingJobConfig:
     #: (the paper's sync-vs-async / #handler-threads sweeps turn these).
     syscall_ring_depth: int = 64
     syscall_handlers: int = 2
+    #: Parameter-server enclaves the model is weight-sharded across.
+    #: 1 = the classic single-PS plane (exactly the pre-sharding
+    #: behaviour); N > 1 partitions variables with a deterministic
+    #: byte-balanced shard map and fans every pull/push out per shard.
+    ps_shards: int = 1
+    #: Quantize gradient pushes to this many bits (None = float32).
+    #: Cuts the bytes crossing the network shield per push at a bounded
+    #: rounding error; deterministic, so seeded runs stay byte-identical.
+    #: A sharded-plane feature: ignored at ``ps_shards == 1`` (the
+    #: single-PS plane is kept bit-compatible with earlier releases).
+    gradient_quantization_bits: Optional[int] = None
 
 
 class TrainingJob:
@@ -108,6 +122,8 @@ class TrainingJob:
     def __init__(self, platform: SecureTFPlatform, config: TrainingJobConfig) -> None:
         if config.n_workers < 1:
             raise ConfigurationError("training needs at least one worker")
+        if config.ps_shards < 1:
+            raise ConfigurationError("training needs at least one PS shard")
         if config.network_shield and config.mode is SgxMode.NATIVE:
             raise ConfigurationError(
                 "the network shield is part of the SCONE runtime; "
@@ -117,11 +133,20 @@ class TrainingJob:
         self.config = config
         self.workers: List[TrainingWorker] = []
         self.ps: Optional[ParameterServer] = None
+        #: The sharded PS plane (None when ``ps_shards == 1``).
+        self.ps_service: Optional[ShardedParameterService] = None
         self.trainer: Optional[SyncTrainer] = None
+        self.quantizer: Optional[GradientQuantizer] = (
+            GradientQuantizer(config.gradient_quantization_bits)
+            if config.gradient_quantization_bits is not None
+            else None
+        )
         self._containers: List[Container] = []
         self._ps_spec: Optional[ContainerSpec] = None
         self._worker_spec: Optional[ContainerSpec] = None
         self._ps_container: Optional[Container] = None
+        self._shard_specs: List[ContainerSpec] = []
+        self._shard_containers: List[Optional[Container]] = []
         self._worker_containers: List[Container] = []
         self._worker_slots: Dict[str, int] = {}
         self._identities: Dict[str, object] = {}
@@ -209,6 +234,21 @@ class TrainingJob:
             syscalls=container.runtime.syscalls,
         )
 
+    def _build_shard_ps(self, shard: int, container: Container) -> ParameterServer:
+        """PS shard ``shard`` for ``container`` — the address doubles as
+        the checkpoint-store key, so a replacement restores its own
+        shard's snapshot lineage (and only that shard's)."""
+        return ParameterServer(
+            container.node,
+            f"{self.config.session}-ps{shard}",
+            self.platform.network,
+            learning_rate=self.config.learning_rate,
+            shield=self._shield_for(container),
+            checkpoint_store=self._ps_store,
+            syscalls=container.runtime.syscalls,
+            quantizer=self.quantizer,
+        )
+
     def _build_worker(self, slot: int, container: Container) -> TrainingWorker:
         worker = TrainingWorker(
             f"{self.config.session}-w{slot}",
@@ -237,28 +277,65 @@ class TrainingJob:
             self._ps_store = InMemoryCheckpointStore()
             orchestrator.restart_budget = cfg.recovery_budget
             if self.platform.epochs is not None:
-                # The checkpoint store is the durable acceptor shared by
-                # a crashed PS and its replacement: fence it, so a
-                # zombie PS cannot overwrite the successor's snapshots.
-                self._ps_store.guard = self.platform.epochs.make_guard(
-                    "ps", name="ps-checkpoint-store"
-                )
+                if cfg.ps_shards == 1:
+                    # The checkpoint store is the durable acceptor shared
+                    # by a crashed PS and its replacement: fence it, so a
+                    # zombie PS cannot overwrite the successor's snapshots.
+                    self._ps_store.guard = self.platform.epochs.make_guard(
+                        "ps", name="ps-checkpoint-store"
+                    )
+                else:
+                    # Sharded plane: one role (and one fence) per shard,
+                    # keyed by the shard's snapshot slot, so restarting
+                    # shard k never disturbs the other shards' epochs.
+                    for k in range(cfg.ps_shards):
+                        key = f"{cfg.session}-ps{k}"
+                        self._ps_store.guards[key] = (
+                            self.platform.epochs.make_guard(
+                                f"ps-{k}", name=f"{key}-checkpoint-store"
+                            )
+                        )
 
-        self._ps_spec = ContainerSpec(
-            f"{cfg.session}-ps", lambda node, index: self._ps_config()
-        )
         self._worker_spec = ContainerSpec(
             f"{cfg.session}-worker", lambda node, index: self._worker_config()
         )
 
-        # Parameter server on the last node (paper runs PS/workers on the
-        # same 3 machines; placement matches Fig. 2).
-        self._ps_container = orchestrator.launch(self._ps_spec, node=nodes[-1])
-        self._containers.append(self._ps_container)
-        self.ps = self._build_ps(self._ps_container)
-        if self.platform.epochs is not None:
-            self.ps.lease = self.platform.epochs.grant(
-                "ps", holder=self._ps_container.name
+        if cfg.ps_shards == 1:
+            self._ps_spec = ContainerSpec(
+                f"{cfg.session}-ps", lambda node, index: self._ps_config()
+            )
+            # Parameter server on the last node (paper runs PS/workers on
+            # the same 3 machines; placement matches Fig. 2).
+            self._ps_container = orchestrator.launch(self._ps_spec, node=nodes[-1])
+            self._containers.append(self._ps_container)
+            self.ps = self._build_ps(self._ps_container)
+            if self.platform.epochs is not None:
+                self.ps.lease = self.platform.epochs.grant(
+                    "ps", holder=self._ps_container.name
+                )
+        else:
+            # N shard enclaves, spread across nodes from the tail (the
+            # single-PS placement generalized: shard 0 lands where the
+            # lone PS would have).  Each shard gets its own spec so the
+            # orchestrator tracks restart lineage per shard.
+            shards: List[ParameterServer] = []
+            for k in range(cfg.ps_shards):
+                spec = ContainerSpec(
+                    f"{cfg.session}-ps{k}", lambda node, index: self._ps_config()
+                )
+                self._shard_specs.append(spec)
+                node = nodes[(len(nodes) - 1 - k) % len(nodes)]
+                container = orchestrator.launch(spec, node=node)
+                self._containers.append(container)
+                self._shard_containers.append(container)
+                ps = self._build_shard_ps(k, container)
+                if self.platform.epochs is not None:
+                    ps.lease = self.platform.epochs.grant(
+                        f"ps-{k}", holder=container.name
+                    )
+                shards.append(ps)
+            self.ps_service = ShardedParameterService(
+                shards, barrier_store=self._ps_store
             )
 
         for index in range(cfg.n_workers):
@@ -270,14 +347,25 @@ class TrainingJob:
             self._worker_containers.append(container)
             self.workers.append(self._build_worker(index, container))
 
-        self.ps.initialize(self.workers[0].initial_weights())
-        self.trainer = SyncTrainer(
-            self.platform.network,
-            self.ps,
-            self.workers,
-            retry=cfg.retry_policy,
-            recovery=self if cfg.retry_policy is not None else None,
-        )
+        if cfg.ps_shards == 1:
+            self.ps.initialize(self.workers[0].initial_weights())
+            self.trainer = SyncTrainer(
+                self.platform.network,
+                self.ps,
+                self.workers,
+                retry=cfg.retry_policy,
+                recovery=self if cfg.retry_policy is not None else None,
+            )
+        else:
+            self.ps_service.initialize(self.workers[0].initial_weights())
+            self.trainer = ShardedSyncTrainer(
+                self.platform.network,
+                self.ps_service,
+                self.workers,
+                retry=cfg.retry_policy,
+                recovery=self if cfg.retry_policy is not None else None,
+                quantizer=self.quantizer,
+            )
 
     def train(self, batches: List, steps: Optional[int] = None) -> TrainingResult:
         if self.trainer is None:
@@ -313,10 +401,25 @@ class TrainingJob:
             self._apply_crash(crash.target)
 
     def _apply_crash(self, target: str) -> None:
-        if target == "ps":
-            if self._ps_container is not None and self._ps_container.running:
-                self.platform.orchestrator.fail_container(self._ps_container)
-                self.ps.crash()
+        if target == "ps" or (
+            target.startswith("ps-") and target[3:].isdigit()
+        ):
+            if self.ps_service is not None:
+                # Sharded plane: "ps" aliases shard 0 so single-PS chaos
+                # plans replay unchanged against a sharded job.
+                shard = 0 if target == "ps" else int(target[3:])
+                if shard >= len(self._shard_containers):
+                    raise ConfigurationError(f"no such PS shard {target!r}")
+                container = self._shard_containers[shard]
+                if container is not None and container.running:
+                    self.platform.orchestrator.fail_container(container)
+                    self.ps_service.shard(shard).crash()
+            elif target in ("ps", "ps-0"):
+                if self._ps_container is not None and self._ps_container.running:
+                    self.platform.orchestrator.fail_container(self._ps_container)
+                    self.ps.crash()
+            else:
+                raise ConfigurationError(f"unknown crash target {target!r}")
         elif target.startswith("worker-"):
             slot = int(target.rsplit("-", 1)[1])
             container = self._worker_containers[slot]
@@ -378,7 +481,47 @@ class TrainingJob:
         )
         return self.ps
 
+    # -- sharded-PS supervision (ShardedSyncTrainer's ``recovery``
+    # protocol: tick / worker_ok / replace_worker / shard_ok /
+    # recover_shard) -- ------------------------------------------------
+
+    def shard_ok(self, shard: int) -> bool:
+        container = self._shard_containers[shard]
+        return container is not None and container.running
+
+    def recover_shard(self, shard: int) -> Optional[ParameterServer]:
+        """Restart shard ``shard``'s container and resume it from its
+        own checkpoint slot, fence-first (the shard's epoch is bumped
+        before the replacement serves, so the zombie predecessor's saves
+        and barrier commits are dead on arrival)."""
+        if self.shard_ok(shard):
+            return self.ps_service.shard(shard)
+        replacement = self.platform.orchestrator.restart(
+            self._shard_specs[shard],
+            self._shard_containers[shard],
+            reason=f"ps-shard-{shard}",
+        )
+        if replacement is None:
+            return None
+        lease = (
+            self.platform.epochs.grant(f"ps-{shard}", holder=replacement.name)
+            if self.platform.epochs is not None
+            else None
+        )
+        self._shard_containers[shard] = replacement
+        self._containers.append(replacement)
+        ps = self._build_shard_ps(shard, replacement)
+        ps.lease = lease
+        ps.shard_stats.restarts += 1
+        self.record_recovery(
+            f"ps-shard-restart shard={shard} container={replacement.name} "
+            f"version={ps.version}"
+        )
+        return ps
+
     def weights(self) -> Dict:
+        if self.ps_service is not None:
+            return self.ps_service.weights
         if self.ps is None:
             raise ConfigurationError("job not started")
         return self.ps.weights
@@ -403,9 +546,13 @@ class TrainingJob:
             raise ConfigurationError(
                 "secure checkpoints need a CAS session; NATIVE mode has none"
             )
-        if self.ps is None:
+        if self.ps is None and self.ps_service is None:
             raise ConfigurationError("job not started")
-        node = self.ps.node
+        node = (
+            self.ps.node
+            if self.ps is not None
+            else self.ps_service.shard(0).node
+        )
         syscalls = SyscallInterface(
             node.vfs, self.platform.cost_model, node.clock, mode=SgxMode.NATIVE
         )
@@ -430,12 +577,17 @@ class TrainingJob:
         """Persist the PS weights, encrypted + freshness-audited."""
         from repro.tensor.arrays import encode_array_dict
 
+        version = (
+            self.ps.version
+            if self.ps is not None
+            else max(s.version for s in self.ps_service.shards)
+        )
         path = self.checkpoint_path()
         payload = encoding.encode(
             {
                 "session": self.config.session,
-                "version": self.ps.version,
-                "weights": encode_array_dict(self.ps.weights),
+                "version": version,
+                "weights": encode_array_dict(self.weights()),
             }
         )
         self._checkpoint_shield().write_file(path, payload)
@@ -453,12 +605,18 @@ class TrainingJob:
             raise ConfigurationError(
                 f"checkpoint belongs to session {payload.get('session')!r}"
             )
-        self.ps.initialize(decode_array_dict(payload["weights"]))
+        restored = decode_array_dict(payload["weights"])
+        if self.ps_service is not None:
+            self.ps_service.initialize(restored)
+        else:
+            self.ps.initialize(restored)
         return int(payload["version"])
 
     def stop(self) -> None:
         if self.ps is not None:
             self.ps.stop()
+        if self.ps_service is not None:
+            self.ps_service.stop()
         for container in self._containers:
             if container.running:
                 container.stop()

@@ -15,6 +15,8 @@ offline, so this package implements them directly:
 - :mod:`repro.crypto.certs` — minimal certificates and chain validation.
 - :mod:`repro.crypto.tls` — a TLS-1.3-shaped secure channel (ECDHE
   handshake, HKDF key schedule, AEAD record layer with replay protection).
+- :mod:`repro.crypto.masking` — fixed-point additive secret sharing over
+  Z_2^64 for the secure-aggregation training mode.
 
 These are real implementations operating on real bytes — tests verify
 them against RFC test vectors — but they are **not constant-time** and
@@ -29,6 +31,14 @@ from repro.crypto.kdf import hkdf_expand, hkdf_extract, hkdf_expand_label, hmac_
 from repro.crypto.x25519 import X25519PrivateKey, X25519PublicKey, x25519
 from repro.crypto.ed25519 import Ed25519PrivateKey, Ed25519PublicKey
 from repro.crypto.certs import Certificate, CertificateAuthority
+from repro.crypto.masking import (
+    additive_shares,
+    combine_shares,
+    combine_tensor_shares,
+    decode_fixed,
+    encode_fixed,
+    share_tensors,
+)
 
 __all__ = [
     "AES",
@@ -48,4 +58,10 @@ __all__ = [
     "Ed25519PublicKey",
     "Certificate",
     "CertificateAuthority",
+    "additive_shares",
+    "combine_shares",
+    "combine_tensor_shares",
+    "decode_fixed",
+    "encode_fixed",
+    "share_tensors",
 ]

@@ -1,0 +1,130 @@
+"""Additive masking for secure aggregation (federated training, §6.2).
+
+The secure-aggregation mode splits every model update into *additive
+shares over the ring Z_2^64*: the plaintext tensor is encoded into
+fixed-point integers, ``n - 1`` shares are drawn uniformly at random,
+and the last share is the wrapping difference — so each share on its own
+is statistically independent of the update (a one-time pad over the
+ring), while the wrapping sum of all ``n`` shares reconstructs the
+encoded value *exactly*.  This is the arithmetic secret sharing scheme
+tf-encrypted's secure aggregation and the classic Bonawitz et al.
+protocol build on: each aggregator enclave receives one share per data
+owner, sums the shares it holds (learning nothing), and only the
+*combination* of every aggregator's partial sum reveals the aggregate —
+never an individual hospital's update.
+
+Fixed-point arithmetic keeps aggregation deterministic and bit-exact:
+float tensors are scaled by ``2**FIXED_POINT_FRACTION_BITS`` and rounded
+to integers, so the masked aggregate equals the unmasked fixed-point
+aggregate byte for byte (addition over Z_2^64 is associative and exact,
+unlike float addition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro._sim.rng import DeterministicRng
+from repro.errors import ConfigurationError
+
+#: Fraction bits of the fixed-point encoding (~4.6 decimal digits).
+FIXED_POINT_FRACTION_BITS = 16
+
+_SCALE = np.float64(1 << FIXED_POINT_FRACTION_BITS)
+
+
+def encode_fixed(values: np.ndarray) -> np.ndarray:
+    """Encode a float tensor into fixed-point ring elements (uint64).
+
+    Negative values map to their two's complement representative, so
+    ring addition (wrapping uint64) behaves as signed fixed-point
+    addition for any aggregate that stays within +/-2^47 units.
+    """
+    scaled = np.rint(np.asarray(values, dtype=np.float64) * _SCALE)
+    return scaled.astype(np.int64).astype(np.uint64)
+
+
+def decode_fixed(values: np.ndarray) -> np.ndarray:
+    """Invert :func:`encode_fixed` (uint64 ring elements -> float32)."""
+    signed = np.asarray(values, dtype=np.uint64).astype(np.int64)
+    return (signed.astype(np.float64) / _SCALE).astype(np.float32)
+
+
+def _uniform_ring(shape: tuple, rng: DeterministicRng) -> np.ndarray:
+    """A uniformly random uint64 tensor from the deterministic stream."""
+    n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    raw = rng.random_bytes(8 * max(1, n))
+    return np.frombuffer(raw, dtype=np.uint64)[:n].reshape(shape)
+
+
+def additive_shares(
+    encoded: np.ndarray, n_shares: int, rng: DeterministicRng
+) -> List[np.ndarray]:
+    """Split an encoded tensor into ``n_shares`` additive ring shares.
+
+    Shares ``0 .. n-2`` are uniform masks; the last share is the
+    wrapping remainder.  The wrapping sum of all shares is exactly
+    ``encoded``; any proper subset is statistically independent of it.
+    """
+    if n_shares < 2:
+        raise ConfigurationError(
+            f"additive sharing needs >= 2 shares, got {n_shares}"
+        )
+    encoded = np.asarray(encoded, dtype=np.uint64)
+    masks = [_uniform_ring(encoded.shape, rng) for _ in range(n_shares - 1)]
+    remainder = encoded.copy()
+    for mask in masks:
+        remainder = remainder - mask  # wrapping uint64 subtraction
+    return masks + [remainder]
+
+
+def combine_shares(shares: List[np.ndarray]) -> np.ndarray:
+    """Wrapping sum of additive shares (or of aggregators' partial sums)."""
+    if not shares:
+        raise ConfigurationError("cannot combine zero shares")
+    total = np.zeros_like(np.asarray(shares[0], dtype=np.uint64))
+    for share in shares:
+        total = total + np.asarray(share, dtype=np.uint64)
+    return total
+
+
+def share_tensors(
+    tensors: Dict[str, np.ndarray], n_shares: int, rng: DeterministicRng
+) -> List[Dict[str, np.ndarray]]:
+    """Encode + share a tensor dict; returns one share-dict per party.
+
+    Tensor order is canonical (sorted by name) so the deterministic
+    mask stream is identical across runs.
+    """
+    shares: List[Dict[str, np.ndarray]] = [{} for _ in range(n_shares)]
+    for name in sorted(tensors):
+        for index, share in enumerate(
+            additive_shares(encode_fixed(tensors[name]), n_shares, rng)
+        ):
+            shares[index][name] = share
+    return shares
+
+
+def combine_tensor_shares(
+    parts: List[Dict[str, np.ndarray]]
+) -> Dict[str, np.ndarray]:
+    """Combine per-party share dicts into the encoded aggregate."""
+    if not parts:
+        raise ConfigurationError("cannot combine zero share dicts")
+    return {
+        name: combine_shares([part[name] for part in parts])
+        for name in parts[0]
+    }
+
+
+__all__ = [
+    "FIXED_POINT_FRACTION_BITS",
+    "additive_shares",
+    "combine_shares",
+    "combine_tensor_shares",
+    "decode_fixed",
+    "encode_fixed",
+    "share_tensors",
+]

@@ -27,6 +27,7 @@ _FS_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _NET_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _RECOVERY_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _SYSCALL_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_TRAINING_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 def register_fs_stats(stats: object, clock: SimClock) -> None:
@@ -47,6 +48,12 @@ def register_recovery_stats(stats: object, clock: SimClock) -> None:
 def register_syscall_stats(stats: object, clock: SimClock) -> None:
     """Track a syscall interface's counters under its node clock."""
     _SYSCALL_STATS.setdefault(clock, []).append(stats)
+
+
+def register_training_stats(stats: object, clock: SimClock) -> None:
+    """Track a parameter-server shard's training counters under its
+    node clock."""
+    _TRAINING_STATS.setdefault(clock, []).append(stats)
 
 
 def _collect(
@@ -74,3 +81,9 @@ def recovery_stats_for(clocks: List[SimClock]) -> List[object]:
 def syscall_stats_for(clocks: List[SimClock]) -> List[object]:
     """All registered syscall stats whose clock is in ``clocks``."""
     return list(_collect(_SYSCALL_STATS, clocks))
+
+
+def training_stats_for(clocks: List[SimClock]) -> List[object]:
+    """All registered per-shard training stats whose clock is in
+    ``clocks``."""
+    return list(_collect(_TRAINING_STATS, clocks))

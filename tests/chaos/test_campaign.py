@@ -2,7 +2,7 @@
 
 Tier-1 keeps a fast representative slice (one partition schedule per
 family, both fencing settings, replay identity).  The exhaustive
-``chaos_campaign``-marked sweeps run the full 216-schedule grid in both
+``chaos_campaign``-marked sweeps run the full 288-schedule grid in both
 configurations and assert the acceptance shape end to end:
 
 - fencing ON  → zero invariant violations across the whole grid;
@@ -24,6 +24,7 @@ ZOMBIE_SCHEDULES = [
     FaultSchedule("cas-failover", 2, "partition-outbound", False),
     FaultSchedule("ps-restart", 3, "partition-inbound", False),
     FaultSchedule("router-handoff", 4, "partition-both", False),
+    FaultSchedule("sharded-ps", 5, "partition-outbound", False),
 ]
 
 

@@ -50,14 +50,16 @@ def test_sharded_service_partitions_all_weights(cluster, network):
     weights = worker.initial_weights()
     service.initialize(weights)
 
-    # Every weight is owned by exactly one shard and round-trips intact.
+    # Every weight round-trips intact through the piece-keyed partition.
     merged = service.weights
     assert set(merged) == set(weights)
     for name, value in weights.items():
         np.testing.assert_array_equal(merged[name], value)
-    shard_counts = [len(s.weights) for s in shards]
-    assert sum(shard_counts) == len(weights)
-    assert min(shard_counts) >= len(weights) // 2 - 1  # balanced
+    # The shard map byte-balances: with the dominant fc1 kernel
+    # row-split, neither shard holds more than ~60% of the bytes.
+    loads = service.shard_map.shard_nbytes()
+    assert sum(loads) == sum(v.nbytes for v in weights.values())
+    assert max(loads) <= 0.6 * sum(loads)
 
 
 def test_sharded_gradient_partitioning(cluster, network):
@@ -72,8 +74,15 @@ def test_sharded_gradient_partitioning(cluster, network):
     gradients = {name: np.zeros_like(value) for name, value in weights.items()}
     grouped = service.partition_gradients(gradients)
     assert set(grouped) == {"ps-1", "ps-2"}
-    regrouped = {k for group in grouped.values() for k in group}
-    assert regrouped == set(weights)
+    # Every variable is covered, possibly as row-slice pieces
+    # ("var#start:stop"); merging the groups reconstructs the model.
+    parts = {}
+    for group in grouped.values():
+        parts.update(group)
+    remerged = service.shard_map.merge(parts)
+    assert set(remerged) == set(weights)
+    for name, value in weights.items():
+        assert remerged[name].shape == value.shape
     with pytest.raises(ClusterError):
         service.shard_of("nonexistent")
 

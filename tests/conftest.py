@@ -21,6 +21,11 @@ def pytest_configure(config: pytest.Config) -> None:
         "chaos_campaign: exhaustive fault-schedule sweeps over the "
         "epoch-fenced control plane (tier 2; run via -m chaos_campaign)",
     )
+    config.addinivalue_line(
+        "markers",
+        "sharded_training: heavy sharded-PS training sweeps "
+        "(tier 2; run via -m sharded_training)",
+    )
 
 from repro._sim import DeterministicRng, SimClock
 from repro.enclave.attestation import ProvisioningAuthority
