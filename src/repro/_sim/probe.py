@@ -24,6 +24,20 @@ from typing import Optional
 #: installed/cleared via :func:`set_active`.
 ACTIVE: Optional[object] = None
 
+#: The installed black-box flight recorder (a ``repro.observability
+#: .flight.FlightRecorder``), or None when off.  Sites call
+#: :func:`flight` unconditionally — the fast path is one global load
+#: and a None comparison; recording itself never touches a clock, so a
+#: run with the recorder off is byte-identical to one that never
+#: imported the observability package.
+FLIGHT: Optional[object] = None
+
+#: The installed incident pipeline (a ``repro.observability.incident
+#: .IncidentPipeline``), or None.  Triggers fire through :func:`incident`
+#: from fault sites (fence rejections, watchdog quarantine, replica
+#: crashes) without those modules importing the observability package.
+INCIDENTS: Optional[object] = None
+
 _NULL_SCOPE = contextlib.nullcontext()
 
 
@@ -48,4 +62,41 @@ def set_active(tracer: Optional[object]) -> Optional[object]:
     global ACTIVE
     previous = ACTIVE
     ACTIVE = tracer
+    return previous
+
+
+def flight(clock, kind, name, detail="") -> None:
+    """Record one flight-recorder event, if a recorder is installed.
+
+    ``clock`` may be None for control-plane events with no owning node
+    (acceptor-side fence rejections); the recorder files those under its
+    control ring.  Recording is read-only: no clock moves, no RNG draws.
+    """
+    recorder = FLIGHT
+    if recorder is not None:
+        recorder.record(clock, kind, name, detail)
+
+
+def set_flight(recorder: Optional[object]) -> Optional[object]:
+    """Install ``recorder`` as the process-wide flight recorder
+    (None = off); returns the previous one for scoped restoration."""
+    global FLIGHT
+    previous = FLIGHT
+    FLIGHT = recorder
+    return previous
+
+
+def incident(kind, name, clock=None, detail="") -> None:
+    """Fire an incident trigger, if a pipeline is installed."""
+    pipeline = INCIDENTS
+    if pipeline is not None:
+        pipeline.trigger(kind, name, clock=clock, detail=detail)
+
+
+def set_incidents(pipeline: Optional[object]) -> Optional[object]:
+    """Install ``pipeline`` as the process-wide incident pipeline
+    (None = off); returns the previous one for scoped restoration."""
+    global INCIDENTS
+    previous = INCIDENTS
+    INCIDENTS = pipeline
     return previous

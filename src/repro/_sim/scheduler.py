@@ -65,7 +65,7 @@ class Event:
     skipped (without counting as processed) when it surfaces.
     """
 
-    __slots__ = ("time", "seq", "fn", "label", "cancelled")
+    __slots__ = ("time", "seq", "fn", "label", "cancelled", "owner")
 
     def __init__(self, time: float, seq: int, fn: Callable[[], None], label: str) -> None:
         self.time = time
@@ -73,10 +73,18 @@ class Event:
         self.fn = fn
         self.label = label
         self.cancelled = False
+        #: Back-reference to the owning scheduler, used only to count
+        #: cancellations; dropped at cancel time with the payload.
+        self.owner: Optional["Scheduler"] = None
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
         self.fn = _noop  # drop references early (payloads can be large)
+        if self.owner is not None:
+            self.owner.events_cancelled += 1
+            self.owner = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -169,8 +177,16 @@ class Scheduler:
         self.events_processed = 0
         #: Events ever scheduled (cancellations included).
         self.events_scheduled = 0
+        #: Events cancelled before firing (lazy deletions counted at
+        #: ``Event.cancel`` time, not at pop time).
+        self.events_cancelled = 0
+        #: High-water mark of heap occupancy (cancelled entries count
+        #: until they surface — they still cost heap comparisons).
+        self.heap_peak = 0
         #: Live activities spawned and not yet finished.
         self.activities_running = 0
+        #: Activities currently parked on an unresolved Completion.
+        self.activities_parked = 0
 
     # -- clock views -----------------------------------------------------
 
@@ -194,8 +210,11 @@ class Scheduler:
         if when < 0:
             raise SchedulerError(f"cannot schedule in negative time: {when}")
         event = Event(float(when), next(self._seq), fn, label)
+        event.owner = self
         heapq.heappush(self._heap, (event.time, event.seq, event))
         self.events_scheduled += 1
+        if len(self._heap) > self.heap_peak:
+            self.heap_peak = len(self._heap)
         return event
 
     def schedule_after(
@@ -223,6 +242,12 @@ class Scheduler:
         """Live (non-cancelled) events still in the heap."""
         return sum(1 for _, _, e in self._heap if not e.cancelled)
 
+    @property
+    def heap_size(self) -> int:
+        """Current heap occupancy, cancelled entries included (what the
+        heap actually pays comparisons for)."""
+        return len(self._heap)
+
     # -- execution -------------------------------------------------------
 
     def _pop_runnable(self) -> Optional[Event]:
@@ -239,6 +264,7 @@ class Scheduler:
         if event is None:
             return False
         self.events_processed += 1
+        event.owner = None  # fired: a late cancel() must not count
         event.fn()
         return True
 
@@ -257,6 +283,7 @@ class Scheduler:
             if event.cancelled:
                 continue
             self.events_processed += 1
+            event.owner = None  # fired: a late cancel() must not count
             event.fn()
             executed += 1
         return executed
@@ -301,8 +328,12 @@ class Scheduler:
         """
         done = Completion(name)
         self.activities_running += 1
+        parked = {"now": False}  # this activity's park state (gauge feed)
 
         def step(value: Any = None, error: Optional[BaseException] = None) -> None:
+            if parked["now"]:
+                parked["now"] = False
+                self.activities_parked -= 1
             try:
                 if error is not None:
                     target = activity.throw(error)
@@ -324,6 +355,8 @@ class Scheduler:
                 )
                 done.fail(failure)
                 return
+            parked["now"] = True
+            self.activities_parked += 1
             target.add_waiter(lambda c: step(c.value, c.error))
 
         start = at if at is not None else (clock.now if clock is not None else 0.0)

@@ -37,6 +37,10 @@ class ScheduleOutcome:
     replay_identical: bool
     ops_recorded: int
     fenced_ops: int
+    #: History-derived incident bundle (``emit_incidents`` runs only).
+    #: Unfenced runs with violations get one triggered by the first
+    #: violation; fenced runs get one triggered by the fault injection.
+    incident: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -75,6 +79,10 @@ class CampaignReport:
     def fenced_ops(self) -> int:
         return sum(o.fenced_ops for o in self.outcomes)
 
+    @property
+    def incident_bundles(self) -> List[object]:
+        return [o.incident for o in self.outcomes if o.incident is not None]
+
     def violations_by_invariant(self) -> Dict[str, int]:
         """Violation counts keyed by invariant name (the ``[name]``
         prefix every checker stamps on its findings)."""
@@ -103,11 +111,15 @@ def run_campaign(
     fencing: bool = True,
     verify_replay: bool = True,
     progress: Optional[Callable[[ScheduleOutcome], None]] = None,
+    emit_incidents: bool = False,
 ) -> CampaignReport:
     """Run every schedule (twice, when ``verify_replay``) and report.
 
     ``progress`` is called after each schedule — benches use it for
-    throughput accounting without re-running the sweep.
+    throughput accounting without re-running the sweep.  With
+    ``emit_incidents`` each schedule also distills its recorded history
+    into exactly one deterministic incident bundle (lazy import: plain
+    campaigns never load the observability package).
     """
     if schedules is None:
         schedules = default_campaign()
@@ -118,6 +130,11 @@ def run_campaign(
         if verify_replay:
             second = run_schedule(schedule, fencing=fencing)
             identical = second.trace == first.trace
+        incident = None
+        if emit_incidents:
+            from repro.observability.incident import bundle_from_scenario
+
+            incident = bundle_from_scenario(schedule, first, fencing)
         outcome = ScheduleOutcome(
             schedule=schedule,
             fencing=fencing,
@@ -125,6 +142,7 @@ def run_campaign(
             replay_identical=identical,
             ops_recorded=len(first.history),
             fenced_ops=len(first.history.of_kind("fenced")),
+            incident=incident,
         )
         report.outcomes.append(outcome)
         if progress is not None:

@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro._sim import probe
 from repro.errors import FencedError, LeaseExpiredError
 
 #: Persists a bump into durable control-plane state (the CAS database):
@@ -159,6 +160,14 @@ class EpochGuard:
             if self.require:
                 if self._stats is not None:
                     self._stats.fenced_rejections += 1
+                # Guards have no clock of their own: the recorder files
+                # these under its control ring at fleet time.
+                probe.flight(
+                    None, "fence", self.role, f"unstamped acceptor={self.name or '?'}"
+                )
+                probe.incident(
+                    "fence", self.role, detail=f"unstamped acceptor={self.name or '?'}"
+                )
                 raise FencedError(
                     f"acceptor {self.name or self.role!r} requires an epoch "
                     f"stamp for role {self.role!r}"
@@ -167,6 +176,18 @@ class EpochGuard:
         if epoch < self.highest_seen:
             if self._stats is not None:
                 self._stats.fenced_rejections += 1
+            probe.flight(
+                None,
+                "fence",
+                self.role,
+                f"stale epoch={epoch} highest={self.highest_seen} "
+                f"acceptor={self.name or '?'}",
+            )
+            probe.incident(
+                "fence",
+                self.role,
+                detail=f"stale epoch={epoch} highest={self.highest_seen}",
+            )
             raise FencedError(
                 f"stale epoch {epoch} for role {self.role!r} at acceptor "
                 f"{self.name or '?'} (highest seen {self.highest_seen}): "

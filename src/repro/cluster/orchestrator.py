@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro._sim import probe as _probe
 from repro._sim.clock import SimClock
 from repro._sim.scheduler import Scheduler
 from repro.cluster.container import Container, ContainerState
@@ -185,6 +186,18 @@ class Orchestrator:
             self.events.append(
                 f"quarantine {container.name} restarts={used}"
             )
+            _probe.flight(
+                container.node.clock,
+                "watchdog",
+                container.name,
+                f"quarantine restarts={used}",
+            )
+            _probe.incident(
+                "watchdog.quarantine",
+                container.name,
+                clock=container.node.clock,
+                detail=f"restart budget exhausted after {used} restarts",
+            )
             return None
         self._restarts[key] = used + 1
         replacement = self.launch(spec, node=container.node)
@@ -195,6 +208,13 @@ class Orchestrator:
             f"restart {container.name} -> {replacement.name} "
             f"budget={self.restart_budget - used - 1}"
             + (f" reason={reason}" if reason else "")
+        )
+        _probe.flight(
+            container.node.clock,
+            "watchdog",
+            container.name,
+            f"restart -> {replacement.name}"
+            + (f" reason={reason}" if reason else ""),
         )
         return replacement
 
@@ -235,6 +255,7 @@ class Orchestrator:
             if not healthy:
                 recover()
                 self.events.append(f"service-failover {name}")
+                _probe.flight(None, "watchdog", name, "service-failover")
         return outcome
 
     def recover(self, spec: ContainerSpec) -> List[Container]:

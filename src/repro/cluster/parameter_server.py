@@ -249,13 +249,22 @@ class ParameterServer:
         self._check_peer(peer)
         if not self._weights:
             raise ClusterError("parameter server has no initialized weights")
-        self.shard_stats.pulls += 1
-        return encoding.encode(
-            {"version": self._version, "weights": encode_array_dict(self._weights)}
-        )
+        with probe.span(
+            self.node.clock, "ps.pull", attrs={"shard": self.store_key}
+        ):
+            self.shard_stats.pulls += 1
+            return encoding.encode(
+                {"version": self._version, "weights": encode_array_dict(self._weights)}
+            )
 
     def _handle_push(self, payload: bytes, peer: Optional[str]) -> bytes:
         self._check_peer(peer)
+        with probe.span(
+            self.node.clock, "ps.push", attrs={"shard": self.store_key}
+        ):
+            return self._apply_push(payload)
+
+    def _apply_push(self, payload: bytes) -> bytes:
         body = encoding.decode(payload)
         gradients = decode_array_dict(body["gradients"])
         wire_bytes = len(body["gradients"])
@@ -264,7 +273,12 @@ class ParameterServer:
                 raise ClusterError(
                     "received quantized gradients but no quantizer is configured"
                 )
-            gradients = self.quantizer.dequantize(gradients, body.get("scales", {}))
+            with probe.span(
+                self.node.clock, "ps.dequantize", attrs={"shard": self.store_key}
+            ):
+                gradients = self.quantizer.dequantize(
+                    gradients, body.get("scales", {})
+                )
             self.shard_stats.quantized_pushes += 1
             float_bytes = sum(4 * g.size for g in gradients.values())
             self.shard_stats.gradient_bytes_saved += max(0, float_bytes - wire_bytes)
@@ -853,7 +867,7 @@ class ShardedSyncTrainer:
         return declared
 
     def _encode_push(
-        self, gradients: Dict[str, np.ndarray], declared_flops: int
+        self, gradients: Dict[str, np.ndarray], declared_flops: int, clock=None
     ) -> bytes:
         if self._quantizer is None:
             return encoding.encode(
@@ -862,7 +876,11 @@ class ShardedSyncTrainer:
                     "declared_flops": declared_flops,
                 }
             )
-        quantized, scales = self._quantizer.quantize(gradients)
+        if clock is not None:
+            with probe.span(clock, "train.quantize", category="training"):
+                quantized, scales = self._quantizer.quantize(gradients)
+        else:
+            quantized, scales = self._quantizer.quantize(gradients)
         return encoding.encode(
             {
                 "gradients": encode_array_dict(quantized),
@@ -951,7 +969,9 @@ class ShardedSyncTrainer:
                             k,
                             "push",
                             self._encode_push(
-                                groups[k], 2 * declared[k][0] // 4
+                                groups[k],
+                                2 * declared[k][0] // 4,
+                                clock=worker.node.clock,
                             ),
                             declared[k][1],
                             None,

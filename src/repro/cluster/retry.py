@@ -279,6 +279,7 @@ class RetryingExecutor:
         while True:
             if not breaker.allow(self._clock.now):
                 self.stats.breaker_rejections += 1
+                probe.flight(self._clock, "breaker", endpoint, "rejected: open")
                 failure: Exception = CircuitOpenError(
                     f"circuit for endpoint {endpoint!r} is open"
                 )
@@ -293,20 +294,32 @@ class RetryingExecutor:
                         if isinstance(exc, FencingError):
                             self.stats.fenced_calls += 1
                             self._event(f"fenced {endpoint}")
+                            probe.flight(
+                                self._clock, "fenced", endpoint, type(exc).__name__
+                            )
                         raise
                     breaker.on_failure(self._clock.now)
                     failure = exc
             retry_index += 1
             if retry_index >= policy.max_attempts:
                 self.stats.giveups += 1
+                probe.flight(
+                    self._clock, "giveup", endpoint, f"attempts={retry_index}"
+                )
                 raise failure
             delay = policy.backoff(retry_index - 1, self._rng)
             if deadline is not None and self._clock.now + delay > deadline:
                 self.stats.giveups += 1
+                probe.flight(
+                    self._clock, "giveup", endpoint, f"deadline attempts={retry_index}"
+                )
                 raise failure
             self.stats.retries += 1
             self.stats.backoff_time += delay
             self._event(f"retry {endpoint} attempt={retry_index + 1}")
+            probe.flight(
+                self._clock, "retry", endpoint, f"attempt={retry_index + 1}"
+            )
             if self._scheduler is not None:
                 # Backoff as a heap event: park until the wake-up timer
                 # advances this clock to now + delay.  Identical clock

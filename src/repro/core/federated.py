@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 import repro.tensor as tf
+from repro._sim import probe
 from repro.cluster.container import Container
 from repro.cluster.node import Node
 from repro.cluster.rpc import SecureRpcClient, SecureRpcServer
@@ -419,7 +420,13 @@ class FederatedLearning:
         rng = hospital.node.rng.child(
             f"fl-mask-r{self.rounds_completed}-s{round_seed}-{hospital.name}"
         )
-        shares = share_tensors(weighted, len(self.aggregators), rng)
+        with probe.span(
+            hospital.node.clock,
+            "secure_agg.mask",
+            category="federated",
+            attrs={"hospital": hospital.name, "round": self.rounds_completed},
+        ):
+            shares = share_tensors(weighted, len(self.aggregators), rng)
         for aggregator, share in zip(self.aggregators, shares):
             client = SecureRpcClient(
                 self.platform.network,
@@ -472,16 +479,24 @@ class FederatedLearning:
                 )
             partials.append(decode_array_dict(body["partial"]))
         primary.reset()
-        combined = combine_tensor_shares(partials)
-        self._global = {
-            name: (decode_fixed(value) / np.float32(total)).astype(np.float32)
-            for name, value in combined.items()
-        }
-        # Charge the combine + decode on the primary's enclave clock.
-        flops = 3 * sum(a.size for a in combined.values()) * len(self.aggregators)
-        primary.node.clock.advance(
-            flops / primary.node.cost_model.flops_per_second_full_tf
-        )
+        with probe.span(
+            primary.node.clock,
+            "secure_agg.combine",
+            category="federated",
+            attrs={"round": self.rounds_completed, "members": len(self.aggregators)},
+        ):
+            combined = combine_tensor_shares(partials)
+            self._global = {
+                name: (decode_fixed(value) / np.float32(total)).astype(np.float32)
+                for name, value in combined.items()
+            }
+            # Charge the combine + decode on the primary's enclave clock.
+            flops = (
+                3 * sum(a.size for a in combined.values()) * len(self.aggregators)
+            )
+            primary.node.clock.advance(
+                flops / primary.node.cost_model.flops_per_second_full_tf
+            )
         self.rounds_completed += 1
 
     def global_weights(self) -> Dict[str, np.ndarray]:

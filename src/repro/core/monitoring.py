@@ -37,6 +37,9 @@ _GAUGE_FIELDS = frozenset(
         "breakers_closed",
         "breakers_open",
         "breakers_half_open",
+        "heap_size",
+        "activities_running",
+        "activities_parked",
     }
 )
 
@@ -246,6 +249,35 @@ class TrainingMetrics:
 
 
 @dataclass
+class SimCoreMetrics:
+    """Event-heap scheduler gauges: the pulse of the simulation core."""
+
+    heap_size: int = 0  # gauge: pending events right now
+    heap_peak: int = 0  # high-water mark (combines by max)
+    events_scheduled: int = 0
+    events_fired: int = 0
+    events_cancelled: int = 0
+    activities_running: int = 0  # gauge
+    activities_parked: int = 0  # gauge: blocked on a Completion
+
+
+@dataclass
+class MonitoringMetrics:
+    """SLO-engine / flight-recorder / incident-pipeline counters,
+    aggregated over every :class:`~repro.observability.monitoring
+    .MonitoringSession` on the platform."""
+
+    slo_evaluations: int = 0
+    alerts_pending: int = 0
+    alerts_fired: int = 0
+    alerts_resolved: int = 0
+    flight_events: int = 0
+    incidents_triggered: int = 0
+    incidents_suppressed: int = 0
+    bundles_emitted: int = 0
+
+
+@dataclass
 class PlatformMetrics:
     """One snapshot of the whole deployment."""
 
@@ -263,6 +295,8 @@ class PlatformMetrics:
     recovery: RecoveryMetrics = field(default_factory=RecoveryMetrics)
     syscalls: SyscallMetrics = field(default_factory=SyscallMetrics)
     training: TrainingMetrics = field(default_factory=TrainingMetrics)
+    sim_core: SimCoreMetrics = field(default_factory=SimCoreMetrics)
+    monitoring: MonitoringMetrics = field(default_factory=MonitoringMetrics)
 
     def to_rows(self) -> List[List[str]]:
         rows = []
@@ -375,6 +409,22 @@ class PlatformMetrics:
             f"{t.restarts} shard restarts, {t.barrier_commits} barrier commits"
             + (f"; pushes by shard: {shards}" if shards else "")
         )
+        c = self.sim_core
+        lines.append(
+            f"sim core: heap {c.heap_size} pending (peak {c.heap_peak}), "
+            f"{c.events_scheduled} scheduled / {c.events_fired} fired / "
+            f"{c.events_cancelled} cancelled, activities "
+            f"{c.activities_running} running ({c.activities_parked} parked)"
+        )
+        m = self.monitoring
+        lines.append(
+            f"monitoring: {m.slo_evaluations} SLO evaluations, alerts "
+            f"{m.alerts_pending} pending/{m.alerts_fired} fired/"
+            f"{m.alerts_resolved} resolved, {m.flight_events} flight events, "
+            f"incidents {m.incidents_triggered} triggered "
+            f"({m.incidents_suppressed} suppressed), "
+            f"{m.bundles_emitted} bundles emitted"
+        )
         return "\n".join(lines)
 
     # -- serialization + interval deltas --------------------------------
@@ -392,6 +442,8 @@ class PlatformMetrics:
         payload["recovery"] = RecoveryMetrics(**payload["recovery"])
         payload["syscalls"] = SyscallMetrics(**payload["syscalls"])
         payload["training"] = TrainingMetrics(**payload["training"])
+        payload["sim_core"] = SimCoreMetrics(**payload["sim_core"])
+        payload["monitoring"] = MonitoringMetrics(**payload["monitoring"])
         return cls(**payload)
 
     def diff(self, earlier: "PlatformMetrics") -> "PlatformMetrics":
@@ -459,6 +511,19 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
             # Keyed by store key: a restarted shard's replacement folds
             # into the same lineage entry.
             dict_field[stats.shard] = dict_field.get(stats.shard, 0) + count
+    sched = platform.scheduler
+    sim_core = SimCoreMetrics(
+        heap_size=sched.heap_size,
+        heap_peak=sched.heap_peak,
+        events_scheduled=sched.events_scheduled,
+        events_fired=sched.events_processed,
+        events_cancelled=sched.events_cancelled,
+        activities_running=sched.activities_running,
+        activities_parked=sched.activities_parked,
+    )
+    monitoring = MonitoringMetrics()
+    for stats in stats_registry.monitoring_stats_for(clocks):
+        aggregate_into(monitoring, stats)
     recovery = RecoveryMetrics()
     for stats in stats_registry.recovery_stats_for(clocks):
         aggregate_into(recovery, stats)
@@ -489,4 +554,6 @@ def collect_metrics(platform: SecureTFPlatform) -> PlatformMetrics:
         recovery=recovery,
         syscalls=syscalls,
         training=training,
+        sim_core=sim_core,
+        monitoring=monitoring,
     )

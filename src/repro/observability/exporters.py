@@ -30,8 +30,16 @@ from repro.observability.tracer import Tracer
 _US = 1e6  # trace_event timestamps are microseconds
 
 
-def to_chrome_trace(tracer: Tracer) -> Dict[str, object]:
-    """The run's spans as a Chrome `trace_event` JSON object."""
+def to_chrome_trace(tracer: Tracer, spans=None) -> Dict[str, object]:
+    """The run's spans as a Chrome `trace_event` JSON object.
+
+    ``spans`` restricts the export to a subset (the incident pipeline's
+    last-N-seconds window); parent links pointing outside the subset are
+    dropped so the windowed document stays referentially closed.
+    """
+    if spans is None:
+        spans = tracer.spans
+    exported_ids = {span.span_id for span in spans}
     pids: Dict[object, int] = {}
     events: List[Dict[str, object]] = []
     for index, clock in enumerate(tracer.clocks()):
@@ -45,7 +53,7 @@ def to_chrome_trace(tracer: Tracer) -> Dict[str, object]:
                 "args": {"name": tracer.label_of(clock)},
             }
         )
-    for span in tracer.spans:
+    for span in spans:
         pid = pids.get(span.clock)
         if pid is None:
             pid = len(pids) + 1
@@ -55,7 +63,7 @@ def to_chrome_trace(tracer: Tracer) -> Dict[str, object]:
             "trace_id": span.trace_id,
             "span_id": span.span_id,
         }
-        if span.parent_id is not None:
+        if span.parent_id is not None and span.parent_id in exported_ids:
             args["parent_id"] = span.parent_id
         for key, value in span.attrs.items():
             args[str(key)] = value if isinstance(value, (int, float, bool)) else str(value)

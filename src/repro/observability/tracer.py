@@ -51,6 +51,12 @@ LAYERS = (
 _SPAN_HISTOGRAMS = {
     "rpc.call": "rpc.latency",
     "rpc.server": "rpc.server_latency",
+    "ps.push": "ps.push_latency",
+    "ps.pull": "ps.pull_latency",
+    "ps.dequantize": "ps.dequantize_latency",
+    "train.quantize": "train.quantize_latency",
+    "secure_agg.mask": "secure_agg.mask_latency",
+    "secure_agg.combine": "secure_agg.combine_latency",
 }
 
 
@@ -219,6 +225,9 @@ class Tracer:
         hist_name = _SPAN_HISTOGRAMS.get(span.name)
         if hist_name is not None:
             self.observe(hist_name, span.duration)
+        flight = probe.FLIGHT
+        if flight is not None:
+            flight.on_span_end(span)
 
     def span(
         self,
@@ -268,6 +277,9 @@ class Tracer:
         record.layer_totals[layer] = record.layer_totals.get(layer, 0.0) + duration
         if histogram is not None and count > 0:
             self.observe(histogram, duration / count, count=count)
+        flight = probe.FLIGHT
+        if flight is not None:
+            flight.on_charge(clock, layer, duration)
 
     # -- histograms ------------------------------------------------------
 

@@ -28,6 +28,7 @@ _NET_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _RECOVERY_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _SYSCALL_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _TRAINING_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_MONITORING_STATS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 def register_fs_stats(stats: object, clock: SimClock) -> None:
@@ -54,6 +55,12 @@ def register_training_stats(stats: object, clock: SimClock) -> None:
     """Track a parameter-server shard's training counters under its
     node clock."""
     _TRAINING_STATS.setdefault(clock, []).append(stats)
+
+
+def register_monitoring_stats(stats: object, clock: SimClock) -> None:
+    """Track a monitoring session's SLO/flight/incident counters under
+    the clock its evaluator runs on."""
+    _MONITORING_STATS.setdefault(clock, []).append(stats)
 
 
 def _collect(
@@ -87,3 +94,8 @@ def training_stats_for(clocks: List[SimClock]) -> List[object]:
     """All registered per-shard training stats whose clock is in
     ``clocks``."""
     return list(_collect(_TRAINING_STATS, clocks))
+
+
+def monitoring_stats_for(clocks: List[SimClock]) -> List[object]:
+    """All registered monitoring stats whose clock is in ``clocks``."""
+    return list(_collect(_MONITORING_STATS, clocks))

@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro._sim import probe as _probe
 from repro.cluster.container import Container
 from repro.cluster.orchestrator import ContainerSpec, Orchestrator
 from repro.core.inference import service_runtime_config
@@ -294,6 +295,11 @@ class ReplicaPool:
         self.platform.network.unregister(address)
         self.scoreboard.set_state(address, ReplicaState.FAILED)
         self.record(f"crash {address}")
+        _probe.flight(container.node.clock, "crash", address, "replica failed")
+        _probe.incident(
+            "replica.crash", address, clock=container.node.clock,
+            detail="replica killed without graceful teardown",
+        )
 
     def reconcile(self) -> None:
         """Sync supervision outcomes into the scoreboard (watchdog tick).
@@ -313,6 +319,9 @@ class ReplicaPool:
                         entry.address, ReplicaState.QUARANTINED
                     )
                     self.record(f"quarantined {entry.address}")
+                    _probe.flight(
+                        None, "watchdog", entry.address, "scoreboard quarantine"
+                    )
             elif entry.state is ReplicaState.FAILED and entry.address not in running:
                 self.scoreboard.remove(entry.address)
                 self.record(f"reap {entry.address}")

@@ -58,6 +58,8 @@ class ServingPlane:
         watchdog_interval: float = 0.25,
         autoscaler_policy: Optional[AutoscalerPolicy] = None,
         fencing: bool = False,
+        monitoring: bool = False,
+        slo_interval: float = 0.25,
     ) -> None:
         self.platform = SecureTFPlatform(
             PlatformConfig(n_nodes=n_nodes, seed=seed, fencing=fencing)
@@ -125,6 +127,27 @@ class ServingPlane:
                 policy=autoscaler_policy,
             )
             self.autoscaler.start()
+        #: Optional continuous SLO monitoring + flight recorder + incident
+        #: pipeline.  Lazy import: a plane without monitoring never loads
+        #: the observability package (byte-identity with pre-monitoring
+        #: interpreters is the perf smoke's contract).
+        self.monitoring = None
+        if monitoring:
+            from repro.observability.monitoring import (
+                MonitoringSession,
+                serving_slos,
+            )
+
+            self.monitoring = MonitoringSession(
+                self.platform.scheduler,
+                control.clock,
+                specs=serving_slos(self.router, interval=slo_interval),
+                interval=slo_interval,
+                node_clocks=[
+                    (node.clock, node.node_id) for node in self.platform.nodes
+                ],
+                metrics_probe=self._metrics_probe,
+            )
 
     # -- chaos -----------------------------------------------------------
 
@@ -204,11 +227,31 @@ class ServingPlane:
         return stats
 
     def quiesce(self) -> None:
-        """Stop recurring events (watchdog, autoscaler) and drain."""
+        """Stop recurring events (watchdog, autoscaler, SLO monitor) and
+        drain."""
         self.watchdog.stop()
         if self.autoscaler is not None:
             self.autoscaler.stop()
+        if self.monitoring is not None and self.monitoring.monitor is not None:
+            self.monitoring.monitor.stop()
         self.platform.scheduler.run()
+
+    def _metrics_probe(self):
+        """Flattened platform counter snapshot for incident bundles.
+
+        Process-global caches and real-wall-clock counters are scrubbed:
+        bundles promise byte-identity across seeded runs, and those two
+        families depend on what else the interpreter ran.
+        """
+        from repro.core.monitoring import collect_metrics
+        from repro.observability.metrics import flatten_metrics
+
+        flat = flatten_metrics(collect_metrics(self.platform).to_json())
+        return {
+            key: value
+            for key, value in flat.items()
+            if "aead_cache" not in key and "real_crypto" not in key
+        }
 
     # -- invariants + trace ----------------------------------------------
 
@@ -245,6 +288,9 @@ class ServingPlane:
 
     def close(self) -> None:
         self.quiesce()
+        if self.monitoring is not None:
+            self.monitoring.close()
+            self.monitoring = None
         self.router.close()
         self.platform.orchestrator.stop_all()
 

@@ -1,0 +1,145 @@
+"""Chaos campaigns as incident producers: one deterministic bundle per
+schedule, naming the injected fault.
+
+The acceptance shape ISSUE 10 adds to the chaos plane: every unfenced
+schedule whose invariants break yields exactly one bundle triggered by
+the **first violation**, every fenced fault-injection yields one bundle
+triggered by the injection itself, and re-running a campaign from the
+same identity seeds reproduces byte-identical bundles.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import FAMILIES, FaultSchedule, run_campaign
+
+pytestmark = pytest.mark.monitoring
+
+# One partition schedule per family: the tier-1 slice that provably
+# splits the brain when unfenced (same shape as test_campaign.py).
+SCHEDULES = [
+    FaultSchedule("cas-failover", 2, "partition-outbound", False),
+    FaultSchedule("ps-restart", 3, "partition-inbound", False),
+    FaultSchedule("router-handoff", 4, "partition-both", False),
+    FaultSchedule("sharded-ps", 5, "partition-outbound", True),
+]
+
+
+def campaign(fencing):
+    return run_campaign(
+        SCHEDULES, fencing=fencing, verify_replay=False, emit_incidents=True
+    )
+
+
+class TestUnfencedViolationBundles:
+    def test_every_violating_schedule_gets_exactly_one_bundle(self):
+        report = campaign(fencing=False)
+        assert len(report.incident_bundles) == len(SCHEDULES)
+        for outcome in report.outcomes:
+            assert outcome.violations  # the slice is chosen to break
+            bundle = outcome.incident
+            assert bundle is not None
+            assert bundle.trigger_kind == "violation"
+            # Triggered by the first recorded violation, verbatim.
+            assert bundle.trigger_detail == outcome.violations[0]
+            assert bundle.trigger_name in outcome.violations[0]
+
+    def test_bundle_names_the_injected_fault(self):
+        report = campaign(fencing=False)
+        for outcome in report.outcomes:
+            schedule = outcome.schedule
+            bundle = outcome.incident
+            cause = bundle.root_cause
+            assert cause["kind"] == schedule.kind
+            assert cause["name"] == schedule.family
+            assert cause["detail"] == schedule.schedule_id
+            assert f"step {schedule.crash_step}" in cause["summary"]
+            assert "fencing disabled" in cause["summary"]
+
+    def test_timeline_carries_the_injection_marker_in_causal_position(self):
+        report = campaign(fencing=False)
+        for outcome in report.outcomes:
+            schedule = outcome.schedule
+            timeline = outcome.incident.timeline
+            markers = [l for l in timeline if l.startswith("* fault-injection")]
+            assert len(markers) == 1
+            assert schedule.kind in markers[0]
+            assert schedule.family in markers[0]
+            assert f"step={schedule.crash_step}" in markers[0]
+            assert timeline.index(markers[0]) == min(
+                schedule.crash_step, len(timeline) - 1
+            )
+            if schedule.duplicate_storm:
+                assert "+duplicate-storm" in markers[0]
+
+
+class TestFencedInjectionBundles:
+    def test_fenced_runs_bundle_the_absorbed_injection(self):
+        report = campaign(fencing=True)
+        assert len(report.incident_bundles) == len(SCHEDULES)
+        for outcome in report.outcomes:
+            assert outcome.violations == ()
+            bundle = outcome.incident
+            assert bundle.trigger_kind == "fault-injection"
+            assert bundle.trigger_name == outcome.schedule.kind
+            # The fence visibly absorbed the fault inside the bundle.
+            assert bundle.metrics["fenced_ops"] > 0
+            assert bundle.metrics["violations"] == []
+
+    def test_crash_schedules_bundle_cleanly_without_fencing(self):
+        # A genuinely dead leader violates nothing even unfenced: the
+        # bundle records the injection, not a violation.
+        schedules = [FaultSchedule(f, 2, "crash", False) for f in FAMILIES]
+        report = run_campaign(
+            schedules, fencing=False, verify_replay=False, emit_incidents=True
+        )
+        for outcome in report.outcomes:
+            assert outcome.incident.trigger_kind == "fault-injection"
+
+
+class TestBundleDeterminism:
+    def test_two_campaign_runs_emit_byte_identical_bundles(self):
+        first = [b.dump() for b in campaign(fencing=False).incident_bundles]
+        second = [b.dump() for b in campaign(fencing=False).incident_bundles]
+        assert first == second
+
+    def test_bundle_ids_encode_schedule_and_mode(self):
+        unfenced = campaign(fencing=False)
+        fenced = campaign(fencing=True)
+        for report, mode in ((unfenced, "unfenced"), (fenced, "fenced")):
+            ids = [b.incident_id for b in report.incident_bundles]
+            assert ids == [f"I:{s.schedule_id}:{mode}" for s in SCHEDULES]
+
+    def test_bundle_dump_is_canonical_json(self):
+        for bundle in campaign(fencing=False).incident_bundles:
+            payload = json.loads(bundle.dump())
+            assert payload["incident_id"] == bundle.incident_id
+            assert payload["rings"]["history"]  # the black box rode along
+
+
+class TestPlainCampaignsUnchanged:
+    def test_no_emit_means_no_bundles_and_no_probe_installed(self):
+        import subprocess
+        import sys
+
+        # A plain campaign in a fresh interpreter must leave every probe
+        # slot empty (the recorder-off contract) and emit no bundles.
+        code = (
+            "from repro._sim import probe\n"
+            "from repro.chaos import FaultSchedule, run_campaign\n"
+            "s = FaultSchedule('cas-failover', 2, 'partition-outbound', False)\n"
+            "r = run_campaign([s], fencing=True, verify_replay=False)\n"
+            "assert r.incident_bundles == []\n"
+            "assert probe.ACTIVE is None\n"
+            "assert probe.FLIGHT is None\n"
+            "assert probe.INCIDENTS is None\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src"},
+            cwd="/root/repo",
+        )
+        assert result.returncode == 0, result.stderr

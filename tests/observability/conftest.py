@@ -11,5 +11,9 @@ from repro._sim import probe
 def _reset_probe():
     """A leaked recorder would silently instrument every later test."""
     previous = probe.ACTIVE
+    previous_flight = probe.FLIGHT
+    previous_incidents = probe.INCIDENTS
     yield
     probe.set_active(previous)
+    probe.set_flight(previous_flight)
+    probe.set_incidents(previous_incidents)

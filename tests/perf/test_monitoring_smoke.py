@@ -1,0 +1,136 @@
+"""Tier-2 perf smoke: monitoring must be free when off, cheap when on.
+
+Excluded from tier-1 (see ``addopts`` in pyproject.toml); run with
+``pytest -m tier2 tests/perf`` or ``pytest -m monitoring``.  The
+flight-recorder bargain, subprocess-verified:
+
+- ``monitoring=False`` runs are byte-identical to runs in an
+  interpreter where no recorder was ever installed — identical
+  simulated time and deterministic counters;
+- a recorder that is *installed* (SLO monitor + rings live, no tracer)
+  costs under 5% wall on the serving workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPEATS = 5
+
+#: Drives the serving plane under a replica crash and prints one JSON
+#: line.  ``MON_MODE`` selects the side: ``off`` never constructs any
+#: monitoring object; ``on`` runs the full MonitoringSession (SLO
+#: monitor + flight recorder + incident pipeline, no tracer).
+_WORKLOAD = """
+import json, os, time
+monitored = os.environ.get("MON_MODE") == "on"
+from repro.core.monitoring import collect_metrics
+from repro.serving.service import ServingPlane
+
+started = time.perf_counter()
+plane = ServingPlane(seed=17, n_nodes=3, initial_replicas=2,
+                     monitoring=monitored)
+plane.platform.scheduler.schedule(
+    1.0, lambda: plane.pool.crash("replica-0"), label="chaos:crash")
+stats = plane.run_traffic(clients=4, duration=2.0, deadline_budget=0.5)
+plane.check_invariants()
+bundles = len(plane.monitoring.bundles) if monitored else 0
+trace = plane.trace_bytes().decode()
+plane.close()
+wall = time.perf_counter() - started
+
+def scrub(tree):
+    if isinstance(tree, dict):
+        return {k: scrub(v) for k, v in tree.items()
+                if "aead_cache" not in k and "real_crypto" not in k
+                and "monitoring" not in k and "sim_core" not in k}
+    if isinstance(tree, list):
+        return [scrub(item) for item in tree]
+    return tree
+
+print(json.dumps({
+    "wall": wall,
+    "ok": stats.ok,
+    "platform_time": plane.platform.time,
+    "trace": trace,
+    "bundles": bundles,
+    "stats": scrub(collect_metrics(plane.platform).to_json()),
+}))
+"""
+
+
+def _run_workload(mode: str) -> dict:
+    env = dict(os.environ)
+    env["MON_MODE"] = mode
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    out = subprocess.run(
+        [sys.executable, "-c", _WORKLOAD],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+@pytest.mark.tier2
+@pytest.mark.monitoring
+@pytest.mark.slow
+def test_monitoring_off_is_byte_identical_and_on_is_cheap():
+    _run_workload("off")  # warm-up (page cache, pyc)
+    off, on = [], []
+    for _ in range(REPEATS):  # interleaved: machine drift hits both sides
+        off.append(_run_workload("off"))
+        on.append(_run_workload("on"))
+
+    # The recorder is read-only: an installed SLO monitor + flight
+    # recorder must not shift a single simulated decision.  (The
+    # monitoring/sim_core counter groups are scrubbed: the monitor's own
+    # bookkeeping is *supposed* to differ — everything else must not.)
+    for a, b in zip(off, on):
+        assert a["ok"] == b["ok"]
+        assert a["platform_time"] == b["platform_time"]
+        assert a["trace"] == b["trace"]
+        assert a["stats"] == b["stats"]
+        assert a["bundles"] == 0
+        assert b["bundles"] >= 1  # the crash produced its incident
+
+    # Off-side runs are deterministic across subprocesses.
+    for a in off[1:]:
+        assert a["trace"] == off[0]["trace"]
+        assert a["stats"] == off[0]["stats"]
+
+    # Bounded wall cost: best-of-N within 5%.
+    best_off = min(r["wall"] for r in off)
+    best_on = min(r["wall"] for r in on)
+    assert best_on < best_off * 1.05, (
+        f"installed monitoring costs {best_on / best_off:.3f}x wall"
+    )
+
+
+@pytest.mark.tier2
+@pytest.mark.monitoring
+def test_incident_bundle_validates_end_to_end():
+    from repro.serving.service import ServingPlane
+
+    plane = ServingPlane(seed=17, n_nodes=3, initial_replicas=2, monitoring=True)
+    try:
+        plane.platform.scheduler.schedule(
+            1.0, lambda: plane.pool.crash("replica-0"), label="chaos:crash"
+        )
+        plane.run_traffic(clients=4, duration=2.0, deadline_budget=0.5)
+        bundles = plane.monitoring.bundles
+        assert bundles
+        for bundle in bundles:
+            payload = json.loads(bundle.dump())
+            assert payload["incident_id"] == bundle.incident_id
+            assert payload["root_cause"]["summary"]
+            json.dumps(payload)  # pure JSON all the way down
+    finally:
+        plane.close()
